@@ -1,0 +1,58 @@
+"""Extension X8 — counting (network-size estimation).
+
+KLO's companion primitive, measured three ways on comparable instances:
+
+* **exact, hierarchical** — ids disseminated with Algorithm 2 (the
+  paper's saving transfers to counting);
+* **exact, flat** — ids flooded with the 1-interval KLO rule;
+* **2-approximate, KLO k-committee** — reference [7]'s actual counting
+  algorithm (election + verification, doubling k), which needs no
+  initial knowledge at all but pays O(n²) rounds.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.kcommittee import klo_counting
+from repro.core.counting import count_flat, count_hierarchical
+from repro.experiments.report import format_records
+from repro.experiments.scenarios import hinet_one_scenario
+
+
+def _counting(sizes=(20, 40, 60), seed=67):
+    rows = []
+    for n in sizes:
+        scenario = hinet_one_scenario(
+            n0=n, theta=max(n * 3 // 10, 2), k=1, L=2, seed=seed + n
+        )
+        hier = count_hierarchical(scenario.trace)
+        flat = count_flat(scenario.trace)
+        committee = klo_counting(scenario.trace)
+        rows.append(
+            {
+                "n": n,
+                "hier_tokens": hier.tokens_sent,
+                "flat_tokens": flat.tokens_sent,
+                "ratio": flat.tokens_sent / max(hier.tokens_sent, 1),
+                "hier_exact": hier.exact,
+                "flat_exact": flat.exact,
+                "kcommittee_k": committee.k,
+                "kcommittee_rounds": committee.rounds_used,
+                "kcommittee_tokens": committee.tokens_sent,
+            }
+        )
+    return rows
+
+
+def test_counting_via_dissemination(benchmark, save_result):
+    rows = benchmark.pedantic(_counting, rounds=1, iterations=1)
+    text = "X8 — counting by id dissemination: hierarchical vs flat\n\n"
+    text += format_records(rows)
+    save_result("counting", text)
+    print("\n" + text)
+
+    for r in rows:
+        assert r["hier_exact"] and r["flat_exact"], r
+        assert r["hier_tokens"] < r["flat_tokens"], r
+        # k-committee's 2-approximation guarantee: n <= 2k < 4n
+        n = int(r["n"])
+        assert n <= 2 * int(r["kcommittee_k"]) < 4 * n, r

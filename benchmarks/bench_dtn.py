@@ -1,0 +1,65 @@
+"""Extension X14 — beyond 1-interval connectivity: intermittent (DTN) dynamics.
+
+O'Dell & Wattenhofer's per-round connectivity is the paper's weakest
+assumption; delay-tolerant networks only offer *eventual* connectivity
+through island meetings.  This bench measures the dissemination family
+on partitioned traces: guaranteed-under-connectivity algorithms still
+deliver — their repetition carries tokens across meetings — but
+completion stretches far past the n−1 bound; one-shot heuristics strand
+tokens on their islands.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.flooding import make_flood_all_factory, make_flood_new_factory
+from repro.baselines.gossip import make_gossip_factory
+from repro.baselines.klo import make_klo_one_factory
+from repro.experiments.report import format_records
+from repro.graphs.generators.partitioned import partitioned_trace
+from repro.sim.engine import run
+from repro.sim.messages import initial_assignment
+
+
+def _dtn(n=24, k=3, seed=103):
+    budget = 12 * n
+    trace = partitioned_trace(
+        n, rounds=budget, islands=3, meet_every=5, meet_for=1, seed=seed
+    )
+    init = initial_assignment(k, n, mode="spread")
+    algos = {
+        "Flood (all)": make_flood_all_factory(),
+        "KLO (1-interval rule)": make_klo_one_factory(M=budget),
+        "Gossip (push all)": make_gossip_factory(seed=seed),
+        "Flood (new only)": make_flood_new_factory(),
+    }
+    rows = []
+    for name, factory in algos.items():
+        res = run(trace, factory, k=k, initial=init, max_rounds=budget,
+                  stop_when_complete=True)
+        rows.append(
+            {
+                "algorithm": name,
+                "completion": res.metrics.completion_round,
+                "tokens_sent": res.metrics.tokens_sent,
+                "complete": res.complete,
+            }
+        )
+    return rows
+
+
+def test_dtn_dynamics(benchmark, save_result):
+    rows = benchmark.pedantic(_dtn, rounds=1, iterations=1)
+    text = ("X14 — intermittently-connected (DTN) dynamics: 3 islands, "
+            "meetings every 5 rounds (n=24, k=3)\n\n")
+    text += format_records(rows)
+    save_result("dtn_dynamics", text)
+    print("\n" + text)
+
+    by = {r["algorithm"]: r for r in rows}
+    # repetition carries tokens across meetings
+    assert by["Flood (all)"]["complete"]
+    assert by["KLO (1-interval rule)"]["complete"]
+    # ...but far slower than any connected-network bound (n-1 = 23)
+    assert by["Flood (all)"]["completion"] > 10
+    # one-shot forwarding strands tokens on their islands
+    assert not by["Flood (new only)"]["complete"]

@@ -1,0 +1,45 @@
+"""Engine micro-benchmarks.
+
+Not a paper artifact — keeps the simulator's performance visible so the
+sweep benchmarks stay laptop-scale (per the HPC guides: measure before
+optimising; these numbers are the baseline any engine change is judged
+against).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm1 import make_algorithm1_factory
+from repro.experiments.scenarios import hinet_interval_scenario
+from repro.graphs.generators.hinet import HiNetParams, generate_hinet
+from repro.sim.engine import run
+from repro.sim.messages import initial_assignment
+
+
+def test_engine_round_throughput(benchmark):
+    """Full Algorithm-1 run on a 100-node, 126-round scenario."""
+    scenario = hinet_interval_scenario(
+        n0=100, theta=30, k=8, alpha=5, L=2, seed=47, verify=False
+    )
+    T = int(scenario.params["T"])
+
+    def go():
+        return run(
+            scenario.trace,
+            make_algorithm1_factory(T=T, M=7),
+            k=8,
+            initial=scenario.initial,
+            max_rounds=7 * T,
+        )
+
+    res = benchmark(go)
+    assert res.complete
+
+
+def test_hinet_generation_throughput(benchmark):
+    """Scenario generation incl. hierarchy validation (the sweep hot path)."""
+    params = HiNetParams(
+        n=100, theta=30, num_heads=30, T=18, phases=7, L=2,
+        reaffiliation_p=0.1, churn_p=0.02,
+    )
+    scen = benchmark(generate_hinet, params, 51)
+    assert scen.trace.horizon == 126

@@ -1,0 +1,31 @@
+"""Figure 2 — the Definition 2–8 lattice.
+
+Evaluates every stability definition on three generated traces
+(stable HiNet, per-round-churning HiNet judged at two intervals) and
+asserts the implication tree the figure draws: (T, L)-HiNet =
+T-interval stable hierarchy ∧ T-interval L-hop head connectivity, with
+the hierarchy property decomposing into head-set and cluster stability.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig2_definition_lattice
+
+
+def test_fig2_lattice(benchmark, save_result):
+    reports, text = benchmark(fig2_definition_lattice)
+    save_result("fig2_definition_lattice", text)
+    print("\n" + text)
+
+    for label, rep in reports.items():
+        # Figure 2's tree edges, as implications, on every evaluated trace
+        assert rep["HiNet"] == (rep["Th"] and rep["TdL"]), label
+        assert rep["TdL"] == (rep["Td"] and rep["Lhop"]), label
+        if rep["Th"]:
+            assert rep["Ts"] and rep["Tc"], label
+
+    # the three rows separate the model classes as the paper intends
+    stable = next(v for k, v in reports.items() if k.startswith("(T="))
+    churny_hi = next(v for k, v in reports.items() if "@ T=12" in k and k.startswith("(1,"))
+    churny_lo = next(v for k, v in reports.items() if "@ T=1" in k)
+    assert stable["HiNet"] and not churny_hi["HiNet"] and churny_lo["HiNet"]

@@ -1,0 +1,83 @@
+"""Extension X6 — multi-hop (d-hop) clusters.
+
+The paper's Section VI names multi-hop clusters as the open question.
+This bench quantifies the trade-off the extension exposes: growing the
+cluster radius ``d`` shrinks the head count but lengthens the relay
+chains and widens the broadcasting interior, so both completion latency
+and communication rise with ``d`` while the structure still beats the
+flat 1-interval KLO baseline on the same trace.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.klo import make_klo_one_factory
+from repro.experiments.report import format_records
+from repro.multihop import (
+    DHopParams,
+    generate_dhop,
+    make_dhop_algorithm1_factory,
+    make_dhop_factory,
+)
+from repro.sim import initial_assignment, run
+
+
+def _sweep_d(ds=(1, 2, 3), n=60, k=5, num_heads=5, seed=53):
+    rows = []
+    init = initial_assignment(k, n, mode="spread")
+    for d in ds:
+        params = DHopParams(n=n, num_heads=num_heads, T=6, phases=12, d=d,
+                            L=2, reaffiliation_p=0.1, churn_p=0.0)
+        scen = generate_dhop(params, seed=seed)
+        M = scen.trace.horizon
+        ours = run(scen.trace, make_dhop_factory(M=M, scenario=scen), k=k,
+                   initial=init, max_rounds=M)
+        klo = run(scen.trace, make_klo_one_factory(M=M), k=k,
+                  initial=init, max_rounds=M)
+        # the Algorithm-1-style variant needs phases sized for the trees
+        T1 = k + 2 * (2 + 2 * d)
+        M1 = num_heads + 2
+        scen1 = generate_dhop(
+            DHopParams(n=n, num_heads=num_heads, T=T1, phases=M1, d=d, L=2,
+                       reaffiliation_p=0.1, churn_p=0.0),
+            seed=seed,
+        )
+        lean = run(
+            scen1.trace,
+            make_dhop_algorithm1_factory(T=T1, M=M1, scenario=scen1),
+            k=k, initial=init, max_rounds=M1 * T1,
+        )
+        depths = scen.assignments[0].depth
+        rows.append(
+            {
+                "d": d,
+                "max_depth": max(depths),
+                "dhop_comm": ours.metrics.tokens_sent,
+                "dhop_done": ours.metrics.completion_round,
+                "alg1d_comm": lean.metrics.tokens_sent,
+                "alg1d_done": lean.metrics.completion_round,
+                "klo_comm": klo.metrics.tokens_sent,
+                "klo_done": klo.metrics.completion_round,
+                "dhop_complete": ours.complete,
+                "alg1d_complete": lean.complete,
+            }
+        )
+    return rows
+
+
+def test_multihop_radius_sweep(benchmark, save_result):
+    rows = benchmark.pedantic(_sweep_d, rounds=1, iterations=1)
+    text = "X6 — d-hop clusters: cost vs cluster radius (n=60, k=5)\n\n"
+    text += format_records(rows)
+    save_result("multihop_radius", text)
+    print("\n" + text)
+
+    assert all(r["dhop_complete"] and r["alg1d_complete"] for r in rows)
+    # the hierarchy still beats flat KLO at every radius tried
+    for r in rows:
+        assert r["dhop_comm"] < r["klo_comm"], r
+        # the phase-structured one-token variant is cheaper still
+        assert r["alg1d_comm"] < r["dhop_comm"], r
+    # latency grows (weakly) with radius: deeper trees pipeline longer
+    dones = [r["dhop_done"] for r in rows]
+    assert dones[0] <= dones[-1]
+    assert rows[-1]["max_depth"] <= 3

@@ -1,0 +1,38 @@
+"""Extension X12 — the time/communication Pareto frontier.
+
+All seven implemented dissemination strategies on one shared clustered
+1-interval scenario, mapped onto the (completion rounds, tokens sent)
+plane; the frontier separates what guarantee money buys.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.pareto import dissemination_pareto
+from repro.experiments.report import format_records
+
+
+def test_dissemination_pareto(benchmark, save_result):
+    rows, frontier = benchmark.pedantic(
+        dissemination_pareto,
+        kwargs=dict(n0=50, k=5, theta=15, seed=89),
+        rounds=1,
+        iterations=1,
+    )
+    text = "X12 — Pareto frontier over (completion, tokens sent), n=50, k=5\n\n"
+    text += format_records(rows)
+    text += "\n\nfrontier: " + ", ".join(str(r["algorithm"]) for r in frontier)
+    save_result("pareto", text)
+    print("\n" + text)
+
+    assert frontier
+    # the paper's claim, Pareto-style: no guaranteed algorithm dominates
+    # Algorithm 2
+    hinet = next(r for r in rows if "Algorithm 2" in str(r["algorithm"]))
+    assert hinet["complete"]
+    for q in rows:
+        if q["kind"] == "guaranteed" and q is not hinet:
+            dominated = (
+                q["completion"] <= hinet["completion"]
+                and q["tokens_sent"] < hinet["tokens_sent"]
+            )
+            assert not dominated, q

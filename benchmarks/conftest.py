@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every bench both *times* its regeneration function via pytest-benchmark
+and *persists* the produced table to ``benchmarks/results/<name>.txt`` so
+the reproduced rows can be inspected (and diffed against EXPERIMENTS.md)
+without re-running.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a named text artifact under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

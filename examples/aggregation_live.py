@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Live aggregation: step the engine round by round and watch convergence.
+
+Demonstrates two library features together:
+
+* the **aggregation family** — push-sum gossip estimating the network
+  average next to exact hierarchical aggregation, and
+* the **stepping API** (`SynchronousEngine.start`) — inspecting node
+  state between rounds, printed as a Unicode sparkline of the worst
+  estimation error per round.
+
+Run:  python examples/aggregation_live.py
+"""
+
+from repro.aggregation import aggregate_exact, make_pushsum_factory
+from repro.experiments import hinet_one_scenario
+from repro.sim import SynchronousEngine
+from repro.viz import sparkline
+
+
+def main() -> None:
+    n, rounds = 40, 120
+    scenario = hinet_one_scenario(n0=n, theta=12, k=1, L=2, seed=31,
+                                  rounds=rounds)
+    values = {v: float((v * 17) % n) for v in range(n)}
+    truth = sum(values.values()) / n
+    print(f"{n} nodes, true network average = {truth:.3f}")
+    print()
+
+    # --- push-sum, stepped round by round --------------------------------
+    engine = SynchronousEngine()
+    active = engine.start(
+        scenario.trace, make_pushsum_factory(values, seed=31), k=0,
+        initial={}, max_rounds=rounds, stop_when_finished=False,
+    )
+    errors = []
+    while active.step():
+        worst = max(
+            abs(a.estimate - truth) for a in active.algorithms.values()
+        )
+        errors.append(worst)
+        if worst < 1e-9:
+            break
+    result = active.finish()
+
+    print("push-sum worst absolute error per round:")
+    print("  " + sparkline(errors, width=60))
+    print(f"  final error {errors[-1]:.2e} after {len(errors)} rounds, "
+          f"{result.metrics.tokens_sent} token-equivalents sent")
+    print()
+
+    # --- exact hierarchical aggregation for comparison ---------------------
+    exact = aggregate_exact(scenario.trace, values,
+                            fold=lambda xs: sum(xs) / len(xs))
+    print("exact hierarchical aggregation (Algorithm 2 over (id,value) tokens):")
+    print(f"  exact={exact.exact}, every node computed {exact.truth:.3f}, "
+          f"{exact.tokens_sent} tokens sent in {exact.rounds} rounds")
+    print()
+    print("gossip trades exactness for ~an order of magnitude less traffic;")
+    print("the hierarchy makes the exact route affordable when it's needed.")
+    assert exact.exact
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: enables `pip install -e . --no-build-isolation` on
+environments without the `wheel` package (offline editable install)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Aggregation over dynamic networks — the gossip side of the related work.
+
+Three points on the exactness/cost spectrum (paper refs [21, 22]):
+
+* :mod:`~repro.aggregation.minmax` — idempotent extrema by flooding
+  (exact; deterministic; 1 scalar per transmission);
+* :mod:`~repro.aggregation.pushsum` — sums/averages by mass-conserving
+  gossip (approximate, converging exponentially; O(1) payload/round);
+* :mod:`~repro.aggregation.exact` — exact non-idempotent aggregates via
+  (id, value) token dissemination, inheriting the paper's hierarchical
+  communication saving.
+"""
+
+from .exact import AggregationResult, aggregate_exact
+from .minmax import ExtremumNode, make_extremum_factory
+from .pushsum import PushSumNode, make_pushsum_factory
+
+__all__ = [
+    "AggregationResult",
+    "ExtremumNode",
+    "PushSumNode",
+    "aggregate_exact",
+    "make_extremum_factory",
+    "make_pushsum_factory",
+]

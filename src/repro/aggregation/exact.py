@@ -1,0 +1,95 @@
+"""Exact aggregation of non-idempotent functions via token dissemination.
+
+Sums, averages and counts cannot be flooded idempotently (double
+counting), and gossip only approximates them.  The deterministic route is
+the one the reproduced paper provides: treat every node's *(id, value)*
+pair as a token, disseminate the k = n tokens, and have every node fold
+the complete multiset locally.  Exactness then follows from dissemination
+correctness (Theorem 2), and the paper's hierarchical saving applies
+verbatim — Algorithm 2 aggregates cheaper than flat KLO on the same
+clustered trace, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from ..baselines.klo import make_klo_one_factory
+from ..core.algorithm2 import make_algorithm2_factory
+from ..sim.engine import DynamicNetwork, run
+
+__all__ = ["AggregationResult", "aggregate_exact"]
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of an exact-aggregation run.
+
+    Attributes
+    ----------
+    results:
+        Per-node aggregate over the values whose (id, value) token the
+        node collected.
+    exact:
+        Whether every node aggregated over *all* n inputs.
+    tokens_sent, rounds:
+        The dissemination bill.
+    truth:
+        The aggregate over all inputs (for convenience in assertions).
+    """
+
+    results: Dict[int, float]
+    exact: bool
+    tokens_sent: int
+    rounds: int
+    truth: float
+
+
+def aggregate_exact(
+    network: DynamicNetwork,
+    values: Mapping[int, float],
+    fold: Callable[[Sequence[float]], float] = sum,
+    hierarchical: bool = True,
+    rounds: Optional[int] = None,
+) -> AggregationResult:
+    """Aggregate ``values`` exactly by disseminating (id, value) tokens.
+
+    Parameters
+    ----------
+    network:
+        Any dynamic network; must be 1-interval connected for the default
+        round budget (n − 1, Theorem 2) to guarantee exactness.
+    values:
+        Node id → input value (missing nodes contribute 0.0).
+    fold:
+        The aggregate over the collected value multiset (``sum``,
+        ``len``-based mean, etc.).
+    hierarchical:
+        Use Algorithm 2 (requires a clustered trace); otherwise the flat
+        1-interval KLO rule.
+    """
+    n = network.n
+    vals = {v: float(values.get(v, 0.0)) for v in range(n)}
+    M = max(n - 1, 1) if rounds is None else rounds
+    factory = (
+        make_algorithm2_factory(M=M) if hierarchical else make_klo_one_factory(M=M)
+    )
+    result = run(
+        network,
+        factory,
+        k=n,
+        initial={v: frozenset({v}) for v in range(n)},
+        max_rounds=M,
+    )
+    results = {
+        v: fold([vals[t] for t in sorted(toks)])
+        for v, toks in result.outputs.items()
+    }
+    return AggregationResult(
+        results=results,
+        exact=all(len(t) == n for t in result.outputs.values()),
+        tokens_sent=result.metrics.tokens_sent,
+        rounds=result.metrics.rounds,
+        truth=fold([vals[v] for v in range(n)]),
+    )

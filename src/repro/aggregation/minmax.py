@@ -1,0 +1,107 @@
+"""Extrema aggregation by value flooding.
+
+Min/max are *idempotent* aggregates, so flooding computes them exactly:
+each node keeps its running best and broadcasts it.  Two modes, mirroring
+the library's central dynamic-networks lesson:
+
+* ``repeat=True`` (default) — broadcast the best every round.  Exact on
+  any 1-interval connected dynamic graph within n−1 rounds (the best
+  value floods like a single token with repetition).
+* ``repeat=False`` — broadcast only on improvement.  Optimal on *static*
+  graphs (one scalar per improvement), but on adversarial dynamics an
+  edge can appear after the best value's only broadcast — the same miss
+  that breaks epidemic flooding; the tests demonstrate it.
+
+This is the deterministic end of the gossip-aggregation spectrum
+(paper refs [21, 22]); :mod:`repro.aggregation.pushsum` is the randomized
+middle, and exact non-idempotent aggregates (sums) go through token
+dissemination (:mod:`repro.aggregation.exact`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+
+__all__ = ["ExtremumNode", "make_extremum_factory"]
+
+
+class ExtremumNode(NodeAlgorithm):
+    """Flood the running extremum (see module docstring for the modes).
+
+    Parameters
+    ----------
+    value:
+        This node's input.
+    op:
+        ``min`` or ``max`` (any associative, commutative, idempotent
+        binary selector works).
+    repeat:
+        Broadcast every round (dynamic-safe) vs on improvement only.
+    rounds:
+        Sending stops after this many rounds in repeat mode (n−1
+        suffices under 1-interval connectivity).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        k: int,
+        initial_tokens: frozenset,
+        value: float,
+        op: Callable[[float, float], float] = min,
+        repeat: bool = True,
+        rounds: int = 10**9,
+    ) -> None:
+        super().__init__(node, k, initial_tokens)
+        self.value = float(value)
+        self.best = float(value)
+        self.op = op
+        self.repeat = repeat
+        self.rounds = rounds
+        self._dirty = True  # own value is news in round 0
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if ctx.round_index >= self.rounds:
+            return []
+        if not self.repeat and not self._dirty:
+            return []
+        self._dirty = False
+        return [
+            Message(
+                sender=self.node,
+                tokens=frozenset(),
+                payload=self.best,
+                payload_cost=1,
+                tag="extremum",
+            )
+        ]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            if msg.tag != "extremum" or msg.payload is None:
+                continue
+            merged = self.op(self.best, float(msg.payload))
+            if merged != self.best:
+                self.best = merged
+                self._dirty = True
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= self.rounds
+
+
+def make_extremum_factory(
+    values: Mapping[int, float],
+    op: Callable[[float, float], float] = min,
+    repeat: bool = True,
+    rounds: int = 10**9,
+) -> Callable[[int, int, frozenset], ExtremumNode]:
+    """Engine factory: node ``v`` starts with ``values[v]`` (default 0.0)."""
+
+    def factory(node: int, k: int, initial: frozenset) -> ExtremumNode:
+        return ExtremumNode(node, k, initial, value=values.get(node, 0.0),
+                            op=op, repeat=repeat, rounds=rounds)
+
+    return factory

@@ -1,0 +1,52 @@
+"""Comparison algorithms: KLO, flooding variants, gossip, network coding.
+
+The KLO pair are the paper's direct Table 2/3 comparators; the rest are
+the related-work family (Section II) used by the extension benchmarks to
+place the hierarchical algorithms in the wider time/communication/
+guarantee trade-off space.
+"""
+
+from .flooding import (
+    FloodAllNode,
+    FloodNewNode,
+    make_flood_all_factory,
+    make_flood_new_factory,
+)
+from .gf2 import Gf2Basis
+from .gossip import GossipNode, make_gossip_factory
+from .kactive import KActiveFloodNode, make_kactive_factory
+from .kcommittee import (
+    CountingOutcome,
+    KCommitteeNode,
+    klo_counting,
+    stage_rounds,
+)
+from .klo import (
+    KLOIntervalNode,
+    KLOOneIntervalNode,
+    make_klo_interval_factory,
+    make_klo_one_factory,
+)
+from .netcoding import NetworkCodingNode, make_netcoding_factory
+
+__all__ = [
+    "CountingOutcome",
+    "FloodAllNode",
+    "FloodNewNode",
+    "Gf2Basis",
+    "GossipNode",
+    "KActiveFloodNode",
+    "KCommitteeNode",
+    "KLOIntervalNode",
+    "KLOOneIntervalNode",
+    "NetworkCodingNode",
+    "klo_counting",
+    "stage_rounds",
+    "make_flood_all_factory",
+    "make_flood_new_factory",
+    "make_gossip_factory",
+    "make_kactive_factory",
+    "make_klo_interval_factory",
+    "make_klo_one_factory",
+    "make_netcoding_factory",
+]

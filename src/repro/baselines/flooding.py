@@ -1,0 +1,77 @@
+"""Flooding baselines.
+
+* :class:`FloodAllNode` — every node broadcasts its whole token set every
+  round, forever (until the engine's bound).  The brute-force upper
+  baseline: completes a k-token instance in at most n−1 rounds on any
+  1-interval connected trace, at maximal cost.
+* :class:`FloodNewNode` — "epidemic" flooding: broadcast only tokens first
+  learned in the previous round.  Much cheaper, and *sufficient on static
+  graphs*, but **not** correct in general dynamic networks — an adversary
+  can move an edge so the one round a token was on air, its eventual
+  audience wasn't adjacent.  Included deliberately: the extension
+  benchmarks use it to demonstrate why dynamic networks force the
+  repetition (and hence the costs) that the paper's clustering attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+
+__all__ = [
+    "FloodAllNode",
+    "FloodNewNode",
+    "make_flood_all_factory",
+    "make_flood_new_factory",
+]
+
+
+class FloodAllNode(NodeAlgorithm):
+    """Unconditional full-set flooding (role-oblivious)."""
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if not self.TA:
+            return []
+        return [Message.broadcast(self.node, self.TA, tag="flood")]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            self.TA |= msg.tokens
+
+
+class FloodNewNode(NodeAlgorithm):
+    """Broadcast only the tokens that arrived in the previous round.
+
+    Initial tokens count as "new" in round 0.  See the module docstring
+    for why this is knowingly incorrect on adversarial dynamic graphs.
+    """
+
+    def __init__(self, node: int, k: int, initial_tokens: frozenset) -> None:
+        super().__init__(node, k, initial_tokens)
+        self._fresh: set[int] = set(initial_tokens)
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if not self._fresh:
+            return []
+        out = [Message.broadcast(self.node, frozenset(self._fresh), tag="new")]
+        self._fresh = set()
+        return out
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            novel = msg.tokens - self.TA
+            if novel:
+                self.TA |= novel
+                self._fresh |= novel
+
+
+def make_flood_all_factory():
+    """Engine factory for :class:`FloodAllNode`."""
+    return lambda node, k, initial: FloodAllNode(node, k, initial)
+
+
+def make_flood_new_factory():
+    """Engine factory for :class:`FloodNewNode`."""
+    return lambda node, k, initial: FloodNewNode(node, k, initial)

@@ -1,0 +1,110 @@
+"""Tiny GF(2) linear algebra on integer bitmasks.
+
+Supports the network-coding baseline: a length-``k`` coefficient vector
+over GF(2) is stored as a Python int whose bit ``i`` is the coefficient of
+token ``i``.  XOR is vector addition; Gaussian elimination is a few
+integer ops per row — no numpy needed at these sizes (``k`` up to
+thousands works fine since Python ints are arbitrary precision).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+__all__ = ["Gf2Basis"]
+
+
+class Gf2Basis:
+    """An online row basis (reduced row-echelon form) over GF(2).
+
+    Rows are inserted one at a time; the basis keeps one pivot row per
+    leading bit, fully reduced, so rank queries, membership tests and
+    decodability checks are all O(rank) integer operations.
+    """
+
+    def __init__(self, k: int, rows: Iterable[int] = ()) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+        # pivot bit index -> reduced row with that leading (highest) bit
+        self._pivots: dict[int, int] = {}
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def rank(self) -> int:
+        """Current rank of the basis."""
+        return len(self._pivots)
+
+    @property
+    def full_rank(self) -> bool:
+        """Whether the basis spans all of GF(2)^k."""
+        return self.rank >= self.k
+
+    def reduce(self, vec: int) -> int:
+        """Reduce ``vec`` against the basis; 0 iff ``vec`` is in the span."""
+        if vec < 0 or vec >= (1 << self.k):
+            raise ValueError(f"vector out of range for k={self.k}: {vec}")
+        while vec:
+            lead = vec.bit_length() - 1
+            pivot = self._pivots.get(lead)
+            if pivot is None:
+                return vec
+            vec ^= pivot
+        return 0
+
+    def insert(self, vec: int) -> bool:
+        """Insert ``vec``; return True iff it was linearly independent."""
+        reduced = self.reduce(vec)
+        if reduced == 0:
+            return False
+        lead = reduced.bit_length() - 1
+        # back-substitute to keep the basis fully reduced (RREF)
+        for b, row in list(self._pivots.items()):
+            if (row >> lead) & 1:
+                self._pivots[b] = row ^ reduced
+        self._pivots[lead] = reduced
+        return True
+
+    def contains(self, vec: int) -> bool:
+        """Span membership test."""
+        return self.reduce(vec) == 0
+
+    def rows(self) -> List[int]:
+        """The reduced basis rows, by descending pivot."""
+        return [self._pivots[b] for b in sorted(self._pivots, reverse=True)]
+
+    def decodable_tokens(self) -> Set[int]:
+        """Token ids whose unit vector lies in the span.
+
+        In RREF a unit vector e_t is in the span iff the pivot row for bit
+        ``t`` *is* e_t (fully reduced rows have zeros in all other pivot
+        columns, so any extra set bit is a non-pivot column that can't be
+        cancelled).
+        """
+        out: Set[int] = set()
+        for b, row in self._pivots.items():
+            if row == (1 << b):
+                out.add(b)
+        if self.full_rank:
+            return set(range(self.k))
+        return out
+
+    def random_combination(self, rng) -> int:
+        """A random non-zero GF(2) combination of basis rows (0 if empty basis).
+
+        Each row participates with probability 1/2; resampled until the
+        combination is non-zero (expected < 2 draws).
+        """
+        rows = self.rows()
+        if not rows:
+            return 0
+        while True:
+            mask = int(rng.integers(0, 1 << len(rows)))
+            if mask == 0:
+                continue
+            vec = 0
+            for i, row in enumerate(rows):
+                if (mask >> i) & 1:
+                    vec ^= row
+            return vec

@@ -1,0 +1,78 @@
+"""Randomised gossip baselines.
+
+The probabilistic dissemination family of the related work (paper refs
+[21–24]): each round a node picks one *current neighbour* uniformly at
+random and pushes tokens to it.  Two classic variants:
+
+* ``mode="one"``  — push a single uniformly random token from TA (the
+  rumor-spreading setting of Pittel; cheapest per round, probabilistic
+  completion time).
+* ``mode="all"``  — push the whole TA (push-style anti-entropy; costs up
+  to k per round but converges like 1-interval flooding restricted to a
+  random matching).
+
+Gossip gives no worst-case delivery guarantee on adversarial dynamic
+graphs — it is the probabilistic counterpoint in the extension benchmarks.
+
+Each node derives its own child RNG from the factory seed, so runs are
+reproducible regardless of engine iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+from ..sim.rng import SeedLike, derive_seed, make_rng
+
+__all__ = ["GossipNode", "make_gossip_factory"]
+
+_MODES = ("one", "all")
+
+
+class GossipNode(NodeAlgorithm):
+    """Push gossip to one uniformly random neighbour per round."""
+
+    def __init__(
+        self,
+        node: int,
+        k: int,
+        initial_tokens: frozenset,
+        rng: np.random.Generator,
+        mode: str = "all",
+    ) -> None:
+        super().__init__(node, k, initial_tokens)
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self._rng = rng
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if not self.TA or not ctx.neighbors:
+            return []
+        peers = sorted(ctx.neighbors)
+        dest = peers[int(self._rng.integers(0, len(peers)))]
+        if self.mode == "one":
+            toks = sorted(self.TA)
+            payload = {toks[int(self._rng.integers(0, len(toks)))]}
+        else:
+            payload = self.TA
+        return [Message.unicast(self.node, dest, payload, tag="gossip")]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            self.TA |= msg.tokens
+
+
+def make_gossip_factory(seed: SeedLike = None, mode: str = "all"):
+    """Engine factory: each node gets an independent child RNG of ``seed``."""
+    base = derive_seed(seed, "gossip")
+
+    def factory(node: int, k: int, initial: frozenset) -> GossipNode:
+        rng = make_rng(derive_seed(base, node))
+        return GossipNode(node, k, initial, rng=rng, mode=mode)
+
+    return factory

@@ -1,0 +1,292 @@
+"""KLO's k-committee protocol and counting by doubling (STOC'10, §5–6).
+
+The reproduced paper compares against reference [7]'s *dissemination*
+procedure; [7]'s headline algorithm, however, is **counting** in
+1-interval connected networks via *k-committee election* — included here
+to complete the baseline faithfully.
+
+k-committee election (parameter k)
+----------------------------------
+``k`` cycles, each of a polling and a selection phase of ``k − 1`` rounds:
+
+* **polling** — every node floods the smallest id of an *uncommitted*
+  node it has heard of this cycle (its own id while uncommitted).
+* **selection** — the node that sees *itself* as that minimum is the
+  leader; it commits to its own committee and floods an invitation
+  naming the smallest *other* uncommitted id it polled.  The named node
+  commits to the leader's committee at the cycle's end.
+
+One node joins a leader per cycle, so committees have ≤ k members
+besides the leader; with ``k ≥ n`` the (unique, global) leader absorbs
+everyone.  With ``k < n`` more than one committee must form.
+
+k-verification (k rounds)
+-------------------------
+Every node repeatedly broadcasts its committee id and ANDs an accept
+flag: hearing a different committee (or an uncommitted node) clears it,
+and cleared flags propagate.  With two or more committees, 1-interval
+connectivity guarantees an inter-committee edge in round 0, so at least
+one node rejects; with one committee every flag survives.
+
+Counting (doubling loop)
+------------------------
+Run election + verification for k = 1, 2, 4, …; the first k on which
+*every* node accepts satisfies ``n ≤ 2k`` (and ``k < 2n``), giving a
+2-approximate count in O(n²) rounds — the KLO bound.  The loop runs each
+stage on consecutive segments of the same dynamic graph via
+:class:`~repro.sim.network.ShiftedNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.engine import DynamicNetwork, run
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+from ..sim.network import ShiftedNetwork
+
+__all__ = ["KCommitteeNode", "CountingOutcome", "klo_counting", "stage_rounds"]
+
+_INF = float("inf")
+
+
+def stage_rounds(k: int) -> int:
+    """Rounds one election + verification stage needs: 2k·max(k−1, 1) + k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return 2 * k * max(k - 1, 1) + k
+
+
+class KCommitteeNode(NodeAlgorithm):
+    """Per-node state machine for one (election + verification) stage.
+
+    After the stage, :attr:`committee` holds the committee id (a leader's
+    node id) or ``None`` if never invited, and :attr:`accept` the
+    verification verdict.
+    """
+
+    def __init__(self, node: int, k: int, initial_tokens: frozenset, param_k: int) -> None:
+        super().__init__(node, k, initial_tokens)
+        if param_k < 1:
+            raise ValueError(f"committee parameter must be >= 1, got {param_k}")
+        self.param_k = param_k
+        self.committee: Optional[int] = None
+        self.accept = True
+        # per-cycle polling state
+        self._min_uncommitted: float = _INF
+        self._second_uncommitted: float = _INF
+        self._pending_invite: Optional[Tuple[int, int]] = None
+
+    # --- schedule ---------------------------------------------------------
+
+    @property
+    def _phase_len(self) -> int:
+        # k−1 per KLO; floored at 1 so the k=1 stage can still elect the
+        # trivial single-node committee (n=1 accepts at the first stage)
+        return max(self.param_k - 1, 1)
+
+    def _locate(self, r: int) -> Tuple[str, int, int]:
+        """Map a round index to (stage, cycle, offset-within-phase)."""
+        cycle_len = 2 * self._phase_len
+        formation = self.param_k * cycle_len
+        if cycle_len > 0 and r < formation:
+            cycle, within = divmod(r, cycle_len)
+            if within < self._phase_len:
+                return ("poll", cycle, within)
+            return ("select", cycle, within - self._phase_len)
+        return ("verify", 0, r - formation)
+
+    # --- engine interface ------------------------------------------------------
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        r = ctx.round_index
+        if r >= stage_rounds(self.param_k):
+            return []
+        stage, cycle, offset = self._locate(r)
+
+        if stage == "poll":
+            if offset == 0:
+                # new cycle: forget the previous cycle's polling results
+                self._min_uncommitted = (
+                    self.node if self.committee is None else _INF
+                )
+                self._second_uncommitted = _INF
+                self._pending_invite = None
+            if self._min_uncommitted is _INF:
+                return []
+            return [self._ctl(("poll", self._min_uncommitted))]
+
+        if stage == "select":
+            if offset == 0:
+                # leadership is decided ONCE, in cycle 0, when everyone is
+                # still uncommitted — so "smallest uncommitted id I polled"
+                # means "smallest id in my k−1 neighbourhood".  Later
+                # cycles must not self-elect (a small committed id would no
+                # longer appear in polls, and a spurious second leader
+                # would split the committee).
+                if (
+                    cycle == 0
+                    and self.committee is None
+                    and self._min_uncommitted == self.node
+                ):
+                    self.committee = self.node
+                    invitee = self._second_uncommitted
+                    if invitee is not _INF:
+                        self._pending_invite = (self.node, int(invitee))
+                elif self.committee == self.node:
+                    # an existing leader invites the smallest uncommitted
+                    # node it polled this cycle
+                    if self._min_uncommitted is not _INF:
+                        self._pending_invite = (
+                            self.node,
+                            int(self._min_uncommitted),
+                        )
+            if self._pending_invite is not None:
+                return [self._ctl(("invite", *self._pending_invite))]
+            return []
+
+        # verification
+        return [self._ctl(("verify", self.committee, self.accept))]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        r = ctx.round_index
+        if r >= stage_rounds(self.param_k):
+            return
+        stage, cycle, offset = self._locate(r)
+
+        for msg in inbox:
+            payload = msg.payload
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            kind = payload[0]
+            if kind == "poll" and stage == "poll":
+                pid = float(payload[1])
+                self._note_uncommitted(pid)
+            elif kind == "invite":
+                leader, invitee = int(payload[1]), int(payload[2])
+                if invitee == self.node and self.committee is None:
+                    self.committee = leader
+                # forward invitations while the phase lasts
+                if self._pending_invite is None and stage == "select":
+                    self._pending_invite = (leader, invitee)
+            elif kind == "verify" and stage == "verify":
+                their_committee, their_accept = payload[1], payload[2]
+                if their_committee != self.committee or not their_accept:
+                    self.accept = False
+
+        if stage == "verify" and self.committee is None:
+            # an uncommitted node can never verify a single committee
+            self.accept = False
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= stage_rounds(self.param_k)
+
+    # --- helpers ----------------------------------------------------------------
+
+    def _note_uncommitted(self, pid: float) -> None:
+        if pid < self._min_uncommitted:
+            if self._min_uncommitted is not _INF and self._min_uncommitted != pid:
+                self._second_uncommitted = min(
+                    self._second_uncommitted, self._min_uncommitted
+                )
+            self._min_uncommitted = pid
+        elif pid != self._min_uncommitted:
+            self._second_uncommitted = min(self._second_uncommitted, pid)
+
+    def _ctl(self, payload: tuple) -> Message:
+        return Message(
+            sender=self.node,
+            tokens=frozenset(),
+            payload=payload,
+            payload_cost=1,
+            tag="kcommittee",
+        )
+
+
+@dataclass
+class CountingOutcome:
+    """Result of the KLO counting loop.
+
+    Attributes
+    ----------
+    k:
+        The accepted committee parameter; satisfies ``n ≤ 2k`` and
+        ``k < 2n`` on 1-interval connected networks.
+    committees:
+        Final node → committee-leader map from the accepted stage.
+    stages:
+        Per-stage diagnostics (k tried, rounds, tokens, accepted).
+    rounds_used, tokens_sent:
+        Totals across all stages.
+    """
+
+    k: int
+    committees: Dict[int, Optional[int]]
+    stages: List[Dict[str, object]] = field(default_factory=list)
+    rounds_used: int = 0
+    tokens_sent: int = 0
+
+    @property
+    def estimate(self) -> int:
+        """The 2-approximate size estimate (= accepted k)."""
+        return self.k
+
+
+def klo_counting(
+    network: DynamicNetwork, max_k: Optional[int] = None
+) -> CountingOutcome:
+    """Count the network by the doubling loop; see module docstring.
+
+    Requires 1-interval connectivity of ``network`` across the total
+    O(n²) rounds consumed (traces with ``extend="hold"`` or generators
+    are fine).  Connectivity is a *precondition*, not detected: on a
+    disconnected network each component verifies its own committee and
+    the count is silently wrong (inherited from KLO's model).  Raises
+    ``RuntimeError`` if ``max_k`` is exhausted without acceptance.
+    """
+    n = network.n
+    limit = max_k if max_k is not None else 2 * n
+    stages: List[Dict[str, object]] = []
+    offset = 0
+    rounds_total = 0
+    tokens_total = 0
+    k = 1
+    while k <= limit:
+        budget = stage_rounds(k)
+        result = run(
+            ShiftedNetwork(network, offset),
+            lambda v, kk, init, _k=k: KCommitteeNode(v, kk, init, param_k=_k),
+            k=0,
+            initial={},
+            max_rounds=budget,
+            stop_when_finished=False,
+        )
+        algs = result.algorithms
+        assert algs is not None
+        accepted = all(a.accept for a in algs.values())
+        stages.append(
+            {
+                "k": k,
+                "rounds": budget,
+                "tokens": result.metrics.tokens_sent,
+                "accepted": accepted,
+            }
+        )
+        offset += budget
+        rounds_total += budget
+        tokens_total += result.metrics.tokens_sent
+        if accepted:
+            return CountingOutcome(
+                k=k,
+                committees={v: a.committee for v, a in algs.items()},
+                stages=stages,
+                rounds_used=rounds_total,
+                tokens_sent=tokens_total,
+            )
+        k *= 2
+    raise RuntimeError(
+        f"counting did not accept for any k <= {limit} "
+        f"(network not 1-interval connected, or max_k too small)"
+    )

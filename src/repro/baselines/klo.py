@@ -1,0 +1,114 @@
+"""The Kuhn–Lynch–Oshman comparison algorithms (paper reference [7]).
+
+Two baselines, matching the two KLO rows of Table 2:
+
+* :class:`KLOIntervalNode` — token dissemination under T-interval
+  connectivity: execution proceeds in phases of ``T`` rounds; every node
+  broadcasts the minimum-id token it has not yet broadcast *this phase*;
+  the per-phase sent set is cleared at phase boundaries.  This is the
+  token-forwarding core of KLO's procedure ``disseminate`` — the stable
+  connected subgraph pipelines tokens, so with ``T ≥ k + α·L`` each known
+  token gains at least ``α·L`` new nodes per phase, giving the paper's
+  ⌈n₀/(αL)⌉-phase accounting.  (KLO interleave this with a counting/
+  k-committee protocol to learn n; the paper's cost comparison concerns
+  only the dissemination traffic, which is what we reproduce.)
+* :class:`KLOOneIntervalNode` — the 1-interval connected regime: every
+  node broadcasts its entire token set every round; n−1 rounds suffice
+  since at least one new (node, token) pair appears per round while any is
+  missing.  Cost (n₀−1)·n₀·k, the flat-flooding bill the paper contrasts.
+
+Both are *flat* algorithms: they ignore roles and run on any trace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+
+__all__ = [
+    "KLOIntervalNode",
+    "KLOOneIntervalNode",
+    "make_klo_interval_factory",
+    "make_klo_one_factory",
+]
+
+
+class KLOIntervalNode(NodeAlgorithm):
+    """KLO token forwarding in phases of ``T`` rounds (see module docstring).
+
+    Parameters
+    ----------
+    T:
+        Phase length; the scenario must be T-interval connected.
+    M:
+        Number of phases (⌈n₀/(αL)⌉ for the Table 2 regime).
+    """
+
+    def __init__(self, node: int, k: int, initial_tokens: frozenset, T: int, M: int) -> None:
+        super().__init__(node, k, initial_tokens)
+        if T < 1 or M < 1:
+            raise ValueError(f"T and M must be >= 1, got T={T}, M={M}")
+        self.T = T
+        self.M = M
+        self.TS: set[int] = set()  # broadcast already, this phase
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if ctx.round_index // self.T >= self.M:
+            return []
+        if ctx.round_index % self.T == 0:
+            self.TS.clear()
+        unsent = self.TA - self.TS
+        if not unsent:
+            return []
+        t = min(unsent)
+        self.TS.add(t)
+        return [Message.broadcast(self.node, {t}, tag="klo")]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            self.TA |= msg.tokens
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= self.M * self.T
+
+
+class KLOOneIntervalNode(NodeAlgorithm):
+    """Full-set broadcast every round for ``M`` rounds (1-interval regime)."""
+
+    def __init__(self, node: int, k: int, initial_tokens: frozenset, M: int) -> None:
+        super().__init__(node, k, initial_tokens)
+        if M < 1:
+            raise ValueError(f"M must be >= 1, got {M}")
+        self.M = M
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if ctx.round_index >= self.M or not self.TA:
+            return []
+        return [Message.broadcast(self.node, self.TA, tag="klo1")]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            self.TA |= msg.tokens
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= self.M
+
+
+def make_klo_interval_factory(T: int, M: int):
+    """Engine factory for :class:`KLOIntervalNode`."""
+
+    def factory(node: int, k: int, initial: frozenset) -> KLOIntervalNode:
+        return KLOIntervalNode(node, k, initial, T=T, M=M)
+
+    return factory
+
+
+def make_klo_one_factory(M: int):
+    """Engine factory for :class:`KLOOneIntervalNode`."""
+
+    def factory(node: int, k: int, initial: frozenset) -> KLOOneIntervalNode:
+        return KLOOneIntervalNode(node, k, initial, M=M)
+
+    return factory

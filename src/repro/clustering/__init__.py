@@ -1,0 +1,35 @@
+"""Clustering substrate: head election, gateway selection, maintenance.
+
+The paper assumes a clustering layer maintains the (T, L)-HiNet hierarchy;
+this package provides it — classic 1-hop clustering algorithms
+(lowest-ID, highest-degree, WCDS-based), MST-routed gateway selection, and
+a Least-Cluster-Change maintenance pipeline that turns any flat dynamic
+graph into an empirical CTVG with measured θ, :math:`n_m`, :math:`n_r`
+and realized (T, L).
+"""
+
+from .gateways import backbone_hop_bound, select_gateways
+from .hierarchy import ClusterAssignment
+from .highest_degree import highest_degree_clustering
+from .lowest_id import lowest_id_clustering, sweep_clustering
+from .maintenance import MaintenanceStats, maintain_clustering
+from .stability import neighbor_churn, stability_clustering
+from .stats import HierarchyStats, hierarchy_stats
+from .wcds import greedy_dominating_set, wcds_clustering
+
+__all__ = [
+    "ClusterAssignment",
+    "HierarchyStats",
+    "MaintenanceStats",
+    "backbone_hop_bound",
+    "greedy_dominating_set",
+    "hierarchy_stats",
+    "highest_degree_clustering",
+    "lowest_id_clustering",
+    "maintain_clustering",
+    "neighbor_churn",
+    "select_gateways",
+    "stability_clustering",
+    "sweep_clustering",
+    "wcds_clustering",
+]

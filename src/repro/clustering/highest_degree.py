@@ -1,0 +1,22 @@
+"""Highest-degree (connectivity-based) clustering.
+
+Parekh's highest-connectivity heuristic: the sweep prefers nodes with many
+neighbours, producing fewer, larger clusters than lowest-ID on the same
+graph — a useful ablation point, since the paper's cost model improves
+with a smaller head bound θ but degrades with a larger per-cluster member
+churn.
+"""
+
+from __future__ import annotations
+
+from ..sim.topology import Snapshot
+from .hierarchy import ClusterAssignment
+from .lowest_id import sweep_clustering
+
+__all__ = ["highest_degree_clustering"]
+
+
+def highest_degree_clustering(snapshot: Snapshot) -> ClusterAssignment:
+    """Cluster by descending degree (ties broken by ascending id)."""
+    order = sorted(range(snapshot.n), key=lambda v: (-snapshot.degree(v), v))
+    return sweep_clustering(snapshot, order)

@@ -1,0 +1,44 @@
+"""Lowest-ID clustering (Gerla & Tsai / Lin & Gerla style).
+
+The classic 1-hop clustering heuristic: sweep nodes in increasing id
+order; an as-yet-unassigned node becomes a head and captures all its
+unassigned neighbours.  The resulting head set is a maximal independent
+set (no two heads adjacent) and dominates the graph, so every member is a
+direct neighbour of its head — the structure the paper's system model
+assumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim.topology import Snapshot
+from .hierarchy import ClusterAssignment
+
+__all__ = ["lowest_id_clustering", "sweep_clustering"]
+
+
+def sweep_clustering(snapshot: Snapshot, order: Sequence[int]) -> ClusterAssignment:
+    """Greedy clustering in the given sweep ``order``.
+
+    The first unassigned node encountered becomes a head and absorbs its
+    unassigned neighbours.  Shared by the lowest-ID and highest-degree
+    variants, which differ only in ``order``.
+    """
+    n = snapshot.n
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of 0..n-1")
+    head_of: List[Optional[int]] = [None] * n
+    for v in order:
+        if head_of[v] is not None:
+            continue
+        head_of[v] = v
+        for u in snapshot.adj[v]:
+            if head_of[u] is None:
+                head_of[u] = v
+    return ClusterAssignment(head_of=tuple(head_of))
+
+
+def lowest_id_clustering(snapshot: Snapshot) -> ClusterAssignment:
+    """Cluster by ascending node id; heads form a maximal independent set."""
+    return sweep_clustering(snapshot, range(snapshot.n))

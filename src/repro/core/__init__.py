@@ -1,0 +1,74 @@
+"""The paper's contribution: hierarchical dissemination algorithms + cost model.
+
+* :class:`~repro.core.algorithm1.Algorithm1Node` — k-token dissemination
+  in a (T, L)-HiNet (Figure 4, Theorem 1).
+* :class:`~repro.core.algorithm1_stable.Algorithm1StableHeadsNode` — the
+  Remark-1 variant for an ∞-stable head set.
+* :class:`~repro.core.algorithm2.Algorithm2Node` — k-token dissemination
+  in a (1, L)-HiNet (Figure 5, Theorems 2–4).
+* :mod:`repro.core.analysis` — the Table 2 closed forms and Table 3.
+* :mod:`repro.core.bounds` — the theorems' round/phase bounds.
+"""
+
+from .algorithm1 import Algorithm1Node, make_algorithm1_factory
+from .algorithm1_stable import Algorithm1StableHeadsNode, make_algorithm1_stable_factory
+from .algorithm2 import Algorithm2Node, make_algorithm2_factory
+from .analysis import (
+    TABLE3_PAPER,
+    TABLE3_PARAMS,
+    TABLE3_PARAMS_ONE,
+    CostParams,
+    hinet_interval_comm,
+    hinet_interval_time,
+    hinet_one_comm,
+    hinet_one_time,
+    klo_interval_comm,
+    klo_interval_time,
+    klo_one_comm,
+    klo_one_time,
+    table2,
+    table3,
+)
+from .counting import CountingResult, count_flat, count_hierarchical
+from .bounds import (
+    algorithm1_phases,
+    algorithm1_stable_phases,
+    algorithm2_rounds_1interval,
+    algorithm2_rounds_head_connectivity,
+    algorithm2_rounds_stable_hierarchy,
+    klo_interval_phases,
+    required_T,
+)
+
+__all__ = [
+    "Algorithm1Node",
+    "Algorithm1StableHeadsNode",
+    "Algorithm2Node",
+    "CostParams",
+    "CountingResult",
+    "count_flat",
+    "count_hierarchical",
+    "TABLE3_PAPER",
+    "TABLE3_PARAMS",
+    "TABLE3_PARAMS_ONE",
+    "algorithm1_phases",
+    "algorithm1_stable_phases",
+    "algorithm2_rounds_1interval",
+    "algorithm2_rounds_head_connectivity",
+    "algorithm2_rounds_stable_hierarchy",
+    "hinet_interval_comm",
+    "hinet_interval_time",
+    "hinet_one_comm",
+    "hinet_one_time",
+    "klo_interval_comm",
+    "klo_interval_time",
+    "klo_interval_phases",
+    "klo_one_comm",
+    "klo_one_time",
+    "make_algorithm1_factory",
+    "make_algorithm1_stable_factory",
+    "make_algorithm2_factory",
+    "required_T",
+    "table2",
+    "table3",
+]

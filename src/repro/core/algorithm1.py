@@ -1,0 +1,147 @@
+"""Algorithm 1 — k-token dissemination in a (T, L)-HiNet.
+
+Faithful implementation of the paper's Figure 4 pseudo-code.  Execution is
+divided into ``M`` phases of ``T`` rounds.  Per round:
+
+**Cluster member** ``u``
+    At each phase start, if ``u``'s head changed since the previous phase,
+    it clears TS (tokens already sent to the head) and TR (tokens received
+    from the current head).  Then, while some collected token is unknown to
+    the head (``TA ≠ TS ∪ TR``), it unicasts the *maximum-id* such token to
+    the head and adds it to TS.  Tokens heard from the current head go into
+    both TA and TR.
+
+**Cluster head / gateway**
+    While some collected token is unsent this phase (``TS ≠ TA``), it
+    broadcasts the *minimum-id* such token and adds it to TS.  TS is
+    emptied at each phase boundary.  Everything heard joins TA.
+
+The opposite id orders (members max-first, heads min-first) are the
+paper's: uploads and downloads traverse the token id space from opposite
+ends, so a member and its head don't spend rounds echoing the same token
+back and forth.
+
+Correctness (Theorem 1): on a (T, L)-HiNet with ``T ≥ k + α·L``, all nodes
+hold all k tokens after ``M ≥ ⌈θ/α⌉ + 1`` phases.
+
+By default members also absorb *overheard* broadcasts (from gateways or
+foreign heads in radio range) into TA — receiving extra tokens can only
+help and reflects the wireless medium.  ``strict=True`` restricts members
+to head traffic only, the literal pseudo-code reading; correctness holds
+either way and both modes are exercised in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..roles import Role
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+
+__all__ = ["Algorithm1Node", "make_algorithm1_factory"]
+
+
+class Algorithm1Node(NodeAlgorithm):
+    """Per-node state machine of Algorithm 1.
+
+    Parameters
+    ----------
+    node, k, initial_tokens:
+        As in :class:`~repro.sim.node.NodeAlgorithm`.
+    T:
+        Phase length; correctness needs ``T ≥ k + α·L`` (Theorem 1).
+    M:
+        Number of phases; correctness needs ``M ≥ ⌈θ/α⌉ + 1``.
+    strict:
+        Restrict member TA updates to traffic from the current head (see
+        module docstring).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        k: int,
+        initial_tokens: frozenset,
+        T: int,
+        M: int,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(node, k, initial_tokens)
+        if T < 1 or M < 1:
+            raise ValueError(f"T and M must be >= 1, got T={T}, M={M}")
+        self.T = T
+        self.M = M
+        self.strict = strict
+        self.TS: set[int] = set()  # sent this phase (to head, or broadcast)
+        self.TR: set[int] = set()  # received from the current head (member)
+        self._phase_head: Optional[int] = None  # head during the previous phase
+
+    # -- helpers -----------------------------------------------------------
+
+    def phase(self, round_index: int) -> int:
+        """Phase number of a global round index."""
+        return round_index // self.T
+
+    def _begin_phase_if_needed(self, ctx: RoundContext) -> None:
+        if ctx.round_index % self.T != 0:
+            return
+        if ctx.role is Role.MEMBER:
+            # Fig. 4, member loop: on a head change, forget what the old
+            # head knew — the new head must be (re)fed from scratch.
+            if ctx.head != self._phase_head:
+                self.TS.clear()
+                self.TR.clear()
+        else:
+            # Fig. 4, head/gateway loop: TS is per-phase.
+            self.TS.clear()
+        self._phase_head = ctx.head
+
+    # -- engine interface ----------------------------------------------------
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if self.phase(ctx.round_index) >= self.M:
+            return []
+        self._begin_phase_if_needed(ctx)
+
+        if ctx.role is Role.MEMBER:
+            if ctx.head is None:
+                return []
+            unknown = self.TA - (self.TS | self.TR)
+            if not unknown:
+                return []
+            t = max(unknown)
+            self.TS.add(t)
+            return [Message.unicast(self.node, ctx.head, {t}, tag="upload")]
+
+        # head or gateway
+        unsent = self.TA - self.TS
+        if not unsent:
+            return []
+        t = min(unsent)
+        self.TS.add(t)
+        return [Message.broadcast(self.node, {t}, tag="bcast")]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        if ctx.role is Role.MEMBER:
+            for msg in inbox:
+                if msg.sender == ctx.head:
+                    self.TA |= msg.tokens
+                    self.TR |= msg.tokens
+                elif not self.strict:
+                    self.TA |= msg.tokens
+        else:
+            for msg in inbox:
+                self.TA |= msg.tokens
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= self.M * self.T
+
+
+def make_algorithm1_factory(T: int, M: int, strict: bool = False):
+    """Factory for the engine: ``factory(node, k, initial) -> Algorithm1Node``."""
+
+    def factory(node: int, k: int, initial: frozenset) -> Algorithm1Node:
+        return Algorithm1Node(node, k, initial, T=T, M=M, strict=strict)
+
+    return factory

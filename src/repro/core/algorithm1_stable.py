@@ -1,0 +1,59 @@
+"""Remark 1 — Algorithm 1 optimised for an ∞-interval stable head set.
+
+When the head set never changes during execution (Definition 2 with
+T = ∞, e.g. infrastructure nodes as in the paper's reference [16]),
+members only need to upload their input tokens *once*: every token a
+member ever collects beyond its input came from some head, so after the
+first phase the stable head backbone already knows everything members
+know.  The paper's Remark 1 therefore modifies Algorithm 1 so that
+
+* members send tokens from TA only during phase 0, and keep sending
+  nothing afterwards even if they re-affiliate, and
+* the phase bound drops from ``⌈θ/α⌉ + 1`` to ``⌈|V_h|/α⌉ + 1`` — the
+  *actual* head count replaces the pool bound θ.
+
+Communication cost shrinks by the members' re-upload term
+(:math:`n_m n_r k` → 0 beyond the first feed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..roles import Role
+from ..sim.messages import Message
+from ..sim.node import RoundContext
+from .algorithm1 import Algorithm1Node
+
+__all__ = ["Algorithm1StableHeadsNode", "make_algorithm1_stable_factory"]
+
+
+class Algorithm1StableHeadsNode(Algorithm1Node):
+    """Algorithm 1 with the Remark-1 member rule (upload in phase 0 only)."""
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if self.phase(ctx.round_index) >= self.M:
+            return []
+        if ctx.role is Role.MEMBER:
+            if self.phase(ctx.round_index) > 0 or ctx.head is None:
+                # Track the head without resetting TS/TR — re-affiliation
+                # deliberately does not trigger a re-upload under Remark 1.
+                self._phase_head = ctx.head
+                return []
+            unknown = self.TA - (self.TS | self.TR)
+            if not unknown:
+                return []
+            t = max(unknown)
+            self.TS.add(t)
+            return [Message.unicast(self.node, ctx.head, {t}, tag="upload")]
+        # heads and gateways behave exactly as in Algorithm 1
+        return super().send(ctx)
+
+
+def make_algorithm1_stable_factory(T: int, M: int, strict: bool = False):
+    """Factory for the engine: Remark-1 nodes with the given phase geometry."""
+
+    def factory(node: int, k: int, initial: frozenset) -> Algorithm1StableHeadsNode:
+        return Algorithm1StableHeadsNode(node, k, initial, T=T, M=M, strict=strict)
+
+    return factory

@@ -1,0 +1,90 @@
+"""Algorithm 2 — k-token dissemination in a (1, L)-HiNet.
+
+The paper's Figure 5: designed for the weakest stability, where the
+hierarchy may change every round.  The price for correctness under such
+churn is sending whole token *sets* instead of single tokens:
+
+**Cluster member**
+    Sends its entire TA to its head in round 0, and again whenever its
+    cluster head changes — so a member uploads to each head at most once.
+    Otherwise it stays silent, absorbing whatever it hears.
+
+**Cluster head / gateway**
+    Broadcasts its entire TA every round, and absorbs everything heard.
+
+Correctness: ``M ≥ n − 1`` rounds suffice under 1-interval connectivity
+(Theorem 2); ``M ≥ ⌈θ/α⌉ + 1`` under (α·L)-interval cluster head
+connectivity (Theorem 3); ``M ≥ θ·L + 1`` under an L-interval stable
+hierarchy (Theorem 4).
+
+Communication accounting matches Table 2: heads/gateways pay up to ``k``
+tokens per round; a member pays ``≤ k`` only on (re-)affiliation, giving
+the :math:`(n_0-1)(n_0-n_m)k + n_m n_r k` total instead of KLO's
+:math:`(n_0-1) n_0 k`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..roles import Role
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+
+__all__ = ["Algorithm2Node", "make_algorithm2_factory"]
+
+
+class Algorithm2Node(NodeAlgorithm):
+    """Per-node state machine of Algorithm 2.
+
+    Parameters
+    ----------
+    M:
+        Round bound; pick per Theorems 2–4 depending on what the scenario
+        guarantees (the runner uses Theorem 2's ``n − 1`` by default).
+    """
+
+    def __init__(self, node: int, k: int, initial_tokens: frozenset, M: int) -> None:
+        super().__init__(node, k, initial_tokens)
+        if M < 1:
+            raise ValueError(f"M must be >= 1, got {M}")
+        self.M = M
+        self._prev_head: Optional[int] = None
+        self._seen_first_round = False
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if ctx.round_index >= self.M:
+            return []
+
+        if ctx.role is Role.MEMBER:
+            changed = (not self._seen_first_round) or ctx.head != self._prev_head
+            self._seen_first_round = True
+            self._prev_head = ctx.head
+            if changed and ctx.head is not None and self.TA:
+                return [
+                    Message.unicast(self.node, ctx.head, self.TA, tag="upload")
+                ]
+            return []
+
+        # head or gateway: full-set broadcast every round
+        self._seen_first_round = True
+        self._prev_head = ctx.head
+        if not self.TA:
+            return []
+        return [Message.broadcast(self.node, self.TA, tag="bcast")]
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            self.TA |= msg.tokens
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= self.M
+
+
+def make_algorithm2_factory(M: int):
+    """Factory for the engine: ``factory(node, k, initial) -> Algorithm2Node``."""
+
+    def factory(node: int, k: int, initial: frozenset) -> Algorithm2Node:
+        return Algorithm2Node(node, k, initial, M=M)
+
+    return factory

@@ -1,0 +1,73 @@
+"""Round/phase bounds from the paper's theorems.
+
+Centralising the correctness bounds keeps algorithm construction honest:
+the experiment runner always executes an algorithm for exactly its proven
+bound, and the integration tests assert completion within it.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+__all__ = [
+    "algorithm1_phases",
+    "algorithm1_stable_phases",
+    "algorithm2_rounds_1interval",
+    "algorithm2_rounds_head_connectivity",
+    "algorithm2_rounds_stable_hierarchy",
+    "klo_interval_phases",
+    "required_T",
+]
+
+
+def required_T(k: int, alpha: int, L: int) -> int:
+    """Theorem 1's stability requirement: Algorithm 1 needs ``T ≥ k + α·L``."""
+    _check_positive(k=k, alpha=alpha, L=L)
+    return k + alpha * L
+
+
+def algorithm1_phases(theta: int, alpha: int) -> int:
+    """Theorem 1: Algorithm 1 completes within ``⌈θ/α⌉ + 1`` phases."""
+    _check_positive(theta=theta, alpha=alpha)
+    return ceil(theta / alpha) + 1
+
+
+def algorithm1_stable_phases(num_heads: int, alpha: int) -> int:
+    """Remark 1: with an ∞-stable head set of size ``|V_h|``, the bound drops
+    to ``⌈|V_h|/α⌉ + 1`` phases."""
+    _check_positive(num_heads=num_heads, alpha=alpha)
+    return ceil(num_heads / alpha) + 1
+
+
+def algorithm2_rounds_1interval(n: int) -> int:
+    """Theorem 2: Algorithm 2 completes in ``n − 1`` rounds under 1-interval
+    connectivity."""
+    _check_positive(n=n)
+    return max(n - 1, 1)
+
+
+def algorithm2_rounds_head_connectivity(theta: int, alpha: int) -> int:
+    """Theorem 3: with (α·L)-interval cluster head connectivity the bound is
+    ``⌈θ/α⌉ + 1`` rounds."""
+    _check_positive(theta=theta, alpha=alpha)
+    return ceil(theta / alpha) + 1
+
+
+def algorithm2_rounds_stable_hierarchy(theta: int, L: int) -> int:
+    """Theorem 4: with an L-interval stable hierarchy the bound is
+    ``θ·L + 1`` rounds."""
+    _check_positive(theta=theta, L=L)
+    return theta * L + 1
+
+
+def klo_interval_phases(n: int, alpha: int, L: int) -> int:
+    """Phases of the KLO baseline under ``(k + α·L)``-interval connectivity,
+    as used in the paper's Table 2 accounting: ``⌈n₀/(α·L)⌉``."""
+    _check_positive(n=n, alpha=alpha, L=L)
+    return ceil(n / (alpha * L))
+
+
+def _check_positive(**values: int) -> None:
+    for name, v in values.items():
+        if v < 1:
+            raise ValueError(f"{name} must be a positive integer, got {v}")

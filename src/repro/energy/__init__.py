@@ -1,0 +1,18 @@
+"""Energy substrate: transmission budgets, network lifetime, load balance.
+
+The WSN motivation made measurable — wrap any dissemination algorithm
+with per-node energy budgets (:mod:`~repro.energy.budget`), then measure
+lifetime and load skew (:mod:`~repro.energy.lifetime`).  The
+head-rotation ablation in ``benchmarks/bench_energy.py`` quantifies why
+clustering deployments rotate heads.
+"""
+
+from .budget import EnergyLimitedNode, make_energy_factory
+from .lifetime import LifetimeReport, run_with_budget
+
+__all__ = [
+    "EnergyLimitedNode",
+    "LifetimeReport",
+    "make_energy_factory",
+    "run_with_budget",
+]

@@ -1,0 +1,100 @@
+"""Per-node energy budgets over any dissemination algorithm.
+
+The paper motivates communication efficiency with resource-constrained
+deployments (MANETs, WSNs): transmissions cost energy and nodes die.
+This module makes that explicit without touching any algorithm — an
+:class:`EnergyLimitedNode` wraps a base :class:`~repro.sim.node.
+NodeAlgorithm` and charges each transmission's token cost against a
+per-node budget.  When the budget is exhausted the radio transmits no
+more (receiving is free, the usual first-order WSN model); the node is
+*depleted* but keeps listening.
+
+What this enables (see ``benchmarks/bench_energy.py``):
+
+* **network lifetime** — rounds until the first node depletes, the
+  standard WSN metric;
+* **load skew** — the max/mean energy-use ratio across nodes, which for
+  hierarchical algorithms concentrates on heads and gateways — the very
+  reason the clustering literature rotates heads, measurable here via
+  the generator's ``head_churn`` knob.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.messages import Message
+from ..sim.node import AlgorithmFactory, NodeAlgorithm, RoundContext
+
+__all__ = ["EnergyLimitedNode", "make_energy_factory"]
+
+
+class EnergyLimitedNode(NodeAlgorithm):
+    """Wrap ``base`` with a transmission budget (token-cost units).
+
+    Sends are forwarded until the budget would go negative; a message
+    that doesn't fit is suppressed entirely (radios don't send half a
+    frame).  ``TA`` mirrors the base algorithm's so engine accounting
+    keeps working.
+    """
+
+    def __init__(self, base: NodeAlgorithm, budget: float) -> None:
+        super().__init__(base.node, base.k, frozenset(base.TA))
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self.base = base
+        self.budget = float(budget)
+        self.spent = 0.0
+        self.depleted_at: Optional[int] = None
+        # share the base's TA object so updates are visible both ways
+        self.TA = base.TA
+
+    @property
+    def remaining(self) -> float:
+        """Energy left, in token-cost units."""
+        return self.budget - self.spent
+
+    @property
+    def depleted(self) -> bool:
+        """Whether this node has stopped transmitting for good."""
+        return self.depleted_at is not None
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        wanted = self.base.send(ctx)
+        if not wanted:
+            return []
+        allowed: List[Message] = []
+        for msg in wanted:
+            if msg.cost <= self.remaining:
+                self.spent += msg.cost
+                allowed.append(msg)
+            elif self.depleted_at is None:
+                self.depleted_at = ctx.round_index
+        if self.remaining <= 0 and self.depleted_at is None:
+            self.depleted_at = ctx.round_index
+        return allowed
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        self.base.receive(ctx, inbox)  # listening is free
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return self.base.finished(ctx)
+
+
+def make_energy_factory(
+    base_factory: AlgorithmFactory,
+    budget: float,
+    budgets: Optional[Dict[int, float]] = None,
+) -> AlgorithmFactory:
+    """Engine factory wrapping ``base_factory`` with energy budgets.
+
+    ``budgets`` overrides the uniform ``budget`` per node (heterogeneous
+    deployments: mains-powered heads, battery members).
+    """
+
+    def factory(node: int, k: int, initial: frozenset) -> EnergyLimitedNode:
+        base = base_factory(node, k, initial)
+        b = budgets.get(node, budget) if budgets else budget
+        return EnergyLimitedNode(base, budget=b)
+
+    return factory

@@ -1,0 +1,83 @@
+"""Experiment harness: verified scenarios, runners, tables, figures, sweeps.
+
+The benchmark suite under ``benchmarks/`` is a thin shell over this
+package — every paper table/figure and every extension sweep has one
+function here that regenerates it.
+"""
+
+from .emdg_study import emdg_cluster_study
+from .figures import fig1_example_network, fig2_definition_lattice, fig3_walkthrough
+from .grid import grid_cells, grid_sweep
+from .parallel import parallel_map, parallel_replicate
+from .pareto import dissemination_pareto, pareto_frontier
+from .replication import MetricSummary, replicate, summarize
+from .report import format_records, format_table, records_to_markdown
+from .validation import Lemma2Record, check_lemma2, check_theorem1, check_theorem2
+from .runner import (
+    RunRecord,
+    run_algorithm1,
+    run_algorithm1_stable,
+    run_algorithm2,
+    run_flood_all,
+    run_flood_new,
+    run_gossip,
+    run_kactive,
+    run_klo_interval,
+    run_klo_one,
+    run_netcoding,
+)
+from .scenarios import (
+    Scenario,
+    hinet_interval_scenario,
+    hinet_one_scenario,
+    klo_interval_scenario,
+    one_interval_scenario,
+)
+from .sweeps import sweep_alpha_L, sweep_k, sweep_n, sweep_reaffiliation
+from .tables import analytic_table2, analytic_table3, simulated_table3
+
+__all__ = [
+    "Lemma2Record",
+    "MetricSummary",
+    "RunRecord",
+    "Scenario",
+    "analytic_table2",
+    "analytic_table3",
+    "check_lemma2",
+    "check_theorem1",
+    "check_theorem2",
+    "dissemination_pareto",
+    "emdg_cluster_study",
+    "grid_cells",
+    "grid_sweep",
+    "parallel_map",
+    "parallel_replicate",
+    "pareto_frontier",
+    "replicate",
+    "summarize",
+    "fig1_example_network",
+    "fig2_definition_lattice",
+    "fig3_walkthrough",
+    "format_records",
+    "format_table",
+    "hinet_interval_scenario",
+    "hinet_one_scenario",
+    "klo_interval_scenario",
+    "one_interval_scenario",
+    "records_to_markdown",
+    "run_algorithm1",
+    "run_algorithm1_stable",
+    "run_algorithm2",
+    "run_flood_all",
+    "run_flood_new",
+    "run_gossip",
+    "run_kactive",
+    "run_klo_interval",
+    "run_klo_one",
+    "run_netcoding",
+    "simulated_table3",
+    "sweep_alpha_L",
+    "sweep_k",
+    "sweep_n",
+    "sweep_reaffiliation",
+]

@@ -1,0 +1,95 @@
+"""Time-vs-communication Pareto frontier across the algorithm family.
+
+The paper's comparison is two points (HiNet vs KLO) on two axes.  This
+experiment maps the whole implemented family onto the (completion round,
+tokens sent) plane for one shared scenario and extracts the Pareto
+frontier — the algorithms not dominated on both axes — separating the
+guaranteed designs from the best-effort ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.rng import SeedLike, derive_seed
+from .runner import (
+    RunRecord,
+    run_algorithm2,
+    run_flood_all,
+    run_flood_new,
+    run_gossip,
+    run_kactive,
+    run_klo_one,
+    run_netcoding,
+)
+from .scenarios import hinet_one_scenario
+
+__all__ = ["pareto_frontier", "dissemination_pareto"]
+
+
+def pareto_frontier(points: List[Dict[str, object]],
+                    x: str, y: str) -> List[Dict[str, object]]:
+    """Rows not dominated in (x, y) — smaller is better on both axes.
+
+    Rows with a ``None`` coordinate (never completed) are excluded.
+    Ties are kept: a point equal on both axes to a frontier point is also
+    on the frontier.
+    """
+    usable = [p for p in points if p.get(x) is not None and p.get(y) is not None]
+    frontier = []
+    for p in usable:
+        dominated = any(
+            (q[x] <= p[x] and q[y] < p[y]) or (q[x] < p[x] and q[y] <= p[y])
+            for q in usable
+        )
+        if not dominated:
+            frontier.append(p)
+    return frontier
+
+
+def dissemination_pareto(
+    n0: int = 50, k: int = 5, theta: int = 15, seed: SeedLike = 89
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Run the whole family on one clustered 1-interval scenario.
+
+    Returns ``(all rows, frontier rows)``.  Guaranteed algorithms are
+    billed for their full correctness bound (no omniscient early stop);
+    best-effort ones run to completion — with the distinction labelled,
+    so the frontier is honest about what each point promises.
+    """
+    scenario = hinet_one_scenario(
+        n0=n0, theta=theta, k=k, L=2, seed=derive_seed(seed, "pareto"),
+        rounds=n0 - 1,
+    )
+
+    guaranteed: List[RunRecord] = [
+        run_algorithm2(scenario),
+        run_klo_one(scenario),
+        run_flood_all(scenario, rounds=n0 - 1, stop_when_complete=False),
+    ]
+    best_effort: List[RunRecord] = [
+        run_flood_new(scenario),
+        run_kactive(scenario, A=3),
+        run_gossip(scenario, seed=seed),
+        run_netcoding(scenario, seed=seed),
+    ]
+
+    rows: List[Dict[str, object]] = []
+    for rec, kind in [(r, "guaranteed") for r in guaranteed] + [
+        (r, "best-effort") for r in best_effort
+    ]:
+        rows.append(
+            {
+                "algorithm": rec.algorithm,
+                "kind": kind,
+                "completion": rec.completion_round,
+                "tokens_sent": rec.tokens_sent,
+                "complete": rec.complete,
+            }
+        )
+    frontier = pareto_frontier(
+        [r for r in rows if r["complete"]], x="completion", y="tokens_sent"
+    )
+    for r in rows:
+        r["on_frontier"] = r in frontier
+    return rows, frontier

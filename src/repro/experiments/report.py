@@ -1,0 +1,66 @@
+"""Plain-text and Markdown table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that output aligned and diff-friendly without pulling
+in any formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_records", "records_to_markdown"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        # %g keeps small probabilities (0.02) and ratios (2.47) readable
+        # while rendering integral floats without a trailing ".0"
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_records(records: Sequence[Mapping[str, object]],
+                   columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows; column order from ``columns`` or the first record."""
+    if not records:
+        return "(no rows)"
+    cols = list(columns) if columns else list(records[0].keys())
+    rows = [[rec.get(c) for c in cols] for rec in records]
+    return format_table(cols, rows)
+
+
+def records_to_markdown(records: Sequence[Mapping[str, object]],
+                        columns: Sequence[str] | None = None) -> str:
+    """GitHub-flavoured Markdown table from dict rows."""
+    if not records:
+        return "(no rows)"
+    cols = list(columns) if columns else list(records[0].keys())
+    lines = [
+        "| " + " | ".join(cols) + " |",
+        "| " + " | ".join("---" for _ in cols) + " |",
+    ]
+    for rec in records:
+        lines.append("| " + " | ".join(_fmt(rec.get(c)) for c in cols) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Algorithm runners: execute an algorithm on a scenario for its proven bound.
+
+Each ``run_*`` helper derives the algorithm's round budget from the
+scenario's model parameters exactly as the corresponding theorem
+prescribes, executes the engine, and returns a :class:`RunRecord` pairing
+the measured costs with the analytic prediction — the row format every
+benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Dict, Optional
+
+from ..baselines.flooding import make_flood_all_factory, make_flood_new_factory
+from ..baselines.gossip import make_gossip_factory
+from ..baselines.kactive import make_kactive_factory
+from ..baselines.klo import make_klo_interval_factory, make_klo_one_factory
+from ..baselines.netcoding import make_netcoding_factory
+from ..core.algorithm1 import make_algorithm1_factory
+from ..core.algorithm1_stable import make_algorithm1_stable_factory
+from ..core.algorithm2 import make_algorithm2_factory
+from ..core.bounds import (
+    algorithm1_phases,
+    algorithm1_stable_phases,
+    algorithm2_rounds_1interval,
+    klo_interval_phases,
+)
+from ..sim.engine import RunResult, SynchronousEngine
+from ..sim.rng import SeedLike
+from .scenarios import Scenario
+
+__all__ = [
+    "RunRecord",
+    "run_algorithm1",
+    "run_algorithm1_stable",
+    "run_algorithm2",
+    "run_flood_all",
+    "run_flood_new",
+    "run_gossip",
+    "run_kactive",
+    "run_klo_interval",
+    "run_klo_one",
+    "run_netcoding",
+]
+
+
+@dataclass
+class RunRecord:
+    """Measured outcome of one (algorithm, scenario) execution.
+
+    ``tokens_sent`` and ``completion_round`` are the paper's two cost
+    axes; ``bound_rounds`` is the analytic budget the run was given.
+    """
+
+    algorithm: str
+    scenario: str
+    n: int
+    k: int
+    bound_rounds: int
+    rounds: int
+    completion_round: Optional[int]
+    tokens_sent: int
+    messages_sent: int
+    complete: bool
+    result: RunResult
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for the table formatters."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "k": self.k,
+            "bound_rounds": self.bound_rounds,
+            "completion_round": self.completion_round,
+            "tokens_sent": self.tokens_sent,
+            "complete": self.complete,
+        }
+
+
+def _execute(
+    name: str,
+    scenario: Scenario,
+    factory,
+    max_rounds: int,
+    stop_when_complete: bool = False,
+    record_trace: bool = False,
+    record_knowledge: bool = False,
+) -> RunRecord:
+    engine = SynchronousEngine(
+        record_trace=record_trace, record_knowledge=record_knowledge
+    )
+    result = engine.run(
+        scenario.trace,
+        factory,
+        k=scenario.k,
+        initial=scenario.initial,
+        max_rounds=max_rounds,
+        stop_when_complete=stop_when_complete,
+    )
+    return RunRecord(
+        algorithm=name,
+        scenario=scenario.name,
+        n=scenario.n,
+        k=scenario.k,
+        bound_rounds=max_rounds,
+        rounds=result.metrics.rounds,
+        completion_round=result.metrics.completion_round,
+        tokens_sent=result.metrics.tokens_sent,
+        messages_sent=result.metrics.messages_sent,
+        complete=result.complete,
+        result=result,
+    )
+
+
+def _param(scenario: Scenario, key: str) -> object:
+    if key not in scenario.params:
+        raise KeyError(
+            f"scenario {scenario.name!r} lacks parameter {key!r} "
+            f"(available: {sorted(scenario.params)})"
+        )
+    return scenario.params[key]
+
+
+# --- the paper's algorithms ---------------------------------------------------
+
+def run_algorithm1(scenario: Scenario, strict: bool = False, **kw) -> RunRecord:
+    """Algorithm 1 for Theorem 1's budget: ``M = ⌈θ/α⌉ + 1`` phases of ``T``."""
+    T = int(_param(scenario, "T"))
+    theta = int(_param(scenario, "theta"))
+    alpha = int(_param(scenario, "alpha"))
+    M = algorithm1_phases(theta, alpha)
+    return _execute(
+        "Algorithm 1 (HiNet)",
+        scenario,
+        make_algorithm1_factory(T=T, M=M, strict=strict),
+        max_rounds=M * T,
+        **kw,
+    )
+
+
+def run_algorithm1_stable(scenario: Scenario, **kw) -> RunRecord:
+    """Remark-1 variant: ``M = ⌈|V_h|/α⌉ + 1`` phases (∞-stable head set)."""
+    T = int(_param(scenario, "T"))
+    alpha = int(_param(scenario, "alpha"))
+    num_heads = int(_param(scenario, "num_heads"))
+    M = algorithm1_stable_phases(num_heads, alpha)
+    return _execute(
+        "Algorithm 1 (stable heads)",
+        scenario,
+        make_algorithm1_stable_factory(T=T, M=M),
+        max_rounds=M * T,
+        **kw,
+    )
+
+
+def run_algorithm2(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
+    """Algorithm 2 for Theorem 2's budget (``n − 1`` rounds) by default."""
+    M = algorithm2_rounds_1interval(scenario.n) if rounds is None else rounds
+    return _execute(
+        "Algorithm 2 (HiNet)",
+        scenario,
+        make_algorithm2_factory(M=M),
+        max_rounds=M,
+        **kw,
+    )
+
+
+# --- KLO baselines -------------------------------------------------------------
+
+def run_klo_interval(scenario: Scenario, **kw) -> RunRecord:
+    """KLO under T-interval connectivity: ``⌈n₀/(αL)⌉`` phases of ``T``."""
+    T = int(_param(scenario, "T"))
+    alpha = int(_param(scenario, "alpha"))
+    L = int(_param(scenario, "L"))
+    M = klo_interval_phases(scenario.n, alpha, L)
+    return _execute(
+        "KLO (T-interval)",
+        scenario,
+        make_klo_interval_factory(T=T, M=M),
+        max_rounds=M * T,
+        **kw,
+    )
+
+
+def run_klo_one(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
+    """KLO 1-interval full-broadcast for ``n − 1`` rounds."""
+    M = algorithm2_rounds_1interval(scenario.n) if rounds is None else rounds
+    return _execute(
+        "KLO (1-interval)",
+        scenario,
+        make_klo_one_factory(M=M),
+        max_rounds=M,
+        **kw,
+    )
+
+
+# --- related-work baselines ------------------------------------------------------
+
+def run_flood_all(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
+    """Unconditional flooding, stopped at completion (measurement baseline)."""
+    M = algorithm2_rounds_1interval(scenario.n) if rounds is None else rounds
+    kw.setdefault("stop_when_complete", True)
+    return _execute("Flood (all)", scenario, make_flood_all_factory(), M, **kw)
+
+
+def run_flood_new(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
+    """Epidemic flooding (no delivery guarantee on dynamic graphs)."""
+    M = 4 * scenario.n if rounds is None else rounds
+    return _execute("Flood (new only)", scenario, make_flood_new_factory(), M, **kw)
+
+
+def run_kactive(scenario: Scenario, A: int = 3, rounds: Optional[int] = None, **kw) -> RunRecord:
+    """A-active parsimonious flooding."""
+    M = 4 * scenario.n if rounds is None else rounds
+    return _execute(f"{A}-active flood", scenario, make_kactive_factory(A), M, **kw)
+
+
+def run_gossip(
+    scenario: Scenario,
+    mode: str = "all",
+    rounds: Optional[int] = None,
+    seed: SeedLike = None,
+    **kw,
+) -> RunRecord:
+    """Random push gossip (probabilistic completion)."""
+    M = 8 * scenario.n if rounds is None else rounds
+    kw.setdefault("stop_when_complete", True)
+    return _execute(
+        f"Gossip ({mode})", scenario, make_gossip_factory(seed=seed, mode=mode), M, **kw
+    )
+
+
+def run_netcoding(
+    scenario: Scenario, rounds: Optional[int] = None, seed: SeedLike = None, **kw
+) -> RunRecord:
+    """GF(2) random linear network coding (Haeupler–Karger style)."""
+    M = 4 * scenario.n if rounds is None else rounds
+    kw.setdefault("stop_when_complete", True)
+    return _execute(
+        "Network coding", scenario, make_netcoding_factory(seed=seed), M, **kw
+    )

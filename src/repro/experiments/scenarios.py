@@ -1,0 +1,239 @@
+"""Verified experiment scenarios.
+
+A :class:`Scenario` bundles everything one benchmark run needs: the
+dynamic graph, the token instance, and the model parameters the cost
+formulas consume.  Builders construct the scenario *and verify its model
+membership* with the Definition 2–8 / T-interval checkers, so a benchmark
+can never silently run on an instance outside the algorithm's
+correctness envelope (set ``verify=False`` only in large sweeps after the
+generator itself is property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from ..core.bounds import (
+    algorithm1_phases,
+    algorithm2_rounds_1interval,
+    klo_interval_phases,
+    required_T,
+)
+from ..graphs.generators.hinet import HiNetParams, HiNetScenario, generate_hinet
+from ..graphs.generators.interval import t_interval_trace
+from ..graphs.generators.worstcase import shuffled_path_trace
+from ..graphs.properties import is_hinet, is_T_interval_connected
+from ..graphs.trace import GraphTrace
+from ..sim.messages import initial_assignment
+from ..sim.rng import SeedLike
+
+__all__ = [
+    "Scenario",
+    "hinet_interval_scenario",
+    "hinet_one_scenario",
+    "klo_interval_scenario",
+    "one_interval_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """One runnable experiment instance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label for result tables.
+    trace:
+        The dynamic graph (clustered for HiNet scenarios; the flat
+        baselines simply ignore the role annotations, so both algorithm
+        families can run on the *same* trace — the fairest comparison).
+    k:
+        Token count.
+    initial:
+        Node → initially-known tokens.
+    params:
+        Model parameters: T, L, alpha, theta, and empirical n_m / n_r
+        where available.  Consumed by the cost model and the runners.
+    """
+
+    name: str
+    trace: GraphTrace
+    k: int
+    initial: Mapping[int, FrozenSet[int]]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Node count."""
+        return self.trace.n
+
+
+def hinet_interval_scenario(
+    n0: int = 100,
+    theta: int = 30,
+    k: int = 8,
+    alpha: int = 5,
+    L: int = 2,
+    num_heads: Optional[int] = None,
+    reaffiliation_p: float = 0.1,
+    head_churn: int = 0,
+    churn_p: float = 0.02,
+    assignment: str = "spread",
+    seed: SeedLike = None,
+    verify: bool = True,
+) -> Scenario:
+    """A (k+αL, L)-HiNet instance sized for Algorithm 1's Theorem 1 bound.
+
+    Phase length is ``T = k + α·L`` and the horizon covers
+    ``⌈θ/α⌉ + 1`` phases — exactly the paper's correctness envelope.
+    Defaults reproduce Table 3's parameterisation.
+    """
+    T = required_T(k, alpha, L)
+    M = algorithm1_phases(theta, alpha)
+    heads = theta if num_heads is None else num_heads
+    params = HiNetParams(
+        n=n0,
+        theta=theta,
+        num_heads=heads,
+        T=T,
+        phases=M,
+        L=L,
+        reaffiliation_p=reaffiliation_p,
+        head_churn=head_churn,
+        churn_p=churn_p,
+    )
+    scen = generate_hinet(params, seed=seed)
+    if verify and not is_hinet(scen.trace, T, L):
+        raise AssertionError("generated trace failed (T, L)-HiNet verification")
+    return Scenario(
+        name=f"({T},{L})-HiNet n={n0} theta={theta} k={k}",
+        trace=scen.trace,
+        k=k,
+        initial=initial_assignment(k, n0, mode=assignment),
+        params={
+            "T": T,
+            "L": L,
+            "alpha": alpha,
+            "theta": theta,
+            "phases": M,
+            "num_heads": heads,
+            "nm": scen.mean_members,
+            "nr": scen.empirical_nr(),
+            "generator": scen,
+        },
+    )
+
+
+def hinet_one_scenario(
+    n0: int = 100,
+    theta: int = 30,
+    k: int = 8,
+    L: int = 2,
+    num_heads: Optional[int] = None,
+    reaffiliation_p: float = 0.3,
+    head_churn: int = 2,
+    churn_p: float = 0.02,
+    rotate_gateways: bool = False,
+    rounds: Optional[int] = None,
+    assignment: str = "spread",
+    seed: SeedLike = None,
+    verify: bool = True,
+) -> Scenario:
+    """A (1, L)-HiNet instance for Algorithm 2: hierarchy may change every round.
+
+    The horizon defaults to Theorem 2's ``n − 1`` rounds.  Higher default
+    re-affiliation and head churn reflect the paper's "dynamics is higher"
+    assumption for this regime.  Note ``head_churn`` only has an effect
+    when ``num_heads < theta`` (there must be inactive pool members to
+    rotate in).
+    """
+    M = algorithm2_rounds_1interval(n0) if rounds is None else rounds
+    heads = theta if num_heads is None else num_heads
+    params = HiNetParams(
+        n=n0,
+        theta=theta,
+        num_heads=heads,
+        T=1,
+        phases=M,
+        L=L,
+        reaffiliation_p=reaffiliation_p,
+        head_churn=head_churn,
+        churn_p=churn_p,
+        rotate_gateways=rotate_gateways,
+    )
+    scen = generate_hinet(params, seed=seed)
+    if verify:
+        if not is_hinet(scen.trace, 1, L):
+            raise AssertionError("generated trace failed (1, L)-HiNet verification")
+        if not is_T_interval_connected(scen.trace, 1):
+            raise AssertionError("generated trace is not 1-interval connected")
+    return Scenario(
+        name=f"(1,{L})-HiNet n={n0} theta={theta} k={k}",
+        trace=scen.trace,
+        k=k,
+        initial=initial_assignment(k, n0, mode=assignment),
+        params={
+            "T": 1,
+            "L": L,
+            "theta": theta,
+            "rounds": M,
+            "num_heads": heads,
+            "nm": scen.mean_members,
+            "nr": scen.empirical_nr(),
+            "generator": scen,
+        },
+    )
+
+
+def klo_interval_scenario(
+    n0: int = 100,
+    k: int = 8,
+    alpha: int = 5,
+    L: int = 2,
+    churn_p: float = 0.05,
+    assignment: str = "spread",
+    seed: SeedLike = None,
+    verify: bool = True,
+) -> Scenario:
+    """A flat (k+αL)-interval connected instance sized for the KLO baseline.
+
+    Horizon: ``⌈n₀/(αL)⌉`` phases of ``T = k + αL`` rounds, the paper's
+    Table 2 accounting for reference [7].
+    """
+    T = required_T(k, alpha, L)
+    M = klo_interval_phases(n0, alpha, L)
+    trace = t_interval_trace(n0, T, rounds=T * M, churn_p=churn_p, seed=seed)
+    if verify and not is_T_interval_connected(trace, T, windows="blocks"):
+        raise AssertionError("generated trace failed T-interval verification")
+    return Scenario(
+        name=f"{T}-interval connected n={n0} k={k}",
+        trace=trace,
+        k=k,
+        initial=initial_assignment(k, n0, mode=assignment),
+        params={"T": T, "L": L, "alpha": alpha, "phases": M},
+    )
+
+
+def one_interval_scenario(
+    n0: int = 100,
+    k: int = 8,
+    rounds: Optional[int] = None,
+    assignment: str = "spread",
+    seed: SeedLike = None,
+    verify: bool = True,
+) -> Scenario:
+    """A flat worst-case 1-interval connected instance (fresh random path
+    each round) for the 1-interval KLO baseline and the flooding family."""
+    M = algorithm2_rounds_1interval(n0) if rounds is None else rounds
+    trace = shuffled_path_trace(n0, rounds=M, seed=seed)
+    if verify and not is_T_interval_connected(trace, 1):
+        raise AssertionError("generated trace is not 1-interval connected")
+    return Scenario(
+        name=f"1-interval worst case n={n0} k={k}",
+        trace=trace,
+        k=k,
+        initial=initial_assignment(k, n0, mode=assignment),
+        params={"T": 1, "rounds": M},
+    )

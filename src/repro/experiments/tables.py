@@ -1,0 +1,106 @@
+"""Reproduction of the paper's Tables 2 and 3.
+
+Two layers:
+
+* **Analytic** — evaluate the Table 2 closed forms (exact reproduction;
+  Tables 2 and 3 in the paper are analytical, not measured).
+* **Simulated** — run the four algorithms on verified generated scenarios
+  with the same parameters and report measured rounds / tokens next to
+  the predictions.  The check is on *shape*: HiNet ≪ KLO in tokens at
+  similar-or-better rounds.  Fairness note: each model pair (Algorithm 1
+  vs T-interval KLO; Algorithm 2 vs 1-interval KLO) runs on the *same*
+  trace — the flat baselines simply ignore the role annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.analysis import (
+    TABLE3_PAPER,
+    TABLE3_PARAMS,
+    TABLE3_PARAMS_ONE,
+    CostParams,
+    table2,
+)
+from ..sim.rng import SeedLike, derive_seed
+from .runner import (
+    RunRecord,
+    run_algorithm1,
+    run_algorithm2,
+    run_klo_interval,
+    run_klo_one,
+)
+from .scenarios import hinet_interval_scenario, hinet_one_scenario
+
+__all__ = [
+    "analytic_table2",
+    "analytic_table3",
+    "simulated_table3",
+]
+
+
+def analytic_table2(
+    params: CostParams, params_one: Optional[CostParams] = None
+) -> List[Dict[str, object]]:
+    """Table 2 evaluated at arbitrary parameters (thin re-export for the bench)."""
+    return table2(params, params_one)
+
+
+def analytic_table3() -> List[Dict[str, object]]:
+    """Table 3: formulas at the paper's parameters, annotated with the
+    published values and the deviation (zero on three rows; the fourth
+    carries the paper's 960-token arithmetic slip — see EXPERIMENTS.md)."""
+    rows = table2(TABLE3_PARAMS, TABLE3_PARAMS_ONE)
+    for row in rows:
+        published = TABLE3_PAPER[str(row["model"])]
+        row["paper_time"] = published["time_rounds"]
+        row["paper_comm"] = published["comm_tokens"]
+        row["comm_deviation"] = float(row["comm_tokens"]) - published["comm_tokens"]
+    return rows
+
+
+def simulated_table3(seed: SeedLike = 2013, n0: int = 100) -> List[Dict[str, object]]:
+    """Measured counterpart of Table 3 on verified generated scenarios.
+
+    Returns one row per Table 3 line with measured completion round and
+    tokens sent.  Scenario parameters follow the paper: θ = 0.3·n₀ (30 at
+    the paper's n₀=100 — the ratio, not the absolute count, carries the
+    advantage: the cost model itself shows HiNet *losing* when θ/n₀ grows
+    too large), k=8, α=5, L=2; member re-affiliation pressure is higher in
+    the (1, L) scenario.
+    """
+    k, alpha, L = 8, 5, 2
+    theta = max(round(0.3 * n0), alpha)
+
+    interval = hinet_interval_scenario(
+        n0=n0, theta=theta, k=k, alpha=alpha, L=L,
+        reaffiliation_p=0.1, churn_p=0.02, seed=derive_seed(seed, "interval"),
+    )
+    one = hinet_one_scenario(
+        n0=n0, theta=theta, k=k, L=L,
+        reaffiliation_p=0.3, head_churn=2, churn_p=0.02,
+        seed=derive_seed(seed, "one"),
+    )
+
+    records: List[RunRecord] = [
+        run_klo_interval(interval),
+        run_algorithm1(interval),
+        run_klo_one(one),
+        run_algorithm2(one),
+    ]
+
+    analytic = analytic_table3()
+    rows: List[Dict[str, object]] = []
+    for rec, ana in zip(records, analytic):
+        rows.append(
+            {
+                "model": ana["model"],
+                "analytic_time": ana["time_rounds"],
+                "measured_completion": rec.completion_round,
+                "analytic_comm": ana["comm_tokens"],
+                "measured_comm": rec.tokens_sent,
+                "complete": rec.complete,
+            }
+        )
+    return rows

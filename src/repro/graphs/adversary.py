@@ -1,0 +1,104 @@
+"""Adaptive adversaries: topology chosen *after* seeing node knowledge.
+
+The dynamic-network lower-bound literature (KLO §1.3 and follow-ups)
+distinguishes the *oblivious* adversary — the whole edge schedule fixed
+in advance, which every :class:`~repro.graphs.trace.GraphTrace` models —
+from the *adaptive* adversary that inspects protocol state before
+committing to round r's graph.  Lower bounds for token dissemination are
+proved against the adaptive kind.
+
+The engine supports adaptivity through a second protocol hook: if the
+network object exposes ``adaptive_snapshot(r, knowledge)``, the engine
+calls it each round with every node's current token set instead of
+``snapshot(r)``.  Note the information model: the adversary sees state,
+the *nodes* don't see the adversary — matching the standard model.
+
+Two concrete adversaries:
+
+* :class:`KnowledgeClusteringAdversary` — each round builds a Hamiltonian
+  path that chains nodes *with identical token sets* consecutively, so
+  information can only cross at the few junctions between knowledge
+  classes.  This is the classic slow-progress construction: per round the
+  number of new (node, token) pairs is bounded by the number of class
+  junctions, forcing Θ(n) rounds per token against flooding.
+* :class:`QuarantineAdversary` — pushes the best-informed nodes to the
+  far end of a path behind the least-informed ones, maximising the hop
+  distance between knowledge and ignorance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping
+
+from ..sim.rng import SeedLike, make_rng
+from ..sim.topology import Snapshot
+
+__all__ = ["KnowledgeClusteringAdversary", "QuarantineAdversary"]
+
+Knowledge = Mapping[int, FrozenSet[int]]
+
+
+class _AdaptiveBase:
+    """Common plumbing: size, 1-interval paths, deterministic tie-breaks."""
+
+    def __init__(self, n: int, seed: SeedLike = None) -> None:
+        if n < 2:
+            raise ValueError(f"need at least two nodes, got {n}")
+        self.n = n
+        self._rng = make_rng(seed)
+        self.rounds_served = 0
+
+    # --- DynamicNetwork protocol ------------------------------------------
+
+    def snapshot(self, r: int) -> Snapshot:
+        """Oblivious access is not meaningful for an adaptive adversary."""
+        raise RuntimeError(
+            "adaptive adversary requires the engine's adaptive_snapshot hook"
+        )
+
+    def adaptive_snapshot(self, r: int, knowledge: Knowledge) -> Snapshot:
+        """Commit to round ``r``'s graph given current node knowledge."""
+        order = self._order(r, knowledge)
+        self.rounds_served += 1
+        edges = [(order[i], order[i + 1]) for i in range(self.n - 1)]
+        return Snapshot.from_edges(self.n, edges)
+
+    # --- strategy ----------------------------------------------------------
+
+    def _order(self, r: int, knowledge: Knowledge) -> List[int]:
+        raise NotImplementedError
+
+
+class KnowledgeClusteringAdversary(_AdaptiveBase):
+    """Chain equal-knowledge nodes consecutively (see module docstring)."""
+
+    def _order(self, r: int, knowledge: Knowledge) -> List[int]:
+        groups: Dict[FrozenSet[int], List[int]] = {}
+        for v in range(self.n):
+            groups.setdefault(frozenset(knowledge.get(v, frozenset())), []).append(v)
+        # large classes first: junctions sit between the biggest blocks,
+        # shuffled within a class so no node id is structurally favoured
+        ordered_classes = sorted(
+            groups.values(), key=lambda g: (-len(g), min(g))
+        )
+        order: List[int] = []
+        for cls in ordered_classes:
+            cls = list(cls)
+            self._rng.shuffle(cls)
+            order.extend(int(v) for v in cls)
+        return order
+
+
+class QuarantineAdversary(_AdaptiveBase):
+    """Path sorted by ascending knowledge; the informed end is maximally far.
+
+    Against single-token flooding from one source this recreates the
+    rotating-star effect by distance: the token must traverse the entire
+    ignorance gradient, one hop per round.
+    """
+
+    def _order(self, r: int, knowledge: Knowledge) -> List[int]:
+        return sorted(
+            range(self.n),
+            key=lambda v: (len(knowledge.get(v, frozenset())), v),
+        )

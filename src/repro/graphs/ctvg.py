@@ -1,0 +1,127 @@
+"""The Cluster-based Time-Varying Graph (CTVG) formalism.
+
+Definition 1 of the paper extends the TVG
+:math:`G = (V, E, \\Gamma, \\rho, \\zeta)` with two maps describing the
+cluster hierarchy over time:
+
+* :math:`C : V \\times \\Gamma \\to \\{h, g, m\\}` — each node's status
+  (cluster head / gateway / member), and
+* :math:`I : V \\times \\Gamma \\to N` — the id of the cluster the node
+  belongs to (the head's node id serves as the cluster id).
+
+:class:`CTVG` wraps a clustered :class:`~repro.graphs.trace.GraphTrace`
+and exposes these maps plus the derived sets used in Definitions 2–8:
+the per-round head set :math:`V_h^i` and per-cluster member sets
+:math:`M_k^i`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..roles import Role
+from .trace import GraphTrace
+from .tvg import TVG
+
+__all__ = ["CTVG"]
+
+
+class CTVG(TVG):
+    """Formal CTVG view over a clustered trace.
+
+    Raises ``ValueError`` at construction if any recorded snapshot lacks
+    hierarchy information or violates the structural invariants (a member
+    must be a neighbour of its head; a head's cluster id is itself).
+    """
+
+    def __init__(self, trace: GraphTrace, latency: int = 1, validate: bool = True) -> None:
+        if not trace.clustered:
+            raise ValueError("CTVG requires hierarchy info on every snapshot")
+        if validate:
+            trace.validate_hierarchy()
+        super().__init__(trace, latency=latency)
+
+    # -- the C and I maps ---------------------------------------------------
+
+    def C(self, v: int, t: int) -> Role:
+        """Node status map: the role of ``v`` at round ``t``."""
+        role = self.trace.snapshot(t).role(v)
+        assert role is not None  # guaranteed clustered
+        return role
+
+    def I(self, v: int, t: int) -> Optional[int]:
+        """Cluster membership map: the cluster id of ``v`` at round ``t``."""
+        return self.trace.snapshot(t).head(v)
+
+    # -- derived sets (Section III-C notation) --------------------------------
+
+    def head_set(self, t: int) -> FrozenSet[int]:
+        """:math:`V_h^t` — the set of cluster heads in round ``t``."""
+        return self.trace.snapshot(t).heads()
+
+    def members(self, cluster: int, t: int) -> FrozenSet[int]:
+        """:math:`M_{cluster}^t` — nodes whose ``I`` equals ``cluster``."""
+        return self.trace.snapshot(t).cluster_members(cluster)
+
+    def clusters(self, t: int) -> Dict[int, FrozenSet[int]]:
+        """All clusters of round ``t`` as ``{head: member set}``."""
+        return self.trace.snapshot(t).clusters()
+
+    def gateways(self, t: int) -> FrozenSet[int]:
+        """Nodes with gateway status in round ``t``."""
+        snap = self.trace.snapshot(t)
+        return frozenset(
+            v for v in range(snap.n) if snap.roles[v] is Role.GATEWAY
+        )
+
+    def ordinary_members(self, t: int) -> FrozenSet[int]:
+        """Nodes with plain member status (``m``) in round ``t``."""
+        snap = self.trace.snapshot(t)
+        return frozenset(
+            v for v in range(snap.n) if snap.roles[v] is Role.MEMBER
+        )
+
+    # -- hierarchy change tracking --------------------------------------------
+
+    def head_changes(self, v: int, upto: Optional[int] = None) -> int:
+        """Number of re-affiliations node ``v`` performs in the trace.
+
+        Counts rounds ``t >= 1`` where ``I(v, t)`` differs from
+        ``I(v, t-1)`` and is not ``None`` (joining a new cluster).  This is
+        the per-node quantity whose average over members is the paper's
+        :math:`n_r`.
+        """
+        stop = self.trace.horizon if upto is None else upto
+        changes = 0
+        prev = self.I(v, 0)
+        for t in range(1, stop):
+            cur = self.I(v, t)
+            if cur is not None and cur != prev:
+                changes += 1
+            prev = cur
+        return changes
+
+    def mean_reaffiliations(self) -> float:
+        """Average re-affiliation count over nodes that were ever plain members.
+
+        The paper's :math:`n_r` (Table 1: "the average number of
+        re-affiliations a cluster member conducts").
+        """
+        member_ever = set()
+        for t in range(self.trace.horizon):
+            member_ever |= self.ordinary_members(t)
+        if not member_ever:
+            return 0.0
+        return sum(self.head_changes(v) for v in member_ever) / len(member_ever)
+
+    def mean_member_count(self) -> float:
+        """Average number of plain-member nodes per round (the paper's :math:`n_m`)."""
+        h = self.trace.horizon
+        return sum(len(self.ordinary_members(t)) for t in range(h)) / h
+
+    def distinct_heads(self) -> FrozenSet[int]:
+        """All nodes that ever act as head — an empirical lower bound on θ."""
+        out: set = set()
+        for t in range(self.trace.horizon):
+            out |= self.head_set(t)
+        return frozenset(out)

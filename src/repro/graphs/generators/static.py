@@ -1,0 +1,98 @@
+"""Static topology builders.
+
+These return :class:`networkx.Graph` objects on nodes ``0 .. n-1`` and are
+used three ways: as building blocks for dynamic generators, as degenerate
+"T = ∞" scenarios, and as the geometry under the clustering algorithms'
+unit tests.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ...sim.rng import SeedLike, make_rng
+from ...sim.topology import Snapshot
+from ..trace import GraphTrace
+
+__all__ = [
+    "complete_graph",
+    "erdos_renyi",
+    "grid_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_spanning_tree",
+    "ring_graph",
+    "static_trace",
+]
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A path 0–1–…–(n-1): diameter n-1, the slowest connected topology."""
+    return nx.path_graph(n)
+
+
+def ring_graph(n: int) -> nx.Graph:
+    """A cycle on ``n`` nodes (n >= 3)."""
+    if n < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {n}")
+    return nx.cycle_graph(n)
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The complete graph — one-round dissemination for any algorithm."""
+    return nx.complete_graph(n)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A rows × cols grid relabelled onto ``0 .. rows*cols - 1`` (row-major)."""
+    g = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    return nx.relabel_nodes(g, mapping)
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> nx.Graph:
+    """G(n, p) with an explicit seed (may be disconnected)."""
+    rng = make_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    if n < 2 or p <= 0:
+        return g
+    upper = np.triu_indices(n, k=1)
+    mask = rng.random(len(upper[0])) < p
+    g.add_edges_from(zip(upper[0][mask].tolist(), upper[1][mask].tolist()))
+    return g
+
+
+def random_spanning_tree(n: int, seed: SeedLike = None) -> nx.Graph:
+    """A uniform-ish random labelled tree on ``n`` nodes (random Prüfer sequence)."""
+    rng = make_rng(seed)
+    if n <= 0:
+        raise ValueError(f"need at least one node, got {n}")
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    if n == 2:
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        return g
+    prufer = rng.integers(0, n, size=n - 2).tolist()
+    return nx.from_prufer_sequence(prufer)
+
+
+def random_connected_graph(n: int, p: float, seed: SeedLike = None) -> nx.Graph:
+    """G(n, p) forced connected by overlaying a random spanning tree.
+
+    Used where a generator must guarantee 1-interval connectivity but still
+    wants G(n, p)-like density.
+    """
+    rng = make_rng(seed)
+    g = erdos_renyi(n, p, seed=rng)
+    g.add_edges_from(random_spanning_tree(n, seed=rng).edges())
+    return g
+
+
+def static_trace(graph: nx.Graph, rounds: int = 1, extend: str = "hold") -> GraphTrace:
+    """Wrap a static graph as a (trivially ∞-interval-connected) trace."""
+    return GraphTrace.constant(Snapshot.from_networkx(graph), rounds=rounds, extend=extend)

@@ -1,0 +1,94 @@
+"""Worst-case 1-interval connected adversaries.
+
+These implement the adversarial dynamics used in the dynamic-network lower
+bound literature: each round the graph is connected (so Theorem 2-style
+correctness holds), but the adversary rewires it completely to slow
+dissemination as much as a structure-oblivious adversary can.
+
+* :func:`shuffled_path_trace` — each round is a fresh uniformly random
+  Hamiltonian path.  A path is the connected graph with the fewest edges
+  and largest diameter, so token progress is minimal per round; this is the
+  classic hard instance for flooding-style algorithms.
+* :func:`rotating_star_trace` — each round is a star whose centre rotates
+  deterministically.  Every node is within 2 hops, yet the churn forces
+  re-uploads in clustered algorithms; useful as a high-re-affiliation
+  stress case.
+* :func:`bottleneck_trace` — two cliques joined by a single bridge whose
+  endpoint rotates; dissemination must squeeze through one edge per round.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+
+from ...sim.rng import SeedLike, make_rng
+from ...sim.topology import Snapshot
+from ..trace import GraphTrace
+
+__all__ = ["bottleneck_trace", "rotating_star_trace", "shuffled_path_trace"]
+
+
+def shuffled_path_trace(n: int, rounds: int, seed: SeedLike = None) -> GraphTrace:
+    """Every round an independent uniformly random path over all ``n`` nodes."""
+    if n < 2:
+        raise ValueError(f"need at least two nodes, got {n}")
+    if rounds < 1:
+        raise ValueError(f"need at least one round, got {rounds}")
+    rng = make_rng(seed)
+    snaps: List[Snapshot] = []
+    for _ in range(rounds):
+        order = rng.permutation(n)
+        edges = [(int(order[i]), int(order[i + 1])) for i in range(n - 1)]
+        snaps.append(Snapshot.from_edges(n, edges))
+    return GraphTrace(snapshots=snaps, extend="hold")
+
+
+def rotating_star_trace(n: int, rounds: int, stride: int = 1) -> GraphTrace:
+    """Every round a star centred on node ``(r * stride) mod n``."""
+    if n < 2:
+        raise ValueError(f"need at least two nodes, got {n}")
+    if rounds < 1:
+        raise ValueError(f"need at least one round, got {rounds}")
+    if stride < 0:
+        raise ValueError(f"stride must be non-negative, got {stride}")
+    snaps: List[Snapshot] = []
+    for r in range(rounds):
+        centre = (r * stride) % n
+        edges = [(centre, v) for v in range(n) if v != centre]
+        snaps.append(Snapshot.from_edges(n, edges))
+    return GraphTrace(snapshots=snaps, extend="hold")
+
+
+def bottleneck_trace(n: int, rounds: int, seed: SeedLike = None) -> GraphTrace:
+    """Two cliques of ⌈n/2⌉ and ⌊n/2⌋ nodes joined by one random bridge per round.
+
+    All information flowing between the halves must cross the single bridge
+    edge, whose endpoints are re-chosen uniformly each round — a moving
+    cut of capacity one.
+    """
+    if n < 4:
+        raise ValueError(f"need at least four nodes for two cliques, got {n}")
+    if rounds < 1:
+        raise ValueError(f"need at least one round, got {rounds}")
+    rng = make_rng(seed)
+    half = n // 2
+    left = list(range(half))
+    right = list(range(half, n))
+    base = nx.Graph()
+    base.add_nodes_from(range(n))
+    base.add_edges_from(nx.complete_graph(len(left)).edges())
+    base.add_edges_from(
+        (right[i], right[j])
+        for i in range(len(right))
+        for j in range(i + 1, len(right))
+    )
+    snaps: List[Snapshot] = []
+    for _ in range(rounds):
+        g = base.copy()
+        u = int(rng.choice(left))
+        v = int(rng.choice(right))
+        g.add_edge(u, v)
+        snaps.append(Snapshot.from_networkx(g))
+    return GraphTrace(snapshots=snaps, extend="hold")

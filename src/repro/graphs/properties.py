@@ -1,0 +1,338 @@
+"""Machine-checkable versions of the paper's stability definitions.
+
+The paper's Section III defines a lattice of properties (Definitions 2–8,
+Figure 2) describing how stable a cluster hierarchy is over time, plus it
+builds on Kuhn–Lynch–Oshman's *T-interval connectivity*.  Scenario
+generators in this library are always paired with these checkers so that
+every benchmark runs on a *verified* instance of the claimed model class.
+
+Window semantics
+----------------
+Each definition quantifies over intervals of ``T`` consecutive rounds.  Two
+interpretations are supported:
+
+* ``windows="blocks"`` — the aligned phases ``[0,T), [T,2T), …`` that the
+  paper's algorithms actually operate on (a phase boundary is where
+  hierarchies may change and TS sets are reset).  This is the default and
+  what the generators guarantee.
+* ``windows="sliding"`` — *every* window ``[i, i+T)``, the stricter reading
+  used in KLO's original T-interval connectivity definition.
+
+Sliding implies blocks for the same ``T``; the property tests assert this.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from ..roles import Role
+from ..sim.topology import Snapshot
+from .trace import GraphTrace
+
+__all__ = [
+    "definition_report",
+    "head_hop_distance",
+    "head_set_stable",
+    "cluster_stable",
+    "hierarchy_stable",
+    "head_connectivity_witness",
+    "head_connected",
+    "is_hinet",
+    "is_T_interval_connected",
+    "is_T_L_head_connected",
+    "max_block_stable_hierarchy",
+    "max_interval_connectivity",
+    "realized_hop_bound",
+    "windows_of",
+]
+
+
+# ---------------------------------------------------------------------------
+# window machinery
+# ---------------------------------------------------------------------------
+
+def windows_of(horizon: int, T: int, windows: str = "blocks") -> Iterator[Tuple[int, int]]:
+    """Yield the ``[start, stop)`` intervals a ``T``-interval property quantifies over.
+
+    For ``"blocks"``, a trailing partial block (shorter than ``T``) is also
+    yielded and must satisfy the property — a scenario claiming phase
+    structure cannot misbehave in its final partial phase.
+    """
+    if T < 1:
+        raise ValueError(f"T must be >= 1, got {T}")
+    if windows == "blocks":
+        start = 0
+        while start < horizon:
+            yield (start, min(start + T, horizon))
+            start += T
+    elif windows == "sliding":
+        if horizon <= T:
+            yield (0, horizon)
+        else:
+            for start in range(horizon - T + 1):
+                yield (start, start + T)
+    else:
+        raise ValueError(f"windows must be 'blocks' or 'sliding', got {windows!r}")
+
+
+def _hierarchy_key(snap: Snapshot) -> Tuple:
+    """Comparable summary of a snapshot's hierarchy (roles + memberships)."""
+    snap._require_clustered()
+    return (snap.roles, snap.head_of)
+
+
+def _intersection_graph(trace: GraphTrace, start: int, stop: int) -> nx.Graph:
+    """Edges present in every round of ``[start, stop)`` (the Υ universe)."""
+    common: Optional[FrozenSet[Tuple[int, int]]] = None
+    for r in range(start, stop):
+        edges = trace.snapshot(r).edge_set()
+        common = edges if common is None else common & edges
+        if not common:
+            break
+    g = nx.Graph()
+    g.add_nodes_from(range(trace.n))
+    g.add_edges_from(common or ())
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Definitions 2-4: stability of the hierarchy
+# ---------------------------------------------------------------------------
+
+def head_set_stable(trace: GraphTrace, T: int, windows: str = "blocks") -> bool:
+    """Definition 2 (:math:`T_s`): the head set is constant on every T-interval."""
+    for start, stop in windows_of(trace.horizon, T, windows):
+        first = trace.snapshot(start).heads()
+        for r in range(start + 1, stop):
+            if trace.snapshot(r).heads() != first:
+                return False
+    return True
+
+
+def cluster_stable(trace: GraphTrace, cluster: int, T: int, windows: str = "blocks") -> bool:
+    """Definition 3 (:math:`T_c`): cluster ``cluster``'s member set is constant on every T-interval.
+
+    A round in which the cluster does not exist contributes the empty set,
+    so a cluster that disappears mid-interval is *not* stable.
+    """
+    for start, stop in windows_of(trace.horizon, T, windows):
+        first = trace.snapshot(start).cluster_members(cluster)
+        for r in range(start + 1, stop):
+            if trace.snapshot(r).cluster_members(cluster) != first:
+                return False
+    return True
+
+
+def hierarchy_stable(trace: GraphTrace, T: int, windows: str = "blocks") -> bool:
+    """Definition 4 (:math:`T_h`): head set *and* every cluster constant on every T-interval.
+
+    Checked directly on the full (roles, membership) maps, which is
+    equivalent to Definition 2 plus Definition 3 for all clusters.
+    """
+    for start, stop in windows_of(trace.horizon, T, windows):
+        first = _hierarchy_key(trace.snapshot(start))
+        for r in range(start + 1, stop):
+            if _hierarchy_key(trace.snapshot(r)) != first:
+                return False
+    return True
+
+
+def max_block_stable_hierarchy(trace: GraphTrace) -> int:
+    """Largest ``T`` for which :func:`hierarchy_stable` holds with aligned blocks.
+
+    The hierarchy may only change at rounds that are multiples of ``T``, so
+    the answer is the gcd of all change rounds; a trace that never changes
+    is stable for any ``T`` and we return its horizon.
+    """
+    changes: List[int] = []
+    prev = _hierarchy_key(trace.snapshot(0))
+    for r in range(1, trace.horizon):
+        cur = _hierarchy_key(trace.snapshot(r))
+        if cur != prev:
+            changes.append(r)
+        prev = cur
+    if not changes:
+        return trace.horizon
+    g = 0
+    for c in changes:
+        g = gcd(g, c)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Definitions 5-7: connectivity among cluster heads
+# ---------------------------------------------------------------------------
+
+def head_connectivity_witness(
+    trace: GraphTrace, start: int, stop: int
+) -> Optional[nx.Graph]:
+    """Definition 5 witness: a connected Υ ⊆ every :math:`G_j`, ``j ∈ [start, stop)``,
+    spanning the head set of round ``start``.
+
+    Returns the connected component of the window's intersection graph that
+    contains all those heads (a maximal valid Υ), or ``None`` if no valid Υ
+    exists.  An empty or singleton head set is trivially connected.
+    """
+    heads = trace.snapshot(start).heads()
+    inter = _intersection_graph(trace, start, stop)
+    if len(heads) <= 1:
+        return inter.subgraph(heads).copy()
+    it = iter(heads)
+    comp = nx.node_connected_component(inter, next(it))
+    if not heads <= comp:
+        return None
+    return inter.subgraph(comp).copy()
+
+
+def head_connected(trace: GraphTrace, T: int, windows: str = "blocks") -> bool:
+    """Definition 5 (:math:`T_d`): every T-interval admits a stable connected
+    subgraph spanning that interval's head set."""
+    for start, stop in windows_of(trace.horizon, T, windows):
+        if head_connectivity_witness(trace, start, stop) is None:
+            return False
+    return True
+
+
+def head_hop_distance(graph: nx.Graph, heads: FrozenSet[int]) -> Optional[int]:
+    """Definition 6: the L-hop connectivity parameter of ``heads`` in ``graph``.
+
+    The smallest ``L`` such that, for every bipartition of the head set,
+    some cross pair is within distance ``L`` — equivalently, the largest
+    edge weight on a minimum spanning tree of the head-to-head shortest-path
+    metric (a bottleneck value).  Returns ``None`` if some pair of heads is
+    disconnected in ``graph``; ``0`` for zero or one head.
+    """
+    heads = frozenset(heads)
+    if len(heads) <= 1:
+        return 0
+    # BFS from each head over `graph`; collect pairwise distances.
+    dist: Dict[int, Dict[int, int]] = {}
+    for h in heads:
+        if h not in graph:
+            return None
+        lengths = nx.single_source_shortest_path_length(graph, h)
+        dist[h] = {g: d for g, d in lengths.items() if g in heads}
+    aux = nx.Graph()
+    aux.add_nodes_from(heads)
+    for h in heads:
+        for g, d in dist[h].items():
+            if g != h:
+                aux.add_edge(h, g, weight=d)
+    if not nx.is_connected(aux):
+        return None
+    mst = nx.minimum_spanning_tree(aux, weight="weight")
+    return max(d for _, _, d in mst.edges(data="weight"))
+
+
+def realized_hop_bound(trace: GraphTrace, T: int, windows: str = "blocks") -> Optional[int]:
+    """The smallest ``L`` such that the trace has T-interval *L-hop* head
+    connectivity (Definition 7), measured inside each window's witness Υ.
+
+    ``None`` if some window has no witness at all (Definition 5 fails).
+    """
+    worst = 0
+    for start, stop in windows_of(trace.horizon, T, windows):
+        witness = head_connectivity_witness(trace, start, stop)
+        if witness is None:
+            return None
+        heads = trace.snapshot(start).heads()
+        hop = head_hop_distance(witness, heads)
+        if hop is None:  # cannot happen if witness spans heads, kept defensive
+            return None
+        worst = max(worst, hop)
+    return worst
+
+
+def is_T_L_head_connected(
+    trace: GraphTrace, T: int, L: int, windows: str = "blocks"
+) -> bool:
+    """Definition 7: T-interval head connectivity with hop bound ``L`` in Υ."""
+    bound = realized_hop_bound(trace, T, windows)
+    return bound is not None and bound <= L
+
+
+# ---------------------------------------------------------------------------
+# Definition 8 and the KLO baseline model
+# ---------------------------------------------------------------------------
+
+def is_hinet(trace: GraphTrace, T: int, L: int, windows: str = "blocks") -> bool:
+    """Definition 8: the trace is a (T, L)-HiNet — T-interval stable hierarchy
+    (Definition 4) plus T-interval L-hop cluster head connectivity
+    (Definition 7)."""
+    return hierarchy_stable(trace, T, windows) and is_T_L_head_connected(
+        trace, T, L, windows
+    )
+
+
+def is_T_interval_connected(trace: GraphTrace, T: int, windows: str = "sliding") -> bool:
+    """KLO's T-interval connectivity: every T-interval has a *stable*
+    connected spanning subgraph (the intersection graph spans all nodes).
+
+    Defaults to sliding windows, KLO's original quantification.
+    """
+    n = trace.n
+    for start, stop in windows_of(trace.horizon, T, windows):
+        inter = _intersection_graph(trace, start, stop)
+        if n > 1 and not nx.is_connected(inter):
+            return False
+    return True
+
+
+def max_interval_connectivity(trace: GraphTrace, windows: str = "sliding") -> int:
+    """Largest ``T`` for which :func:`is_T_interval_connected` holds (0 if
+    even single rounds are disconnected)."""
+    if not is_T_interval_connected(trace, 1, windows):
+        return 0
+    best = 1
+    for T in range(2, trace.horizon + 1):
+        if is_T_interval_connected(trace, T, windows):
+            best = T
+        else:
+            break
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: the definition lattice
+# ---------------------------------------------------------------------------
+
+def definition_report(
+    trace: GraphTrace, T: int, L: int, windows: str = "blocks"
+) -> Dict[str, bool]:
+    """Evaluate every definition of Section III on one trace.
+
+    The returned dict keys mirror Figure 2's tree:
+
+    - ``"Ts"``   Definition 2, T-interval stable head set
+    - ``"Tc"``   Definition 3, for *all* clusters ever observed
+    - ``"Th"``   Definition 4, T-interval stable hierarchy
+    - ``"Td"``   Definition 5, T-interval head connectivity
+    - ``"Lhop"`` Definition 6/7, hop bound ≤ L inside each witness
+    - ``"TdL"``  Definition 7, conjunction of Td and Lhop
+    - ``"HiNet"`` Definition 8, conjunction of Th and TdL
+
+    The lattice implications (HiNet ⇒ Th ∧ TdL; Th ⇒ Ts ∧ Tc;
+    TdL ⇒ Td) hold by construction and are asserted in the tests.
+    """
+    clusters_ever: set = set()
+    for r in range(trace.horizon):
+        clusters_ever |= set(trace.snapshot(r).clusters())
+    ts = head_set_stable(trace, T, windows)
+    tc = all(cluster_stable(trace, c, T, windows) for c in clusters_ever)
+    th = hierarchy_stable(trace, T, windows)
+    td = head_connected(trace, T, windows)
+    bound = realized_hop_bound(trace, T, windows)
+    lhop = bound is not None and bound <= L
+    tdl = td and lhop
+    return {
+        "Ts": ts,
+        "Tc": tc,
+        "Th": th,
+        "Td": td,
+        "Lhop": lhop,
+        "TdL": tdl,
+        "HiNet": th and tdl,
+    }

@@ -1,0 +1,180 @@
+"""Serialization: traces, scenarios and run results to/from JSON.
+
+Reproducibility plumbing: a generated scenario can be persisted next to
+the results produced on it, so experiments can be re-examined (or re-run
+bit-for-bit) without regenerating from seeds.  The format is plain JSON —
+no pickle, so artifacts are diffable, portable, and safe to load.
+
+Format (version 1)::
+
+    {
+      "format": "repro-trace",
+      "version": 1,
+      "n": 20,
+      "extend": "hold",
+      "clustered": true,
+      "rounds": [
+         {"edges": [[0,1], ...], "roles": "hmmg...", "head_of": [0,0,...]},
+         ...
+      ]
+    }
+
+Roles are packed as a string of the paper's ``h``/``g``/``m`` letters;
+``head_of`` uses ``null`` for unaffiliated nodes.  Flat traces omit both.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .graphs.trace import GraphTrace
+from .roles import Role
+from .sim.metrics import Metrics
+from .sim.topology import Snapshot
+
+__all__ = [
+    "load_scenario",
+    "load_trace",
+    "metrics_to_dict",
+    "save_scenario",
+    "save_trace",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "trace_from_dict",
+    "trace_to_dict",
+]
+
+_FORMAT = "repro-trace"
+_VERSION = 1
+
+
+def trace_to_dict(trace: GraphTrace) -> Dict[str, Any]:
+    """Encode a trace as a JSON-ready dict (see module docstring)."""
+    clustered = trace.clustered
+    rounds: List[Dict[str, Any]] = []
+    for snap in trace:
+        entry: Dict[str, Any] = {"edges": [list(e) for e in snap.edges()]}
+        if clustered:
+            entry["roles"] = "".join(r.value for r in snap.roles)  # type: ignore[union-attr]
+            entry["head_of"] = list(snap.head_of)  # type: ignore[arg-type]
+        rounds.append(entry)
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n": trace.n,
+        "extend": trace.extend,
+        "clustered": clustered,
+        "rounds": rounds,
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> GraphTrace:
+    """Decode a trace; raises ``ValueError`` on wrong format or bad payload."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document: format={data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    n = int(data["n"])
+    clustered = bool(data.get("clustered", False))
+    snaps: List[Snapshot] = []
+    for i, entry in enumerate(data["rounds"]):
+        edges = [tuple(e) for e in entry["edges"]]
+        roles = head_of = None
+        if clustered:
+            role_str = entry["roles"]
+            if len(role_str) != n:
+                raise ValueError(f"round {i}: roles length {len(role_str)} != n={n}")
+            roles = [Role(c) for c in role_str]
+            head_of = [None if h is None else int(h) for h in entry["head_of"]]
+            if len(head_of) != n:
+                raise ValueError(f"round {i}: head_of length != n")
+        snaps.append(Snapshot.from_edges(n, edges, roles=roles, head_of=head_of))
+    return GraphTrace(snapshots=snaps, extend=data.get("extend", "hold"))
+
+
+def save_trace(trace: GraphTrace, path: Union[str, Path]) -> Path:
+    """Write a trace to ``path`` as JSON; returns the path."""
+    p = Path(path)
+    p.write_text(json.dumps(trace_to_dict(trace), separators=(",", ":")))
+    return p
+
+
+def load_trace(path: Union[str, Path]) -> GraphTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def scenario_to_dict(scenario) -> Dict[str, Any]:
+    """Encode an :class:`~repro.experiments.scenarios.Scenario` as JSON.
+
+    Model parameters are filtered to JSON-safe scalars (provenance
+    objects like the generator handle are dropped — the trace itself is
+    the reproducible artifact).
+    """
+    params = {
+        key: value
+        for key, value in scenario.params.items()
+        if isinstance(value, (int, float, str, bool)) or value is None
+    }
+    return {
+        "format": "repro-scenario",
+        "version": _VERSION,
+        "name": scenario.name,
+        "k": scenario.k,
+        "initial": {str(v): sorted(toks) for v, toks in scenario.initial.items()},
+        "params": params,
+        "trace": trace_to_dict(scenario.trace),
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any]):
+    """Decode a scenario written by :func:`scenario_to_dict`."""
+    if data.get("format") != "repro-scenario":
+        raise ValueError(
+            f"not a repro-scenario document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    from .experiments.scenarios import Scenario
+
+    return Scenario(
+        name=data["name"],
+        trace=trace_from_dict(data["trace"]),
+        k=int(data["k"]),
+        initial={
+            int(v): frozenset(int(t) for t in toks)
+            for v, toks in data["initial"].items()
+        },
+        params=dict(data["params"]),
+    )
+
+
+def save_scenario(scenario, path: Union[str, Path]) -> Path:
+    """Write a scenario to ``path`` as JSON; returns the path."""
+    p = Path(path)
+    p.write_text(json.dumps(scenario_to_dict(scenario), separators=(",", ":")))
+    return p
+
+
+def load_scenario(path: Union[str, Path]):
+    """Read a scenario previously written by :func:`save_scenario`."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+def metrics_to_dict(metrics: Metrics, include_series: bool = False) -> Dict[str, Any]:
+    """Encode run metrics for result archives.
+
+    ``include_series`` adds the per-round token/coverage arrays (larger,
+    but needed to re-plot progress curves).
+    """
+    out: Dict[str, Any] = dict(metrics.summary())
+    out["by_role"] = {
+        role: {"tokens": c.tokens, "messages": c.messages}
+        for role, c in metrics.by_role.items()
+    }
+    if include_series:
+        out["per_round_tokens"] = list(metrics.per_round_tokens)
+        out["per_round_coverage"] = list(metrics.per_round_coverage)
+    return out

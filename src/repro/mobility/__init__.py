@@ -1,0 +1,20 @@
+"""Mobility substrate: random-waypoint trajectories and unit-disk connectivity.
+
+Produces realistic MANET-style dynamic graphs: run a
+:class:`~repro.mobility.waypoint.RandomWaypoint` walker, convert the
+trajectory with :func:`~repro.mobility.unitdisk.unit_disk_trace`, then feed
+the trace to the clustering maintenance pipeline
+(:mod:`repro.clustering.maintenance`) to obtain an empirical CTVG.
+"""
+
+from .field import Field
+from .unitdisk import unit_disk_edges, unit_disk_snapshot, unit_disk_trace
+from .waypoint import RandomWaypoint
+
+__all__ = [
+    "Field",
+    "RandomWaypoint",
+    "unit_disk_edges",
+    "unit_disk_snapshot",
+    "unit_disk_trace",
+]

@@ -1,0 +1,61 @@
+"""Simulation field geometry for mobility models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.rng import SeedLike, make_rng
+
+__all__ = ["Field"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A rectangular deployment area ``[0, width] × [0, height]``.
+
+    All mobility models place nodes inside a field; connectivity models
+    (unit disk) measure distances in its coordinates.
+    """
+
+    width: float = 1000.0
+    height: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"field dimensions must be positive, got {self.width}×{self.height}"
+            )
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the field diagonal — the maximum possible node distance."""
+        return float(np.hypot(self.width, self.height))
+
+    def uniform_positions(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """``(n, 2)`` array of i.i.d. uniform positions inside the field."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = make_rng(seed)
+        pts = rng.random((n, 2))
+        pts[:, 0] *= self.width
+        pts[:, 1] *= self.height
+        return pts
+
+    def clip(self, positions: np.ndarray) -> np.ndarray:
+        """Clamp positions into the field (used defensively after updates)."""
+        out = np.array(positions, dtype=float, copy=True)
+        out[:, 0] = np.clip(out[:, 0], 0.0, self.width)
+        out[:, 1] = np.clip(out[:, 1], 0.0, self.height)
+        return out
+
+    def contains(self, positions: np.ndarray) -> bool:
+        """Whether every position lies inside the field."""
+        p = np.asarray(positions, dtype=float)
+        return bool(
+            np.all(p[:, 0] >= 0)
+            and np.all(p[:, 0] <= self.width)
+            and np.all(p[:, 1] >= 0)
+            and np.all(p[:, 1] <= self.height)
+        )

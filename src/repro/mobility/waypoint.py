@@ -1,0 +1,113 @@
+"""The random-waypoint mobility model.
+
+The standard MANET mobility workload the paper's introduction motivates:
+each node repeatedly picks a uniform destination in the field and a speed
+from ``[v_min, v_max]``, travels there in a straight line (one round = one
+time unit), optionally pauses, then repeats.
+
+The implementation is fully vectorised over nodes (positions, targets,
+speeds and pause counters are numpy arrays; one round is a handful of
+array ops), per the HPC guides — simulating 200 nodes for 1000 rounds
+takes milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.rng import SeedLike, make_rng
+from .field import Field
+
+__all__ = ["RandomWaypoint"]
+
+
+@dataclass
+class RandomWaypoint:
+    """Random-waypoint walker for ``n`` nodes in ``field``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    field:
+        Deployment area.
+    v_min, v_max:
+        Speed range in field units per round; each leg draws a uniform
+        speed from it.  ``v_min > 0`` avoids the well-known speed-decay
+        pathology of the model.
+    pause:
+        Rounds a node rests after arriving at its waypoint.
+    seed:
+        RNG seed; identical seeds reproduce identical trajectories.
+    """
+
+    n: int
+    field: Field
+    v_min: float = 5.0
+    v_max: float = 15.0
+    pause: int = 0
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need at least one node, got {self.n}")
+        if not (0 < self.v_min <= self.v_max):
+            raise ValueError(
+                f"need 0 < v_min <= v_max, got [{self.v_min}, {self.v_max}]"
+            )
+        if self.pause < 0:
+            raise ValueError(f"pause must be non-negative, got {self.pause}")
+        self._rng = make_rng(self.seed)
+        self.positions = self.field.uniform_positions(self.n, seed=self._rng)
+        self._targets = self.field.uniform_positions(self.n, seed=self._rng)
+        self._speeds = self._rng.uniform(self.v_min, self.v_max, size=self.n)
+        self._pausing = np.zeros(self.n, dtype=int)
+
+    def step(self) -> np.ndarray:
+        """Advance one round and return the new ``(n, 2)`` position array.
+
+        The returned array is a copy; callers may store it without aliasing
+        the walker's state.
+        """
+        delta = self._targets - self.positions
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        moving = (self._pausing == 0)
+
+        # nodes that reach (or overshoot) their waypoint this round
+        arrive = moving & (dist <= self._speeds)
+        travel = moving & ~arrive
+
+        if np.any(travel):
+            step_vec = delta[travel] / dist[travel, None] * self._speeds[travel, None]
+            self.positions[travel] += step_vec
+        if np.any(arrive):
+            self.positions[arrive] = self._targets[arrive]
+            self._pausing[arrive] = self.pause
+            # draw the next leg for the arrived nodes
+            k = int(arrive.sum())
+            new_targets = self.field.uniform_positions(k, seed=self._rng)
+            self._targets[arrive] = new_targets
+            self._speeds[arrive] = self._rng.uniform(self.v_min, self.v_max, size=k)
+
+        # only nodes that BEGAN this step paused burn a pause round; a node
+        # that just arrived rests for the full `pause` subsequent rounds
+        self._pausing[~moving] -= 1
+
+        self.positions = self.field.clip(self.positions)
+        return self.positions.copy()
+
+    def run(self, rounds: int) -> np.ndarray:
+        """Positions for ``rounds`` rounds as a ``(rounds, n, 2)`` array.
+
+        Index 0 is the state *after* the first step; the constructor's
+        initial placement is not included (use :attr:`positions` before
+        calling if needed).
+        """
+        if rounds < 1:
+            raise ValueError(f"need at least one round, got {rounds}")
+        out = np.empty((rounds, self.n, 2), dtype=float)
+        for r in range(rounds):
+            out[r] = self.step()
+        return out

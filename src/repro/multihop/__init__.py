@@ -1,0 +1,32 @@
+"""Multi-hop (d-hop) clusters — the paper's named future-work extension.
+
+Clusters of radius ``d`` with intra-cluster relay trees:
+
+* :func:`~repro.multihop.formation.dhop_clustering` — greedy lowest-ID
+  d-hop cluster formation on any graph;
+* :func:`~repro.multihop.scenario.generate_dhop` — verified d-hop
+  hierarchical scenarios (phase-stable trees + backbone + churn);
+* :class:`~repro.multihop.dissemination.DHopDisseminationNode` — the
+  d-hop generalisation of Algorithm 2 (tree-relayed uploads/downloads).
+
+``benchmarks/bench_multihop.py`` measures the cost of radius: larger
+``d`` means fewer heads and longer relay chains — the trade-off the
+paper's Section VI poses as an open question.
+"""
+
+from .algorithm1_dhop import DHopAlgorithm1Node, make_dhop_algorithm1_factory
+from .dissemination import DHopDisseminationNode, make_dhop_factory
+from .formation import DHopAssignment, dhop_clustering
+from .scenario import DHopParams, DHopScenario, generate_dhop
+
+__all__ = [
+    "DHopAlgorithm1Node",
+    "DHopAssignment",
+    "DHopDisseminationNode",
+    "DHopParams",
+    "DHopScenario",
+    "dhop_clustering",
+    "generate_dhop",
+    "make_dhop_algorithm1_factory",
+    "make_dhop_factory",
+]

@@ -1,0 +1,143 @@
+"""Algorithm 1 generalised to d-hop clusters (phase-structured, one token
+per transmission).
+
+Where :class:`~repro.multihop.dissemination.DHopDisseminationNode`
+generalises Algorithm 2 (full token sets, correct under per-round churn),
+this node generalises **Algorithm 1**: execution in phases of ``T``
+rounds with a stable hierarchy per phase, and every transmission carries
+a *single* token — the regime where the paper's communication accounting
+shines, extended to cluster radius ``d``.
+
+Per-round rules, by tree position:
+
+* **head / gateway** — exactly Figure 4's broadcast rule: send
+  ``min(TA \\ TS)``; TS cleared each phase.
+* **interior member (depth < d)** — two duties a round:
+  *upward*, unicast ``max(TA \\ (TSup ∪ TR))`` to the tree parent
+  (the member rule, with the parent in place of the head); and
+  *downward*, broadcast ``min(TA \\ TSdown)`` (the head rule — interior
+  nodes are intra-cluster gateways).  On a parent change at a phase
+  boundary, the upward state resets (Figure 4's re-upload rule).
+* **leaf (depth = d)** — the upward duty only.
+
+Intuitively both directions pipeline one token per round per tree level,
+so the phase length must absorb the extra tree depth: correctness
+empirically needs ``T ≳ k + α·(L + 2d)`` (each phase's progress argument
+now pays the descent and ascent of the trees as well as the backbone
+hops), which the tests exercise at d ∈ {1, 2, 3}.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..roles import Role
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+from .dissemination import DepthLookup, ParentLookup
+
+__all__ = ["DHopAlgorithm1Node", "make_dhop_algorithm1_factory"]
+
+
+class DHopAlgorithm1Node(NodeAlgorithm):
+    """Per-node state machine; see module docstring for the rules."""
+
+    def __init__(
+        self,
+        node: int,
+        k: int,
+        initial_tokens: frozenset,
+        T: int,
+        M: int,
+        parent_of: ParentLookup,
+        depth_of: DepthLookup,
+    ) -> None:
+        super().__init__(node, k, initial_tokens)
+        if T < 1 or M < 1:
+            raise ValueError(f"T and M must be >= 1, got T={T}, M={M}")
+        self.T = T
+        self.M = M
+        self._parent_of = parent_of
+        self._depth_of = depth_of
+        self.TSup: set[int] = set()    # sent to the current parent, this phase
+        self.TR: set[int] = set()      # received from the current parent
+        self.TSdown: set[int] = set()  # broadcast, this phase
+        self._phase_parent: Optional[int] = None
+
+    def phase(self, round_index: int) -> int:
+        """Phase number of a global round index."""
+        return round_index // self.T
+
+    def _begin_phase_if_needed(self, ctx: RoundContext, parent: Optional[int]) -> None:
+        if ctx.round_index % self.T != 0:
+            return
+        self.TSdown.clear()
+        if parent != self._phase_parent:
+            # new parent: it knows nothing of what we fed the old one
+            self.TSup.clear()
+            self.TR.clear()
+        self._phase_parent = parent
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if self.phase(ctx.round_index) >= self.M:
+            return []
+        is_member = ctx.role is Role.MEMBER
+        parent = self._parent_of(self.node, ctx.round_index) if is_member else None
+        self._begin_phase_if_needed(ctx, parent)
+
+        out: List[Message] = []
+
+        if is_member and parent is not None:
+            unknown = self.TA - (self.TSup | self.TR)
+            if unknown:
+                t = max(unknown)
+                self.TSup.add(t)
+                out.append(Message.unicast(self.node, parent, {t}, tag="up"))
+
+        # downward duty: heads, gateways and interior members broadcast
+        depth = self._depth_of(self.node, ctx.round_index) if is_member else 0
+        radius = getattr(self._depth_of, "cluster_radius", None)
+        broadcasts = (not is_member) or radius is None or depth < radius
+        if broadcasts:
+            unsent = self.TA - self.TSdown
+            if unsent:
+                t = min(unsent)
+                self.TSdown.add(t)
+                out.append(Message.broadcast(self.node, {t}, tag="down"))
+
+        return out
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        parent = (
+            self._parent_of(self.node, ctx.round_index)
+            if ctx.role is Role.MEMBER
+            else None
+        )
+        for msg in inbox:
+            self.TA |= msg.tokens
+            if parent is not None and msg.sender == parent:
+                self.TR |= msg.tokens
+
+    def finished(self, ctx: RoundContext) -> bool:
+        return ctx.round_index + 1 >= self.M * self.T
+
+
+def make_dhop_algorithm1_factory(
+    T: int, M: int, scenario
+) -> Callable[[int, int, frozenset], DHopAlgorithm1Node]:
+    """Engine factory bound to a :class:`~repro.multihop.scenario.DHopScenario`."""
+
+    def parent_of(node: int, r: int) -> Optional[int]:
+        return scenario.parent_of(node, r)
+
+    def depth_of(node: int, r: int) -> int:
+        return scenario.depth_of(node, r)
+
+    depth_of.cluster_radius = scenario.params.d  # type: ignore[attr-defined]
+
+    def factory(node: int, k: int, initial: frozenset) -> DHopAlgorithm1Node:
+        return DHopAlgorithm1Node(
+            node, k, initial, T=T, M=M, parent_of=parent_of, depth_of=depth_of
+        )
+
+    return factory

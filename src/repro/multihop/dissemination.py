@@ -1,0 +1,141 @@
+"""k-token dissemination in d-hop clusters.
+
+Generalises Algorithm 2 to clusters of radius ``d``.  Members are no
+longer adjacent to their heads, so uploads and downloads travel the
+cluster's relay tree:
+
+**Upward** — a member sends its whole TA to its *parent* in round 0 and
+whenever its parent changes (re-affiliation); interior tree nodes batch
+everything received from children (``up``-tagged unicasts addressed to
+them) and forward it to their own parent next round.  Each token thus
+climbs one tree level per round — ``d`` rounds member → head.
+
+**Downward** — heads, gateways, *and interior tree nodes* (depth < d)
+broadcast their whole TA every round; only leaves stay silent.  Interior
+nodes are the multi-hop analogue of gateways: without their unconditional
+repetition a relay that already knew a token its new child lacks would
+never resend it (a novelty filter is provably unsafe under
+re-affiliation — the failure is exercised in the tests).  Head knowledge
+therefore descends one tree level per round.
+
+Time cost gains an additive ``O(d)`` pipeline latency on both directions
+versus the 1-hop algorithm; communication gains the relay copies — the
+quantitative trade-off of the paper's "multi-hop clusters" future-work
+question, measured in ``benchmarks/bench_multihop.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..roles import Role
+from ..sim.messages import Message
+from ..sim.node import NodeAlgorithm, RoundContext
+
+__all__ = ["DHopDisseminationNode", "make_dhop_factory"]
+
+#: (node, round) -> parent node id (None for heads / unaffiliated).
+ParentLookup = Callable[[int, int], Optional[int]]
+#: (node, round) -> tree depth.
+DepthLookup = Callable[[int, int], int]
+
+
+class DHopDisseminationNode(NodeAlgorithm):
+    """Per-node state machine for d-hop dissemination (see module docstring)."""
+
+    def __init__(
+        self,
+        node: int,
+        k: int,
+        initial_tokens: frozenset,
+        M: int,
+        parent_of: ParentLookup,
+        depth_of: DepthLookup,
+    ) -> None:
+        super().__init__(node, k, initial_tokens)
+        if M < 1:
+            raise ValueError(f"M must be >= 1, got {M}")
+        self.M = M
+        self._parent_of = parent_of
+        self._depth_of = depth_of
+        self._prev_parent: Optional[int] = None
+        self._started = False
+        self._pending_up: set[int] = set()
+        self._sent_up: set[int] = set()  # forwarded upward already (dedup)
+
+    def send(self, ctx: RoundContext) -> Sequence[Message]:
+        if ctx.round_index >= self.M:
+            return []
+
+        if ctx.role is not Role.MEMBER:
+            # heads and gateways: Algorithm 2's full-set broadcast
+            self._started = True
+            if not self.TA:
+                return []
+            return [Message.broadcast(self.node, self.TA, tag="down")]
+
+        parent = self._parent_of(self.node, ctx.round_index)
+        out: list[Message] = []
+
+        changed = (not self._started) or parent != self._prev_parent
+        self._started = True
+        self._prev_parent = parent
+
+        if changed and parent is not None:
+            # (re-)upload everything we know to the new parent; resets the
+            # dedup set because the new parent may lack what the old one had
+            payload = frozenset(self.TA | self._pending_up)
+            if payload:
+                out.append(
+                    Message.unicast(self.node, parent, payload, tag="up")
+                )
+            self._pending_up = set()
+            self._sent_up = set(payload)
+        elif self._pending_up and parent is not None:
+            payload = frozenset(self._pending_up)
+            out.append(Message.unicast(self.node, parent, payload, tag="up"))
+            self._sent_up |= payload
+            self._pending_up = set()
+
+        # interior tree nodes (depth < d) repeat like gateways; leaves don't
+        depth = self._depth_of(self.node, ctx.round_index)
+        radius = getattr(self._depth_of, "cluster_radius", None)
+        interior = radius is None or depth < radius
+        if interior and self.TA:
+            out.append(Message.broadcast(self.node, self.TA, tag="down"))
+
+        return out
+
+    def receive(self, ctx: RoundContext, inbox: Sequence[Message]) -> None:
+        for msg in inbox:
+            self.TA |= msg.tokens
+            if ctx.role is not Role.MEMBER:
+                continue
+            if msg.tag == "up" and msg.dest == self.node:
+                # child traffic: climb everything not already forwarded —
+                # our own TA is no proxy for what our parent knows
+                self._pending_up |= msg.tokens - self._sent_up
+
+
+def make_dhop_factory(M: int, scenario) -> Callable[[int, int, frozenset], DHopDisseminationNode]:
+    """Engine factory bound to a :class:`~repro.multihop.scenario.DHopScenario`.
+
+    The scenario supplies the per-round parent/depth lookups the relay
+    rules need (nodes know their own tree position — local knowledge a
+    clustering layer would provide).
+    """
+
+    def parent_of(node: int, r: int) -> Optional[int]:
+        return scenario.parent_of(node, r)
+
+    def depth_of(node: int, r: int) -> int:
+        return scenario.depth_of(node, r)
+
+    depth_of.cluster_radius = scenario.params.d  # type: ignore[attr-defined]
+
+    def factory(node: int, k: int, initial: frozenset) -> DHopDisseminationNode:
+        return DHopDisseminationNode(
+            node, k, initial, M=M, parent_of=parent_of, depth_of=depth_of
+        )
+
+    return factory

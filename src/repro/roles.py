@@ -1,0 +1,41 @@
+"""Node roles in a cluster-based hierarchy.
+
+The CTVG model (paper, Definition 1) assigns every node a status in
+``{h, g, m}`` at every round via the map ``C: V × Γ → {h, g, m}``:
+
+* ``h`` — **cluster head**: the unique leader of a cluster; its node id
+  doubles as the cluster id.
+* ``g`` — **gateway**: an ordinary node lying on the selected path between
+  two cluster heads, responsible for forwarding inter-cluster traffic.
+* ``m`` — **member**: a common node affiliated with exactly one head, which
+  must be a direct neighbour.
+
+This module is deliberately dependency-free so both the simulator and the
+graph models can import it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Role"]
+
+
+class Role(str, Enum):
+    """Status of a node in the cluster hierarchy at a given round."""
+
+    HEAD = "h"
+    GATEWAY = "g"
+    MEMBER = "m"
+
+    @property
+    def broadcasts(self) -> bool:
+        """Whether the paper's algorithms have this role broadcast.
+
+        Heads and gateways execute the identical broadcast loop in both
+        Algorithm 1 and Algorithm 2; members only unicast to their head.
+        """
+        return self is not Role.MEMBER
+
+    def __str__(self) -> str:  # "h" / "g" / "m", as in the paper's figures
+        return self.value

@@ -1,0 +1,42 @@
+"""Synchronous round-based distributed-network simulator.
+
+The substrate every algorithm in this library runs on.  See
+:mod:`repro.sim.engine` for the exact round semantics (send → deliver →
+receive, adversarial per-round topology, wireless-broadcast cost model).
+"""
+
+from .engine import ActiveRun, DynamicNetwork, RunResult, SynchronousEngine, run
+from .messages import Delivery, Message, TokenDomain, TokenSet, initial_assignment, token_range
+from .metrics import Metrics, RoleCost
+from .node import AlgorithmFactory, NodeAlgorithm, RoundContext
+from .rng import SeedLike, derive_seed, make_rng, spawn
+from .topology import Snapshot, adjacency_from_edges
+from .trace import DeliveryEvent, RoundTrace, SimTrace
+
+__all__ = [
+    "ActiveRun",
+    "AlgorithmFactory",
+    "Delivery",
+    "DeliveryEvent",
+    "DynamicNetwork",
+    "Message",
+    "Metrics",
+    "NodeAlgorithm",
+    "RoleCost",
+    "RoundContext",
+    "RoundTrace",
+    "RunResult",
+    "SeedLike",
+    "SimTrace",
+    "Snapshot",
+    "SynchronousEngine",
+    "TokenDomain",
+    "TokenSet",
+    "adjacency_from_edges",
+    "derive_seed",
+    "initial_assignment",
+    "make_rng",
+    "run",
+    "spawn",
+    "token_range",
+]

@@ -1,0 +1,433 @@
+"""The synchronous round-based execution engine.
+
+This implements the standard synchronous message-passing model used by
+Kuhn–Lynch–Oshman and adopted by the paper: time is a sequence of rounds;
+in each round every node first transmits, then receives everything sent to
+it by current neighbours, then updates state.  The topology of round ``r``
+is fixed by the scenario *before* transmissions — the adversary commits to
+:math:`G_r` at the start of the round (an *adaptive* adversary may first
+inspect node state through the ``adaptive_snapshot`` hook).
+
+Delivery semantics
+------------------
+* A **broadcast** is received by every neighbour of the sender in
+  :math:`G_r`.  It is one transmission and costs ``len(tokens)`` regardless
+  of audience size (wireless broadcast accounting, as in the paper's
+  Section V).
+* A **unicast** is received by its destination iff the destination is a
+  neighbour this round; otherwise it is dropped (the send is still paid
+  for).  Members unicast to their head, which by the CTVG invariants is a
+  neighbour, so drops only occur in deliberately mis-specified scenarios.
+* With ``latency`` ζ > 1 (the TVG latency function), a frame transmitted
+  in round r lands at the end of round r + ζ − 1; the audience is fixed at
+  transmission time.
+* With ``loss_p`` > 0, each individual delivery is independently
+  suppressed (fault injection; the send is still billed).
+
+Execution comes in two forms: :meth:`SynchronousEngine.run` executes a
+whole budget, and :meth:`SynchronousEngine.start` returns an
+:class:`ActiveRun` that can be stepped round by round with full state
+inspection in between (notebooks, debuggers, custom stopping rules).
+
+The engine is deliberately simple and allocation-light: scenarios with a
+few hundred nodes and thousands of rounds run in well under a second,
+which keeps the benchmark sweeps laptop-scale (profile before optimizing
+further — the hot path is the per-node ``send``/``receive`` calls, not the
+engine bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Protocol, Tuple
+
+from .messages import Delivery, Message
+from .metrics import Metrics
+from .node import AlgorithmFactory, NodeAlgorithm, RoundContext
+from .topology import Snapshot
+from .trace import DeliveryEvent, SimTrace
+
+__all__ = ["ActiveRun", "DynamicNetwork", "RunResult", "SynchronousEngine", "run"]
+
+
+class DynamicNetwork(Protocol):
+    """What the engine requires of a scenario: a size and per-round snapshots."""
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (ids ``0 .. n-1``)."""
+        ...
+
+    def snapshot(self, r: int) -> Snapshot:
+        """Topology (and optional hierarchy) of round ``r``."""
+        ...
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    metrics:
+        Cost accounting (rounds, tokens sent, per-role breakdown …).
+    outputs:
+        Final token set of every node.
+    complete:
+        Whether every node ended holding all ``k`` tokens.
+    trace:
+        The execution trace, if recording was requested.
+    algorithms:
+        The per-node algorithm objects in their final state (for
+        protocols whose result is not a token set, e.g. push-sum
+        estimates or RLNC ranks).
+    """
+
+    n: int
+    k: int
+    metrics: Metrics
+    outputs: Dict[int, FrozenSet[int]]
+    complete: bool
+    trace: Optional[SimTrace] = None
+    algorithms: Optional[Dict[int, NodeAlgorithm]] = field(default=None, repr=False)
+
+    def missing(self) -> Dict[int, FrozenSet[int]]:
+        """Per-node sets of tokens still missing (empty dict iff complete)."""
+        universe = frozenset(range(self.k))
+        out = {}
+        for v, toks in self.outputs.items():
+            gap = universe - toks
+            if gap:
+                out[v] = gap
+        return out
+
+
+class ActiveRun:
+    """An in-progress execution that can be stepped one round at a time.
+
+    Obtained from :meth:`SynchronousEngine.start`.  Between steps, the
+    per-node algorithm objects (:attr:`algorithms`), accumulated
+    :attr:`metrics`, and recorded :attr:`trace` are all inspectable —
+    useful in notebooks and for custom stopping conditions:
+
+    >>> active = SynchronousEngine().start(net, factory, k, initial, 100)
+    >>> while active.step():
+    ...     if some_condition(active.algorithms):
+    ...         break
+    >>> result = active.finish()
+    """
+
+    def __init__(
+        self,
+        engine: "SynchronousEngine",
+        network: DynamicNetwork,
+        factory: AlgorithmFactory,
+        k: int,
+        initial: Mapping[int, FrozenSet[int]],
+        max_rounds: int,
+        stop_when_complete: bool,
+        stop_when_finished: bool,
+    ) -> None:
+        n = network.n
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        assigned = set()
+        for node, toks in initial.items():
+            if not (0 <= node < n):
+                raise ValueError(
+                    f"initial assignment names node {node} outside 0..{n-1}"
+                )
+            assigned |= set(toks)
+        if assigned - set(range(k)):
+            raise ValueError(f"initial assignment contains ids outside 0..{k-1}")
+
+        self.engine = engine
+        self.network = network
+        self.n = n
+        self.k = k
+        self.max_rounds = max_rounds
+        self.stop_when_complete = stop_when_complete
+        self.stop_when_finished = stop_when_finished
+
+        self.algorithms: Dict[int, NodeAlgorithm] = {
+            v: factory(v, k, frozenset(initial.get(v, frozenset())))
+            for v in range(n)
+        }
+        self.metrics = Metrics()
+        self.trace: Optional[SimTrace] = (
+            SimTrace(record_knowledge=engine.record_knowledge)
+            if engine.record_trace
+            else None
+        )
+        self.round = 0
+        self.stopped = False
+        self._adaptive = getattr(network, "adaptive_snapshot", None)
+        # messages in flight when latency > 1: due round -> [(receiver, msg)]
+        self._in_flight: Dict[int, List[Tuple[int, Message]]] = {}
+        self._loss_rng = None
+        if engine.loss_p > 0:
+            from .rng import make_rng
+
+            self._loss_rng = make_rng(engine.loss_seed)
+
+    # -- internals ---------------------------------------------------------
+
+    def _delivered(self) -> bool:
+        """Fault injection: whether one delivery survives the channel."""
+        if self._loss_rng is None:
+            return True
+        if self._loss_rng.random() < self.engine.loss_p:
+            self.metrics.record_loss()
+            return False
+        return True
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one round; return ``False`` once the run has stopped."""
+        if self.stopped or self.round >= self.max_rounds:
+            self.stopped = True
+            return False
+
+        r = self.round
+        n = self.n
+        if self._adaptive is not None:
+            # adaptive adversary: commits to G_r after inspecting state
+            snap = self._adaptive(
+                r, {v: frozenset(self.algorithms[v].TA) for v in range(n)}
+            )
+        else:
+            snap = self.network.snapshot(r)
+        if snap.n != n:
+            raise ValueError(
+                f"snapshot for round {r} has {snap.n} nodes, expected {n}"
+            )
+        self.metrics.begin_round()
+        round_trace = self.trace.begin_round(r) if self.trace is not None else None
+
+        contexts = [
+            RoundContext(
+                round_index=r,
+                node=v,
+                neighbors=snap.adj[v],
+                role=snap.roles[v] if snap.roles is not None else None,
+                head=snap.head_of[v] if snap.head_of is not None else None,
+            )
+            for v in range(n)
+        ]
+
+        # --- send phase ---------------------------------------------------
+        due = r + self.engine.latency - 1
+        for v in range(n):
+            ctx = contexts[v]
+            role_name = ctx.role.name.lower() if ctx.role is not None else "flat"
+            for msg in self.algorithms[v].send(ctx):
+                if msg.sender != v:
+                    raise ValueError(
+                        f"node {v} emitted a message claiming sender {msg.sender}"
+                    )
+                if msg.cost == 0:
+                    continue  # empty transmissions are skipped and free
+                self.metrics.record_send(msg, role=role_name)
+                if round_trace is not None:
+                    round_trace.sends.append((msg, role_name))
+                if msg.delivery is Delivery.BROADCAST:
+                    for u in snap.adj[v]:
+                        if self._delivered():
+                            self._in_flight.setdefault(due, []).append((u, msg))
+                else:
+                    if msg.dest not in snap.adj[v]:
+                        self.metrics.record_drop()
+                    elif self._delivered():
+                        self._in_flight.setdefault(due, []).append((msg.dest, msg))
+
+        # --- delivery of everything due this round --------------------------
+        inboxes: List[List[Message]] = [[] for _ in range(n)]
+        for receiver, msg in self._in_flight.pop(r, ()):
+            inboxes[receiver].append(msg)
+            if round_trace is not None:
+                round_trace.deliveries.append(DeliveryEvent(receiver, msg))
+
+        # --- receive phase ----------------------------------------------------
+        for v in range(n):
+            self.algorithms[v].receive(contexts[v], inboxes[v])
+
+        # --- bookkeeping ----------------------------------------------------
+        coverage = sum(len(a.TA) for a in self.algorithms.values())
+        self.metrics.end_round(coverage)
+        if round_trace is not None and self.engine.record_knowledge:
+            round_trace.knowledge = {
+                v: frozenset(self.algorithms[v].TA) for v in range(n)
+            }
+        self.round += 1
+
+        if coverage == n * self.k:
+            self.metrics.mark_complete()
+            if self.stop_when_complete:
+                self.stopped = True
+        if (
+            not self.stopped
+            and self.stop_when_finished
+            and not self._in_flight
+            and all(self.algorithms[v].finished(contexts[v]) for v in range(n))
+        ):
+            self.stopped = True
+        if self.round >= self.max_rounds:
+            self.stopped = True
+        return not self.stopped
+
+    def run_to_completion(self) -> None:
+        """Step until the run stops (budget, completion, or local finish)."""
+        while self.step():
+            pass
+
+    def finish(self) -> RunResult:
+        """Package the current state as a :class:`RunResult`."""
+        outputs = {
+            v: frozenset(self.algorithms[v].TA) for v in range(self.n)
+        }
+        return RunResult(
+            n=self.n,
+            k=self.k,
+            metrics=self.metrics,
+            outputs=outputs,
+            complete=all(len(t) == self.k for t in outputs.values()),
+            trace=self.trace,
+            algorithms=self.algorithms,
+        )
+
+
+class SynchronousEngine:
+    """Reusable engine; see module docstring for the round semantics.
+
+    Parameters
+    ----------
+    record_trace:
+        Record per-round transmissions and deliveries.
+    record_knowledge:
+        Additionally snapshot every node's token set each round (implies
+        ``record_trace``); O(n·k) per round, for walkthroughs only.
+    loss_p:
+        Fault injection: each individual delivery (per broadcast receiver,
+        per unicast) is independently suppressed with this probability —
+        radio fading on top of the adversarial topology.  The *send* is
+        still paid for.  Algorithms proven for reliable links lose their
+        guarantees here; the robustness benchmarks measure by how much.
+    loss_seed:
+        Seed for the loss process (required reproducibility when
+        ``loss_p > 0``).
+    latency:
+        The TVG latency ζ in rounds (Definition 1): a message transmitted
+        in round r is received at the end of round ``r + latency − 1``.
+        The audience is fixed at *transmission* time (the radio frame
+        leaves over round r's edges); 1 (default) is the standard
+        synchronous model used by the paper's analysis.
+    """
+
+    def __init__(
+        self,
+        record_trace: bool = False,
+        record_knowledge: bool = False,
+        loss_p: float = 0.0,
+        loss_seed=None,
+        latency: int = 1,
+    ) -> None:
+        self.record_trace = record_trace or record_knowledge
+        self.record_knowledge = record_knowledge
+        if not (0.0 <= loss_p < 1.0):
+            raise ValueError(f"loss_p must be in [0, 1), got {loss_p}")
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1 round, got {latency}")
+        self.loss_p = loss_p
+        self.loss_seed = loss_seed
+        self.latency = latency
+
+    def start(
+        self,
+        network: DynamicNetwork,
+        factory: AlgorithmFactory,
+        k: int,
+        initial: Mapping[int, FrozenSet[int]],
+        max_rounds: int,
+        stop_when_complete: bool = False,
+        stop_when_finished: bool = True,
+    ) -> ActiveRun:
+        """Begin an execution and return it for round-by-round stepping."""
+        return ActiveRun(
+            self,
+            network,
+            factory,
+            k,
+            initial,
+            max_rounds,
+            stop_when_complete,
+            stop_when_finished,
+        )
+
+    def run(
+        self,
+        network: DynamicNetwork,
+        factory: AlgorithmFactory,
+        k: int,
+        initial: Mapping[int, FrozenSet[int]],
+        max_rounds: int,
+        stop_when_complete: bool = False,
+        stop_when_finished: bool = True,
+    ) -> RunResult:
+        """Execute up to ``max_rounds`` rounds and return the result.
+
+        Parameters
+        ----------
+        network:
+            Scenario supplying one :class:`Snapshot` per round.
+        factory:
+            Builds each node's :class:`NodeAlgorithm`;
+            called as ``factory(node, k, initial_tokens)``.
+        k:
+            Total number of tokens in the instance.
+        initial:
+            Node id → initially-known tokens; absent nodes start empty.
+        max_rounds:
+            Hard bound on rounds executed (the algorithm's own analytic
+            bound in reproduction runs).
+        stop_when_complete:
+            Stop as soon as global dissemination is observed (an omniscient
+            check used for *measuring* completion time; the distributed
+            algorithms themselves cannot detect it).
+        stop_when_finished:
+            Stop once every node reports local termination via
+            :meth:`NodeAlgorithm.finished` (and nothing is in flight).
+        """
+        active = self.start(
+            network, factory, k, initial, max_rounds,
+            stop_when_complete=stop_when_complete,
+            stop_when_finished=stop_when_finished,
+        )
+        active.run_to_completion()
+        return active.finish()
+
+
+def run(
+    network: DynamicNetwork,
+    factory: AlgorithmFactory,
+    k: int,
+    initial: Mapping[int, FrozenSet[int]],
+    max_rounds: int,
+    **kwargs,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`SynchronousEngine`.
+
+    Keyword arguments ``record_trace`` / ``record_knowledge`` /
+    ``loss_p`` / ``loss_seed`` / ``latency`` configure the engine;
+    everything else is forwarded to :meth:`SynchronousEngine.run`.
+    """
+    engine = SynchronousEngine(
+        record_trace=kwargs.pop("record_trace", False),
+        record_knowledge=kwargs.pop("record_knowledge", False),
+        loss_p=kwargs.pop("loss_p", 0.0),
+        loss_seed=kwargs.pop("loss_seed", None),
+        latency=kwargs.pop("latency", 1),
+    )
+    return engine.run(network, factory, k, initial, max_rounds, **kwargs)

@@ -1,0 +1,212 @@
+"""Message and token types for the synchronous round model.
+
+Tokens
+------
+A *token* is the unit of information being disseminated (paper, Section I:
+the :math:`k`-token dissemination problem).  Internally every algorithm
+works with plain integer token identifiers ``0 .. k-1`` — the paper only
+requires that ids be unique and totally ordered ("each token is stamped
+with a unique id, and the id is comparable with others").  The optional
+:class:`TokenDomain` maps ids to user payloads so applications can
+disseminate arbitrary objects without the hot paths paying for them.
+
+Messages
+--------
+A :class:`Message` is one *transmission*: either a local **broadcast**
+(received by every current neighbour of the sender — one wireless
+transmission regardless of neighbour count, matching the paper's
+communication accounting) or a **unicast** to a named neighbour (the
+member → cluster-head uploads of Algorithms 1 and 2).
+
+The communication cost of a message is ``len(message.tokens)`` — the
+"total number of tokens sent" metric used throughout the paper's Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, FrozenSet, Iterable, Mapping, Optional
+
+__all__ = ["Delivery", "Message", "TokenDomain", "TokenSet", "token_range"]
+
+#: The canonical in-flight representation of a set of tokens.
+TokenSet = FrozenSet[int]
+
+
+def token_range(k: int) -> TokenSet:
+    """The full token universe ``{0, …, k-1}`` as a frozen set."""
+    if k < 0:
+        raise ValueError(f"token count must be non-negative, got {k}")
+    return frozenset(range(k))
+
+
+class Delivery(Enum):
+    """How a message is delivered within its round."""
+
+    BROADCAST = "broadcast"  #: to all neighbours in the round's graph
+    UNICAST = "unicast"      #: to one named neighbour (dropped if not adjacent)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One transmission in one round.
+
+    Parameters
+    ----------
+    sender:
+        Node id of the transmitting node.
+    tokens:
+        The token ids carried.  An empty message is legal but pointless;
+        engines skip it and it costs nothing.
+    delivery:
+        Broadcast or unicast.
+    dest:
+        Destination node id; required iff ``delivery`` is unicast.
+    tag:
+        Free-form label used by algorithms to demultiplex (e.g. Algorithm 1
+        members must distinguish tokens arriving *from their own head* from
+        overheard gateway traffic).
+    payload:
+        Opaque algorithm data for protocols that do not ship plain tokens
+        (the network-coding baseline ships GF(2)-coded packets here).
+    payload_cost:
+        Token-equivalents charged for the payload (a coded packet the size
+        of one token costs 1).
+    """
+
+    sender: int
+    tokens: TokenSet
+    delivery: Delivery = Delivery.BROADCAST
+    dest: Optional[int] = None
+    tag: str = ""
+    payload: Any = None
+    payload_cost: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delivery is Delivery.UNICAST and self.dest is None:
+            raise ValueError("unicast message requires a dest node id")
+        if self.delivery is Delivery.BROADCAST and self.dest is not None:
+            raise ValueError("broadcast message must not name a dest")
+        if not isinstance(self.tokens, frozenset):
+            object.__setattr__(self, "tokens", frozenset(self.tokens))
+        if self.payload_cost < 0:
+            raise ValueError(f"payload_cost must be non-negative, got {self.payload_cost}")
+        if self.payload is not None and self.payload_cost == 0:
+            raise ValueError("a payload-carrying message must declare a payload_cost")
+
+    @property
+    def cost(self) -> int:
+        """Communication cost of this transmission (tokens + payload equivalents)."""
+        return len(self.tokens) + self.payload_cost
+
+    @staticmethod
+    def broadcast(sender: int, tokens: Iterable[int], tag: str = "") -> "Message":
+        """Convenience constructor for a broadcast transmission."""
+        return Message(sender=sender, tokens=frozenset(tokens), tag=tag)
+
+    @staticmethod
+    def unicast(sender: int, dest: int, tokens: Iterable[int], tag: str = "") -> "Message":
+        """Convenience constructor for a unicast transmission."""
+        return Message(
+            sender=sender,
+            tokens=frozenset(tokens),
+            delivery=Delivery.UNICAST,
+            dest=dest,
+            tag=tag,
+        )
+
+
+@dataclass
+class TokenDomain:
+    """Mapping between integer token ids and user-level payloads.
+
+    The dissemination algorithms never look at payloads; this class lets an
+    application hand in arbitrary hashable items and get them back once the
+    run completes.
+
+    Examples
+    --------
+    >>> dom = TokenDomain.from_items(["alpha", "beta"])
+    >>> dom.k
+    2
+    >>> dom.payload(1)
+    'beta'
+    """
+
+    payloads: list = field(default_factory=list)
+    _index: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_items(cls, items: Iterable[Any]) -> "TokenDomain":
+        """Build a domain assigning ids in iteration order; items must be unique."""
+        dom = cls()
+        for item in items:
+            dom.add(item)
+        return dom
+
+    @property
+    def k(self) -> int:
+        """Number of tokens in the domain."""
+        return len(self.payloads)
+
+    def add(self, item: Any) -> int:
+        """Register ``item`` and return its token id (idempotent per item)."""
+        if item in self._index:
+            return self._index[item]
+        token_id = len(self.payloads)
+        self.payloads.append(item)
+        self._index[item] = token_id
+        return token_id
+
+    def payload(self, token_id: int) -> Any:
+        """Return the payload registered for ``token_id``."""
+        return self.payloads[token_id]
+
+    def token_id(self, item: Any) -> int:
+        """Return the id previously assigned to ``item``."""
+        return self._index[item]
+
+    def decode(self, tokens: Iterable[int]) -> list:
+        """Map a collection of token ids back to payloads (sorted by id)."""
+        return [self.payloads[t] for t in sorted(tokens)]
+
+
+def initial_assignment(
+    k: int, n: int, rng=None, mode: str = "spread"
+) -> Mapping[int, TokenSet]:
+    """Assign the ``k`` input tokens to ``n`` nodes.
+
+    The problem statement only fixes the *total* number of tokens across all
+    inputs; this helper provides the standard workloads:
+
+    - ``"spread"``:  token ``i`` starts at node ``i % n`` (deterministic).
+    - ``"single"``:  all tokens start at node 0 (the broadcast special case).
+    - ``"random"``:  each token starts at a uniformly random node (needs
+      ``rng``).
+
+    Returns a dict mapping node id → frozenset of initially-known tokens
+    (nodes absent from the dict hold no token).
+    """
+    if n <= 0:
+        raise ValueError(f"need at least one node, got n={n}")
+    if k < 0:
+        raise ValueError(f"token count must be non-negative, got k={k}")
+    out: dict[int, set[int]] = {}
+    if mode == "spread":
+        for t in range(k):
+            out.setdefault(t % n, set()).add(t)
+    elif mode == "single":
+        if k:
+            out[0] = set(range(k))
+    elif mode == "random":
+        if rng is None:
+            raise ValueError("mode='random' requires an rng")
+        from .rng import make_rng
+
+        gen = make_rng(rng)
+        for t in range(k):
+            out.setdefault(int(gen.integers(0, n)), set()).add(t)
+    else:
+        raise ValueError(f"unknown assignment mode: {mode!r}")
+    return {node: frozenset(toks) for node, toks in out.items()}

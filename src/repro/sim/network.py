@@ -1,0 +1,40 @@
+"""Network adaptors: compose and reindex dynamic networks."""
+
+from __future__ import annotations
+
+from .topology import Snapshot
+
+__all__ = ["ShiftedNetwork"]
+
+
+class ShiftedNetwork:
+    """View of a network starting at a later round.
+
+    Multi-stage protocols (e.g. the doubling loop of KLO counting) run
+    consecutive engine executions against *consecutive* segments of one
+    underlying dynamic graph; ``ShiftedNetwork(base, offset)`` maps the
+    new execution's round 0 onto the base network's round ``offset``.
+    Adaptive bases keep their adaptivity.
+    """
+
+    def __init__(self, base, offset: int) -> None:
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        self.base = base
+        self.offset = offset
+        if hasattr(base, "adaptive_snapshot"):
+            # expose the hook only when the base has it, so the engine's
+            # getattr-based detection stays accurate
+            self.adaptive_snapshot = self._adaptive_snapshot  # type: ignore[attr-defined]
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (unchanged)."""
+        return self.base.n
+
+    def snapshot(self, r: int) -> Snapshot:
+        """The base network's round ``offset + r``."""
+        return self.base.snapshot(self.offset + r)
+
+    def _adaptive_snapshot(self, r: int, knowledge) -> Snapshot:
+        return self.base.adaptive_snapshot(self.offset + r, knowledge)

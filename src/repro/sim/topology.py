@@ -1,0 +1,177 @@
+"""Per-round topology snapshots consumed by the synchronous engine.
+
+A :class:`Snapshot` is the engine's view of one round: who is adjacent to
+whom, and — for clustered (CTVG) scenarios — each node's role and cluster
+head.  Dynamic-network objects in :mod:`repro.graphs` produce one snapshot
+per round; the engine never sees anything else, so any topology source
+(precomputed trace, adversary, mobility model, clustering pipeline) plugs
+in uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..roles import Role
+
+__all__ = ["Snapshot", "adjacency_from_edges"]
+
+
+def adjacency_from_edges(
+    n: int, edges: Iterable[Tuple[int, int]]
+) -> Tuple[FrozenSet[int], ...]:
+    """Build an adjacency tuple (index = node id) from an undirected edge list.
+
+    Self-loops are rejected; duplicate edges are harmless.  Node ids must
+    lie in ``0 .. n-1``.
+    """
+    neigh: List[set] = [set() for _ in range(n)]
+    for u, v in edges:
+        if u == v:
+            raise ValueError(f"self-loop at node {u}")
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+        neigh[u].add(v)
+        neigh[v].add(u)
+    return tuple(frozenset(s) for s in neigh)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Topology (and optionally hierarchy) of one round.
+
+    Attributes
+    ----------
+    adj:
+        ``adj[v]`` is the frozen set of ``v``'s neighbours this round.
+    roles:
+        Optional per-node :class:`~repro.roles.Role`; ``None`` for flat
+        (un-clustered) scenarios.
+    head_of:
+        Optional per-node cluster head id (= cluster id, since the paper
+        uses the head's node id as the cluster id).  A head maps to itself.
+        Gateways are members of some cluster too, so they also carry a head
+        id.  ``None`` entries mean "currently unaffiliated".
+    """
+
+    adj: Tuple[FrozenSet[int], ...]
+    roles: Optional[Tuple[Role, ...]] = None
+    head_of: Optional[Tuple[Optional[int], ...]] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        roles: Optional[Sequence[Role]] = None,
+        head_of: Optional[Sequence[Optional[int]]] = None,
+    ) -> "Snapshot":
+        """Build a snapshot from an edge list plus optional hierarchy maps."""
+        return cls(
+            adj=adjacency_from_edges(n, edges),
+            roles=tuple(roles) if roles is not None else None,
+            head_of=tuple(head_of) if head_of is not None else None,
+        )
+
+    @classmethod
+    def from_networkx(cls, graph, roles=None, head_of=None) -> "Snapshot":
+        """Build a snapshot from a :class:`networkx.Graph` on nodes 0..n-1."""
+        n = graph.number_of_nodes()
+        return cls.from_edges(n, graph.edges(), roles=roles, head_of=head_of)
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.adj)
+
+    def neighbors(self, v: int) -> FrozenSet[int]:
+        """Neighbours of ``v`` this round."""
+        return self.adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` this round."""
+        return len(self.adj[v])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Undirected edge list with ``u < v``."""
+        return [(u, v) for u in range(self.n) for v in self.adj[u] if u < v]
+
+    def edge_set(self) -> FrozenSet[Tuple[int, int]]:
+        """Frozen set of normalised (u < v) edges — handy for trace diffing."""
+        return frozenset(self.edges())
+
+    def role(self, v: int) -> Optional[Role]:
+        """Role of ``v`` this round, or ``None`` in a flat scenario."""
+        return self.roles[v] if self.roles is not None else None
+
+    def head(self, v: int) -> Optional[int]:
+        """Cluster head of ``v`` this round (itself if ``v`` is a head)."""
+        return self.head_of[v] if self.head_of is not None else None
+
+    @property
+    def clustered(self) -> bool:
+        """Whether this snapshot carries hierarchy information."""
+        return self.roles is not None and self.head_of is not None
+
+    # -- hierarchy queries -------------------------------------------------
+
+    def heads(self) -> FrozenSet[int]:
+        """The cluster-head set :math:`V_h` of this round."""
+        self._require_clustered()
+        return frozenset(v for v in range(self.n) if self.roles[v] is Role.HEAD)
+
+    def cluster_members(self, head: int) -> FrozenSet[int]:
+        """The member set :math:`M_k` of the cluster headed by ``head``.
+
+        Includes the head itself and any gateways affiliated to it, i.e.
+        everyone whose ``I(v)`` equals ``head``.
+        """
+        self._require_clustered()
+        return frozenset(v for v in range(self.n) if self.head_of[v] == head)
+
+    def clusters(self) -> Dict[int, FrozenSet[int]]:
+        """All clusters as ``{head id: member set}`` (members include head)."""
+        self._require_clustered()
+        out: Dict[int, set] = {}
+        for v in range(self.n):
+            h = self.head_of[v]
+            if h is not None:
+                out.setdefault(h, set()).add(v)
+        return {h: frozenset(s) for h, s in out.items()}
+
+    # -- validation --------------------------------------------------------
+
+    def validate_hierarchy(self) -> None:
+        """Check the CTVG structural invariants; raise ``ValueError`` on breach.
+
+        Enforced (paper, Section III-A):
+
+        * a head's cluster id is its own id;
+        * every affiliated non-head's head is an actual head **and** a direct
+          neighbour ("the members of a cluster are neighbors of the cluster
+          head");
+        * gateways are affiliated like any ordinary node.
+        """
+        self._require_clustered()
+        head_set = self.heads()
+        for v in range(self.n):
+            role, h = self.roles[v], self.head_of[v]
+            if role is Role.HEAD:
+                if h != v:
+                    raise ValueError(f"head {v} has cluster id {h}, expected itself")
+            elif h is not None:
+                if h not in head_set:
+                    raise ValueError(f"node {v} affiliated to non-head {h}")
+                if h not in self.adj[v]:
+                    raise ValueError(
+                        f"node {v} affiliated to head {h} but they are not adjacent"
+                    )
+
+    def _require_clustered(self) -> None:
+        if not self.clustered:
+            raise ValueError("snapshot carries no hierarchy information")

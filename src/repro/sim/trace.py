@@ -1,0 +1,108 @@
+"""Execution traces — per-round event recording.
+
+A :class:`SimTrace` captures what happened in each round of a run: the
+transmissions, the deliveries, and per-node knowledge snapshots.  Traces
+power the Figure-3 walkthrough benchmark (showing a token hop
+member → head → gateway → head), debugging, and the example scripts'
+pretty-printed output.  Recording is opt-in because snapshotting knowledge
+every round is O(n·k) and the large sweeps don't need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .messages import Message
+
+__all__ = ["DeliveryEvent", "RoundTrace", "SimTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryEvent:
+    """One successful delivery: ``message`` arrived at ``receiver``."""
+
+    receiver: int
+    message: Message
+
+
+@dataclass
+class RoundTrace:
+    """Everything recorded about one round."""
+
+    round_index: int
+    sends: List[Tuple[Message, str]] = field(default_factory=list)  # (msg, sender role)
+    deliveries: List[DeliveryEvent] = field(default_factory=list)
+    knowledge: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+    def tokens_sent(self) -> int:
+        """Communication cost incurred in this round."""
+        return sum(msg.cost for msg, _ in self.sends)
+
+
+@dataclass
+class SimTrace:
+    """Ordered per-round records for a whole run.
+
+    Attributes
+    ----------
+    rounds:
+        One :class:`RoundTrace` per executed round.
+    record_knowledge:
+        If set, the engine snapshots every node's token set at the end of
+        each round into :attr:`RoundTrace.knowledge`.
+    """
+
+    rounds: List[RoundTrace] = field(default_factory=list)
+    record_knowledge: bool = False
+
+    def begin_round(self, round_index: int) -> RoundTrace:
+        """Open and return the record for ``round_index``."""
+        rt = RoundTrace(round_index=round_index)
+        self.rounds.append(rt)
+        return rt
+
+    @property
+    def current(self) -> RoundTrace:
+        """The record of the round currently being executed."""
+        if not self.rounds:
+            raise IndexError("no round open yet")
+        return self.rounds[-1]
+
+    def first_heard(self, node: int, token: int) -> Optional[int]:
+        """First round index at whose end ``node`` knew ``token``.
+
+        Requires knowledge recording; returns ``None`` if never observed.
+        """
+        if not self.record_knowledge:
+            raise ValueError("trace was recorded without knowledge snapshots")
+        for rt in self.rounds:
+            if token in rt.knowledge.get(node, frozenset()):
+                return rt.round_index
+        return None
+
+    def token_path(self, token: int) -> List[Tuple[int, int, int]]:
+        """Transmission hops that carried ``token``: (round, sender, receiver).
+
+        A broadcast delivered to three neighbours yields three hops.  The
+        result lets examples render the member → head → gateway → head
+        journey of Figure 3.
+        """
+        hops: List[Tuple[int, int, int]] = []
+        for rt in self.rounds:
+            for ev in rt.deliveries:
+                if token in ev.message.tokens:
+                    hops.append((rt.round_index, ev.message.sender, ev.receiver))
+        return hops
+
+    def describe_round(self, round_index: int) -> str:
+        """Human-readable one-paragraph summary of one round."""
+        rt = self.rounds[round_index]
+        lines = [f"round {rt.round_index}: {len(rt.sends)} transmissions, "
+                 f"{rt.tokens_sent()} tokens on air"]
+        for msg, role in rt.sends:
+            kind = msg.delivery.value
+            dst = f" -> {msg.dest}" if msg.dest is not None else ""
+            toks = ",".join(map(str, sorted(msg.tokens)))
+            lines.append(f"  node {msg.sender} ({role}) {kind}{dst}: {{{toks}}}")
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Plain-text visualisation: cluster diagrams, adjacency, progress curves.
+
+No plotting dependency — output renders in any terminal or log, which is
+what the examples and benchmark artifacts need.  Three views:
+
+* :func:`render_clusters` — one line per cluster with role-tagged members
+  and the gateway backbone (the Figure 1 style).
+* :func:`render_adjacency` — a compact triangular adjacency matrix for
+  small snapshots (debugging aid).
+* :func:`sparkline` / :func:`render_progress` — Unicode sparkline of a
+  metric series, e.g. per-round coverage (the dissemination S-curve).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .graphs.trace import GraphTrace
+from .roles import Role
+from .sim.metrics import Metrics
+from .sim.topology import Snapshot
+
+__all__ = [
+    "render_adjacency",
+    "render_clusters",
+    "render_progress",
+    "sparkline",
+]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def render_clusters(snapshot: Snapshot) -> str:
+    """Figure-1-style text rendering of a clustered snapshot."""
+    snapshot._require_clustered()
+    lines: List[str] = []
+    for head, members in sorted(snapshot.clusters().items()):
+        tags = ", ".join(
+            f"{v}({snapshot.role(v)})" for v in sorted(members)
+        )
+        lines.append(f"cluster {head}: {tags}")
+    unaff = [v for v in range(snapshot.n) if snapshot.head(v) is None]
+    if unaff:
+        lines.append(f"unaffiliated: {', '.join(map(str, unaff))}")
+    gws = sorted(
+        v for v in range(snapshot.n) if snapshot.role(v) is Role.GATEWAY
+    )
+    if gws:
+        lines.append(f"gateways: {', '.join(map(str, gws))}")
+    return "\n".join(lines)
+
+
+def render_adjacency(snapshot: Snapshot, max_n: int = 40) -> str:
+    """Triangular 0/1 adjacency matrix; refuses snapshots bigger than ``max_n``."""
+    n = snapshot.n
+    if n > max_n:
+        raise ValueError(
+            f"snapshot has {n} nodes; adjacency rendering capped at {max_n}"
+        )
+    width = len(str(n - 1))
+    lines = []
+    for u in range(n):
+        cells = "".join(
+            "#" if v in snapshot.adj[u] else "." for v in range(u)
+        )
+        lines.append(f"{u:>{width}} {cells}")
+    footer = " " * (width + 1) + "".join(str(v % 10) for v in range(n - 1))
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Unicode sparkline of a numeric series (empty string for no data).
+
+    ``width`` resamples the series to at most that many characters by
+    bucket-averaging, so long runs stay one terminal line.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket):max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(vals[int(i * bucket):max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BARS[0] * len(vals)
+    span = hi - lo
+    return "".join(
+        _BARS[min(int((v - lo) / span * (len(_BARS) - 1) + 0.5), len(_BARS) - 1)]
+        for v in vals
+    )
+
+
+def render_progress(metrics: Metrics, n: int, k: int, width: int = 60) -> str:
+    """The dissemination S-curve: per-round coverage as a sparkline.
+
+    Coverage is the fraction of (node, token) pairs known, ending at 1.0
+    on completion.
+    """
+    full = n * k
+    if full == 0 or not metrics.per_round_coverage:
+        return "(no progress data)"
+    fractions = [c / full for c in metrics.per_round_coverage]
+    line = sparkline(fractions, width=width)
+    last = fractions[-1]
+    status = (
+        f"complete @ round {metrics.completion_round}"
+        if metrics.complete
+        else f"{last:.0%} after {metrics.rounds} rounds"
+    )
+    return f"coverage {line} {status}"

@@ -1,0 +1,104 @@
+"""Tests for adaptive adversaries and the engine's adaptivity hook."""
+
+import pytest
+
+from repro.baselines.flooding import make_flood_all_factory, make_flood_new_factory
+from repro.graphs.adversary import KnowledgeClusteringAdversary, QuarantineAdversary
+from repro.graphs.generators.worstcase import shuffled_path_trace
+from repro.sim.engine import run
+from repro.sim.messages import initial_assignment
+
+
+class TestProtocol:
+    def test_oblivious_access_rejected(self):
+        adv = KnowledgeClusteringAdversary(5, seed=0)
+        with pytest.raises(RuntimeError):
+            adv.snapshot(0)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            QuarantineAdversary(1)
+
+    def test_engine_calls_adaptive_hook(self):
+        adv = QuarantineAdversary(6, seed=1)
+        run(adv, make_flood_all_factory(), k=1,
+            initial={0: frozenset({0})}, max_rounds=3)
+        assert adv.rounds_served == 3
+
+    def test_each_round_is_a_path(self):
+        adv = KnowledgeClusteringAdversary(8, seed=2)
+        snap = adv.adaptive_snapshot(0, {v: frozenset() for v in range(8)})
+        degs = sorted(snap.degree(v) for v in range(8))
+        assert degs == [1, 1] + [2] * 6
+
+
+class TestQuarantine:
+    def test_single_token_takes_n_minus_1_rounds(self):
+        """The informed node is pushed to the path's end every round, so
+        one token needs exactly n−1 rounds — the flooding lower bound."""
+        n = 10
+        adv = QuarantineAdversary(n, seed=3)
+        res = run(adv, make_flood_all_factory(), k=1,
+                  initial={4: frozenset({0})}, max_rounds=2 * n,
+                  stop_when_complete=True)
+        assert res.complete
+        assert res.metrics.completion_round == n - 1
+
+    def test_guaranteed_flooding_still_completes(self):
+        n = 12
+        adv = QuarantineAdversary(n, seed=4)
+        res = run(adv, make_flood_all_factory(), k=3,
+                  initial=initial_assignment(3, n, mode="spread"),
+                  max_rounds=4 * n, stop_when_complete=True)
+        assert res.complete
+
+
+class TestKnowledgeClustering:
+    def test_slower_than_oblivious_random_path(self):
+        """The adaptive pairing adversary beats (i.e. slows more than) an
+        oblivious random path against full flooding."""
+        n, k = 16, 4
+        init = initial_assignment(k, n, mode="spread")
+
+        adaptive = run(
+            KnowledgeClusteringAdversary(n, seed=5),
+            make_flood_all_factory(), k=k, initial=init,
+            max_rounds=8 * n, stop_when_complete=True,
+        )
+        oblivious = run(
+            shuffled_path_trace(n, rounds=8 * n, seed=5),
+            make_flood_all_factory(), k=k, initial=init,
+            max_rounds=8 * n, stop_when_complete=True,
+        )
+        assert adaptive.complete and oblivious.complete
+        assert (
+            adaptive.metrics.completion_round
+            >= oblivious.metrics.completion_round
+        )
+
+    def test_epidemic_flooding_struggles(self):
+        """Without repetition, the adaptive adversary can starve epidemic
+        flooding far beyond its static-graph completion time (and often
+        forever — we assert non-completion within a generous budget)."""
+        n, k = 12, 3
+        res = run(
+            KnowledgeClusteringAdversary(n, seed=6),
+            make_flood_new_factory(), k=k,
+            initial=initial_assignment(k, n, mode="spread"),
+            max_rounds=2 * n,
+        )
+        # either incomplete, or took much longer than static diameter
+        assert (not res.complete) or res.metrics.completion_round > n // 2
+
+    def test_deterministic_given_seed(self):
+        n, k = 10, 2
+        init = initial_assignment(k, n, mode="spread")
+
+        def go():
+            return run(KnowledgeClusteringAdversary(n, seed=7),
+                       make_flood_all_factory(), k=k, initial=init,
+                       max_rounds=4 * n, stop_when_complete=True)
+
+        a, b = go(), go()
+        assert a.metrics.completion_round == b.metrics.completion_round
+        assert a.metrics.tokens_sent == b.metrics.tokens_sent

@@ -1,0 +1,156 @@
+"""Tests for the d-hop Algorithm-1 generalisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multihop.algorithm1_dhop import (
+    DHopAlgorithm1Node,
+    make_dhop_algorithm1_factory,
+)
+from repro.multihop.dissemination import make_dhop_factory
+from repro.multihop.scenario import DHopParams, generate_dhop
+from repro.roles import Role
+from repro.sim.engine import run
+from repro.sim.messages import Message, initial_assignment
+from repro.sim.node import RoundContext
+
+
+def _leaf_depth():
+    fn = lambda v, r: 1
+    fn.cluster_radius = 1
+    return fn
+
+
+def _interior_depth(radius=3):
+    fn = lambda v, r: 1
+    fn.cluster_radius = radius
+    return fn
+
+
+def _node(depth_of=None, parent=0, **kw):
+    defaults = dict(node=1, k=4, initial_tokens=frozenset({0, 2}),
+                    T=6, M=3, parent_of=lambda v, r: parent,
+                    depth_of=depth_of or _leaf_depth())
+    defaults.update(kw)
+    return DHopAlgorithm1Node(**defaults)
+
+
+def _ctx(r, node=1, role=Role.MEMBER, head=0):
+    return RoundContext(round_index=r, node=node, neighbors=frozenset({0}),
+                        role=role, head=head)
+
+
+class TestUnitRules:
+    def test_leaf_uploads_max_unknown(self):
+        node = _node()
+        msgs = node.send(_ctx(0))
+        assert len(msgs) == 1
+        assert msgs[0].tag == "up" and msgs[0].tokens == frozenset({2})
+
+    def test_leaf_never_broadcasts(self):
+        node = _node()
+        for r in range(4):
+            msgs = node.send(_ctx(r))
+            assert all(m.tag != "down" for m in msgs)
+
+    def test_interior_uploads_and_broadcasts(self):
+        node = _node(depth_of=_interior_depth())
+        msgs = node.send(_ctx(0))
+        tags = sorted(m.tag for m in msgs)
+        assert tags == ["down", "up"]
+        down = next(m for m in msgs if m.tag == "down")
+        up = next(m for m in msgs if m.tag == "up")
+        assert down.tokens == frozenset({0})   # min-first downward
+        assert up.tokens == frozenset({2})     # max-first upward
+
+    def test_parent_tokens_enter_TR_and_suppress_upload(self):
+        node = _node(initial_tokens=frozenset())
+        node.receive(_ctx(0), [Message.broadcast(0, {3}, tag="down")])
+        assert node.TR == {3}
+        assert node.send(_ctx(1)) == []  # nothing unknown to the parent
+
+    def test_reset_on_parent_change_at_phase_boundary(self):
+        parents = {0: 0}
+        node = _node(parent=None, parent_of=lambda v, r: parents.get(r // 6 * 6, 7))
+        # phase 0 rounds use parent 0; phase 1 parent 7
+        node.send(_ctx(0))
+        assert node.TSup == {2}
+        msgs = node.send(_ctx(6))  # phase 1, new parent
+        ups = [m for m in msgs if m.tag == "up"]
+        assert ups and ups[0].dest == 7
+        assert ups[0].tokens == frozenset({2})  # re-uploaded after reset
+
+    def test_TSdown_reset_each_phase(self):
+        node = _node(depth_of=_interior_depth(), initial_tokens=frozenset({0}))
+        first = [m for m in node.send(_ctx(0)) if m.tag == "down"]
+        assert first and first[0].tokens == frozenset({0})
+        # within the phase: already sent
+        assert not [m for m in node.send(_ctx(1)) if m.tag == "down"]
+        # next phase: re-broadcast (per-phase repetition, as in Fig. 4)
+        again = [m for m in node.send(_ctx(6)) if m.tag == "down"]
+        assert again and again[0].tokens == frozenset({0})
+
+    def test_head_follows_figure4(self):
+        node = _node(initial_tokens=frozenset({1, 3}))
+        msgs = node.send(_ctx(0, node=1, role=Role.HEAD, head=1))
+        assert msgs[0].tag == "down"
+        assert msgs[0].tokens == frozenset({1})
+
+    def test_stops_after_M_phases(self):
+        node = _node()
+        ctx = _ctx(18)  # phase 3 with T=6, M=3
+        assert node.send(ctx) == []
+        assert node.finished(ctx)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            _node(T=0)
+        with pytest.raises(ValueError):
+            _node(M=0)
+
+
+class TestEndToEnd:
+    def _run(self, d, seed=3, n=40, k=4, num_heads=4, alpha=2, L=2, reaff=0.1):
+        T = k + alpha * (L + 2 * d)
+        M = num_heads + 2
+        params = DHopParams(n=n, num_heads=num_heads, T=T, phases=M, d=d,
+                            L=L, reaffiliation_p=reaff, churn_p=0.0)
+        scen = generate_dhop(params, seed=seed)
+        res = run(
+            scen.trace,
+            make_dhop_algorithm1_factory(T=T, M=M, scenario=scen),
+            k=k,
+            initial=initial_assignment(k, n, mode="spread"),
+            max_rounds=M * T,
+        )
+        return scen, res
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_completes_at_each_radius(self, d):
+        _, res = self._run(d)
+        assert res.complete, res.missing()
+
+    def test_much_cheaper_than_full_set_variant(self):
+        """The point of the Algorithm-1 style: one token per transmission
+        with per-phase dedup beats full-TA repetition by a wide margin."""
+        d, k, n = 2, 4, 40
+        T = k + 2 * (2 + 2 * d)
+        M = 6
+        params = DHopParams(n=n, num_heads=4, T=T, phases=M, d=d, L=2,
+                            reaffiliation_p=0.1, churn_p=0.0)
+        scen = generate_dhop(params, seed=3)
+        init = initial_assignment(k, n, mode="spread")
+        lean = run(scen.trace,
+                   make_dhop_algorithm1_factory(T=T, M=M, scenario=scen),
+                   k=k, initial=init, max_rounds=M * T)
+        bulky = run(scen.trace, make_dhop_factory(M=M * T, scenario=scen),
+                    k=k, initial=init, max_rounds=M * T)
+        assert lean.complete and bulky.complete
+        assert lean.metrics.tokens_sent * 3 < bulky.metrics.tokens_sent
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 3000))
+    def test_randomised_completion(self, seed):
+        _, res = self._run(2, seed=seed, n=30, k=3, num_heads=3, reaff=0.2)
+        assert res.complete

@@ -1,0 +1,93 @@
+"""Tests for the Remark-1 variant (∞-stable head set)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm1 import make_algorithm1_factory
+from repro.core.algorithm1_stable import (
+    Algorithm1StableHeadsNode,
+    make_algorithm1_stable_factory,
+)
+from repro.core.bounds import algorithm1_stable_phases, required_T
+from repro.graphs.generators.hinet import HiNetParams, generate_hinet
+from repro.roles import Role
+from repro.sim.engine import run
+from repro.sim.messages import initial_assignment
+from repro.sim.node import RoundContext
+
+
+def _ctx(r, node=1, role=Role.MEMBER, head=0):
+    return RoundContext(round_index=r, node=node, neighbors=frozenset({0}),
+                        role=role, head=head)
+
+
+def _scenario(k=4, alpha=2, L=2, num_heads=5, n=30, seed=1, reaff=0.3):
+    """∞-stable head set: head_churn = 0."""
+    T = required_T(k, alpha, L)
+    M = algorithm1_stable_phases(num_heads, alpha)
+    scen = generate_hinet(
+        HiNetParams(n=n, theta=num_heads, num_heads=num_heads, T=T, phases=M,
+                    L=L, reaffiliation_p=reaff, head_churn=0, churn_p=0.0),
+        seed=seed,
+    )
+    return scen, T, M
+
+
+class TestMemberRule:
+    def test_uploads_in_phase_zero(self):
+        node = Algorithm1StableHeadsNode(1, 2, frozenset({0, 1}), T=3, M=2)
+        msgs = node.send(_ctx(0))
+        assert msgs and msgs[0].tokens == frozenset({1})
+
+    def test_silent_after_phase_zero_even_on_head_change(self):
+        node = Algorithm1StableHeadsNode(1, 2, frozenset({0, 1}), T=2, M=4)
+        node.send(_ctx(0))
+        node.send(_ctx(1))
+        # phase 1 with a NEW head: Algorithm 1 would re-upload; Remark 1 not
+        assert node.send(_ctx(2, head=9)) == []
+        assert node.send(_ctx(3, head=9)) == []
+
+    def test_heads_unchanged_from_algorithm1(self):
+        node = Algorithm1StableHeadsNode(0, 2, frozenset({0, 1}), T=3, M=1)
+        msgs = node.send(_ctx(0, node=0, role=Role.HEAD, head=0))
+        assert msgs[0].tokens == frozenset({0})  # min-unsent broadcast
+
+
+class TestRemark1EndToEnd:
+    def test_completes_within_reduced_bound(self):
+        scen, T, M = _scenario()
+        res = run(
+            scen.trace,
+            make_algorithm1_stable_factory(T=T, M=M),
+            k=4,
+            initial=initial_assignment(4, scen.params.n, mode="spread"),
+            max_rounds=M * T,
+        )
+        assert res.complete
+
+    def test_cheaper_than_algorithm1_under_reaffiliation(self):
+        """Remark 1's point: member re-affiliations no longer cost uploads."""
+        scen, T, M = _scenario(reaff=0.5, seed=7)
+        initial = initial_assignment(4, scen.params.n, mode="spread")
+        base = run(scen.trace, make_algorithm1_factory(T=T, M=M), k=4,
+                   initial=initial, max_rounds=M * T)
+        stable = run(scen.trace, make_algorithm1_stable_factory(T=T, M=M), k=4,
+                     initial=initial, max_rounds=M * T)
+        assert base.complete and stable.complete
+        member_base = base.metrics.role_tokens("member")
+        member_stable = stable.metrics.role_tokens("member")
+        assert member_stable <= member_base
+        assert stable.metrics.tokens_sent <= base.metrics.tokens_sent
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_randomised_correctness(self, seed):
+        scen, T, M = _scenario(seed=seed)
+        res = run(
+            scen.trace,
+            make_algorithm1_stable_factory(T=T, M=M),
+            k=4,
+            initial=initial_assignment(4, scen.params.n, mode="spread"),
+            max_rounds=M * T,
+        )
+        assert res.complete

@@ -1,0 +1,144 @@
+"""Tests for Algorithm 2: the Figure 5 rules and Theorems 2–4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm2 import Algorithm2Node, make_algorithm2_factory
+from repro.core.bounds import (
+    algorithm2_rounds_1interval,
+    algorithm2_rounds_stable_hierarchy,
+)
+from repro.graphs.generators.hinet import HiNetParams, generate_hinet
+from repro.roles import Role
+from repro.sim.engine import run
+from repro.sim.messages import Delivery, Message, initial_assignment
+from repro.sim.node import RoundContext
+
+
+def _ctx(r, node=1, role=Role.MEMBER, head=0, neighbors=frozenset({0})):
+    return RoundContext(round_index=r, node=node, neighbors=neighbors,
+                        role=role, head=head)
+
+
+class TestMemberRule:
+    def test_member_uploads_full_TA_in_round_zero(self):
+        node = Algorithm2Node(1, 4, frozenset({0, 2}), M=10)
+        msgs = node.send(_ctx(0))
+        assert msgs[0].delivery is Delivery.UNICAST
+        assert msgs[0].tokens == frozenset({0, 2})
+
+    def test_member_silent_while_head_stable(self):
+        node = Algorithm2Node(1, 4, frozenset({0}), M=10)
+        node.send(_ctx(0))
+        assert node.send(_ctx(1)) == []
+        assert node.send(_ctx(2)) == []
+
+    def test_member_reuploads_on_head_change(self):
+        node = Algorithm2Node(1, 4, frozenset({0}), M=10)
+        node.send(_ctx(0, head=0))
+        node.receive(_ctx(0, head=0), [Message.broadcast(0, {3})])
+        msgs = node.send(_ctx(1, head=5))
+        assert msgs[0].dest == 5
+        assert msgs[0].tokens == frozenset({0, 3})  # whole *current* TA
+
+    def test_member_with_empty_TA_sends_nothing(self):
+        node = Algorithm2Node(1, 4, frozenset(), M=10)
+        assert node.send(_ctx(0)) == []
+
+    def test_member_without_head_waits(self):
+        node = Algorithm2Node(1, 4, frozenset({0}), M=10)
+        assert node.send(_ctx(0, head=None)) == []
+        # acquiring a head later counts as a change -> upload
+        msgs = node.send(_ctx(1, head=3))
+        assert msgs and msgs[0].dest == 3
+
+
+class TestHeadRule:
+    def test_head_broadcasts_TA_every_round(self):
+        node = Algorithm2Node(0, 4, frozenset({1}), M=10)
+        for r in range(3):
+            msgs = node.send(_ctx(r, node=0, role=Role.HEAD, head=0))
+            assert msgs[0].delivery is Delivery.BROADCAST
+            assert msgs[0].tokens == frozenset({1})
+
+    def test_gateway_broadcasts_too(self):
+        node = Algorithm2Node(2, 4, frozenset({1}), M=10)
+        msgs = node.send(_ctx(0, node=2, role=Role.GATEWAY, head=0))
+        assert msgs[0].delivery is Delivery.BROADCAST
+
+    def test_stops_after_M(self):
+        node = Algorithm2Node(0, 1, frozenset({0}), M=2)
+        ctx = _ctx(2, node=0, role=Role.HEAD, head=0)
+        assert node.send(ctx) == []
+        assert node.finished(ctx)
+
+    def test_M_validated(self):
+        with pytest.raises(ValueError):
+            Algorithm2Node(0, 1, frozenset(), M=0)
+
+
+class TestRoleTransitions:
+    def test_demoted_head_uploads_to_new_head(self):
+        node = Algorithm2Node(0, 2, frozenset({0}), M=10)
+        node.send(_ctx(0, node=0, role=Role.HEAD, head=0))
+        # next round the node is a member of cluster 7: head changed 0 -> 7
+        msgs = node.send(_ctx(1, node=0, role=Role.MEMBER, head=7))
+        assert msgs and msgs[0].dest == 7
+
+
+class TestTheorems:
+    def _scen(self, n=30, theta=8, num_heads=5, L=2, rounds=None, seed=0,
+              reaff=0.4, head_churn=2):
+        rounds = algorithm2_rounds_1interval(n) if rounds is None else rounds
+        return generate_hinet(
+            HiNetParams(n=n, theta=theta, num_heads=num_heads, T=1,
+                        phases=rounds, L=L, reaffiliation_p=reaff,
+                        head_churn=head_churn, churn_p=0.0),
+            seed=seed,
+        )
+
+    def test_theorem2_completes_in_n_minus_1(self):
+        n, k = 30, 5
+        scen = self._scen(n=n)
+        M = algorithm2_rounds_1interval(n)
+        res = run(scen.trace, make_algorithm2_factory(M=M), k=k,
+                  initial=initial_assignment(k, n, mode="spread"),
+                  max_rounds=M)
+        assert res.complete
+
+    def test_theorem4_stable_hierarchy_bound(self):
+        """With a fully stable hierarchy, θ·L + 1 rounds suffice."""
+        n, k, theta, L = 30, 4, 6, 2
+        M = algorithm2_rounds_stable_hierarchy(theta, L)
+        scen = generate_hinet(
+            HiNetParams(n=n, theta=theta, num_heads=theta, T=1, phases=M,
+                        L=L, reaffiliation_p=0.0, head_churn=0, churn_p=0.0),
+            seed=3,
+        )
+        res = run(scen.trace, make_algorithm2_factory(M=M), k=k,
+                  initial=initial_assignment(k, n, mode="spread"),
+                  max_rounds=M)
+        assert res.complete
+
+    def test_member_upload_count_bounded_by_changes(self):
+        """A member uploads at most 1 + (#head changes) times (Fig. 5)."""
+        n, k = 24, 3
+        scen = self._scen(n=n, reaff=0.5, seed=9)
+        M = algorithm2_rounds_1interval(n)
+        res = run(scen.trace, make_algorithm2_factory(M=M), k=k,
+                  initial=initial_assignment(k, n, mode="spread"),
+                  max_rounds=M)
+        # total unicasts <= n * (1 + total reaffiliations)  (loose but real)
+        assert res.metrics.unicasts <= n * (1 + scen.reaffiliations)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_theorem2_randomised(self, seed):
+        n, k = 20, 4
+        scen = self._scen(n=n, seed=seed)
+        M = algorithm2_rounds_1interval(n)
+        res = run(scen.trace, make_algorithm2_factory(M=M), k=k,
+                  initial=initial_assignment(k, n, mode="spread"),
+                  max_rounds=M)
+        assert res.complete

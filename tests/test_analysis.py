@@ -1,0 +1,140 @@
+"""Tests for the Table 2 cost model and Table 3 reproduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    TABLE3_PAPER,
+    TABLE3_PARAMS,
+    TABLE3_PARAMS_ONE,
+    CostParams,
+    hinet_interval_comm,
+    hinet_interval_time,
+    hinet_one_comm,
+    hinet_one_time,
+    klo_interval_comm,
+    klo_interval_time,
+    klo_one_comm,
+    klo_one_time,
+    table2,
+    table3,
+)
+
+
+class TestTable3Exact:
+    """The paper's published Table 3 numbers, row by row."""
+
+    def test_klo_interval_row(self):
+        assert klo_interval_time(TABLE3_PARAMS) == 180
+        assert klo_interval_comm(TABLE3_PARAMS) == 8000
+
+    def test_hinet_interval_row(self):
+        assert hinet_interval_time(TABLE3_PARAMS) == 126
+        assert hinet_interval_comm(TABLE3_PARAMS) == 4320
+
+    def test_klo_one_row(self):
+        assert klo_one_time(TABLE3_PARAMS_ONE) == 99
+        assert klo_one_comm(TABLE3_PARAMS_ONE) == 79200
+
+    def test_hinet_one_row_documents_paper_slip(self):
+        """The formula yields 50 720; the paper prints 51 680 (a 960-token
+        arithmetic slip in the original)."""
+        assert hinet_one_time(TABLE3_PARAMS_ONE) == 99
+        assert hinet_one_comm(TABLE3_PARAMS_ONE) == 50720
+        assert TABLE3_PAPER["(1, L)-HiNet"]["comm_tokens"] == 51680
+
+    def test_table3_rows_complete(self):
+        rows = table3()
+        assert [r["model"] for r in rows] == list(TABLE3_PAPER)
+        for row in rows:
+            published = TABLE3_PAPER[row["model"]]
+            assert row["time_rounds"] == published["time_rounds"]
+        # three of four comm entries match the paper exactly
+        matches = sum(
+            1 for row in rows
+            if row["comm_tokens"] == TABLE3_PAPER[row["model"]]["comm_tokens"]
+        )
+        assert matches == 3
+
+
+class TestValidation:
+    def test_param_bounds(self):
+        with pytest.raises(ValueError):
+            CostParams(n0=0, theta=0, nm=0, nr=0, k=1)
+        with pytest.raises(ValueError):
+            CostParams(n0=10, theta=11, nm=0, nr=0, k=1)
+        with pytest.raises(ValueError):
+            CostParams(n0=10, theta=5, nm=11, nr=0, k=1)
+        with pytest.raises(ValueError):
+            CostParams(n0=10, theta=5, nm=5, nr=-1, k=1)
+        with pytest.raises(ValueError):
+            CostParams(n0=10, theta=5, nm=5, nr=0, k=1, alpha=0)
+
+    def test_interval_T(self):
+        assert TABLE3_PARAMS.interval_T == 18
+
+    def test_table2_accepts_distinct_one_interval_params(self):
+        rows = table2(TABLE3_PARAMS, TABLE3_PARAMS_ONE)
+        assert rows[3]["comm_tokens"] == 50720
+        rows_same = table2(TABLE3_PARAMS)
+        assert rows_same[3]["comm_tokens"] == hinet_one_comm(TABLE3_PARAMS)
+
+
+@st.composite
+def cost_params(draw):
+    n0 = draw(st.integers(2, 400))
+    theta = draw(st.integers(1, n0))
+    nm = draw(st.integers(0, n0 - 1))
+    nr = draw(st.integers(0, 20))
+    k = draw(st.integers(1, 64))
+    alpha = draw(st.integers(1, 10))
+    L = draw(st.integers(1, 3))
+    return CostParams(n0=n0, theta=theta, nm=nm, nr=nr, k=k, alpha=alpha, L=L)
+
+
+class TestModelProperties:
+    @given(p=cost_params())
+    @settings(max_examples=100, deadline=None)
+    def test_costs_non_negative(self, p):
+        for fn in (klo_interval_time, klo_interval_comm, hinet_interval_time,
+                   hinet_interval_comm, klo_one_time, klo_one_comm,
+                   hinet_one_time, hinet_one_comm):
+            assert fn(p) >= 0
+
+    @given(p=cost_params())
+    @settings(max_examples=100, deadline=None)
+    def test_comm_linear_in_k(self, p):
+        """All Table 2 communication formulas are exactly linear in k."""
+        from dataclasses import replace
+
+        p2 = replace(p, k=2 * p.k)
+        for fn in (klo_interval_comm, hinet_interval_comm, klo_one_comm,
+                   hinet_one_comm):
+            assert fn(p2) == pytest.approx(2 * fn(p))
+
+    @given(p=cost_params())
+    @settings(max_examples=100, deadline=None)
+    def test_hinet_one_beats_klo_one_when_nr_small(self, p):
+        """The paper's headline: if n_r < n0 - 1, Algorithm 2 strictly
+        undercuts 1-interval KLO communication (for nm > 0)."""
+        from dataclasses import replace
+
+        p = replace(p, nr=0)
+        if p.nm > 0 and p.k > 0:
+            assert hinet_one_comm(p) < klo_one_comm(p)
+        else:
+            assert hinet_one_comm(p) <= klo_one_comm(p)
+
+    @given(p=cost_params())
+    @settings(max_examples=100, deadline=None)
+    def test_hinet_interval_time_beats_klo_when_theta_small(self, p):
+        """Time: (⌈θ/α⌉+1) phases vs ⌈n0/(αL)⌉ phases — HiNet wins whenever
+        its phase count is smaller, both paying (k+αL) per phase."""
+        from math import ceil
+
+        hinet_phases = ceil(p.theta / p.alpha) + 1
+        klo_phases = ceil(p.n0 / (p.alpha * p.L))
+        assert (hinet_interval_time(p) <= klo_interval_time(p)) == (
+            hinet_phases <= klo_phases
+        )

@@ -1,0 +1,53 @@
+"""Tests for the theorem bounds module."""
+
+import pytest
+
+from repro.core.bounds import (
+    algorithm1_phases,
+    algorithm1_stable_phases,
+    algorithm2_rounds_1interval,
+    algorithm2_rounds_head_connectivity,
+    algorithm2_rounds_stable_hierarchy,
+    klo_interval_phases,
+    required_T,
+)
+
+
+class TestBounds:
+    def test_required_T(self):
+        assert required_T(8, 5, 2) == 18  # Table 3's phase length
+
+    def test_algorithm1_phases_table3(self):
+        assert algorithm1_phases(30, 5) == 7  # ceil(30/5) + 1
+
+    def test_algorithm1_phases_ceiling(self):
+        assert algorithm1_phases(31, 5) == 8
+
+    def test_stable_phases_uses_actual_heads(self):
+        assert algorithm1_stable_phases(10, 5) == 3
+        assert algorithm1_stable_phases(10, 5) <= algorithm1_phases(30, 5)
+
+    def test_algorithm2_theorem2(self):
+        assert algorithm2_rounds_1interval(100) == 99
+        assert algorithm2_rounds_1interval(1) == 1  # degenerate floor
+
+    def test_algorithm2_theorem3(self):
+        assert algorithm2_rounds_head_connectivity(30, 5) == 7
+
+    def test_algorithm2_theorem4(self):
+        assert algorithm2_rounds_stable_hierarchy(30, 2) == 61
+
+    def test_klo_phases_table3(self):
+        assert klo_interval_phases(100, 5, 2) == 10
+
+    @pytest.mark.parametrize("fn,args", [
+        (required_T, (0, 1, 1)),
+        (algorithm1_phases, (0, 1)),
+        (algorithm1_phases, (5, 0)),
+        (algorithm2_rounds_1interval, (0,)),
+        (algorithm2_rounds_stable_hierarchy, (5, 0)),
+        (klo_interval_phases, (5, 1, 0)),
+    ])
+    def test_positive_validation(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)

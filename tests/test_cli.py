@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.seed == 2013
+        assert not args.simulate
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "(k+a*L, L)-HiNet" in out
+        assert "4320" in out
+
+    def test_table2_custom_params(self, capsys):
+        main(["table2", "--n0", "50", "--theta", "10", "--nm", "20",
+              "--k", "4", "--alpha", "2"])
+        out = capsys.readouterr().out
+        assert "1-interval connected [7]" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "180" in out and "-960" in out
+
+    def test_table3_simulated(self, capsys):
+        assert main(["--seed", "2013", "table3", "--simulate", "--n0", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "measured_comm" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "cluster 0" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "lattice" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "token 0 starts at member" in capsys.readouterr().out
+
+    def test_sweep_n_small(self, capsys):
+        assert main(["sweep-n", "--sizes", "40", "60", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "comm_ratio" in out
+
+    def test_sweep_nr_small(self, capsys):
+        assert main(["sweep-nr", "--ps", "0.0", "0.5", "--n0", "30",
+                     "--theta", "9"]) == 0
+        assert "empirical_nr" in capsys.readouterr().out
+
+    def test_ablation_small(self, capsys):
+        assert main(["ablation", "--alphas", "2", "--Ls", "2"]) == 0
+        assert "alg1_stable_comm" in capsys.readouterr().out
+
+    def test_mobility_small(self, capsys):
+        assert main(["mobility", "--nodes", "20", "--rounds", "25",
+                     "--radius", "70"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 2 (HiNet)" in out
+
+    def test_count_hierarchical(self, capsys):
+        assert main(["count", "--n0", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "exact=True" in out
+
+    def test_count_kcommittee(self, capsys):
+        assert main(["count", "--n0", "10", "--method", "kcommittee"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted at k=" in out
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "--n0", "24", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier:" in out
+        assert "Algorithm 2" in out

@@ -1,0 +1,177 @@
+"""Tests for clustering algorithms, gateways, and hierarchy assignment."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.gateways import backbone_hop_bound, select_gateways
+from repro.clustering.hierarchy import ClusterAssignment
+from repro.clustering.highest_degree import highest_degree_clustering
+from repro.clustering.lowest_id import lowest_id_clustering, sweep_clustering
+from repro.clustering.wcds import greedy_dominating_set, wcds_clustering
+from repro.graphs.generators.static import erdos_renyi, path_graph, random_connected_graph
+from repro.sim.topology import Snapshot
+
+
+def _snap(graph) -> Snapshot:
+    return Snapshot.from_networkx(graph)
+
+
+class TestClusterAssignment:
+    def test_heads_derived(self):
+        asg = ClusterAssignment(head_of=(0, 0, 2, 2))
+        assert asg.heads == frozenset({0, 2})
+
+    def test_roles(self):
+        asg = ClusterAssignment(head_of=(0, 0, 0), gateways=frozenset({2}))
+        assert [r.value for r in asg.roles()] == ["h", "m", "g"]
+
+    def test_clusters(self):
+        asg = ClusterAssignment(head_of=(0, 0, 2, 2))
+        assert asg.clusters() == {0: frozenset({0, 1}), 2: frozenset({2, 3})}
+
+    def test_affiliation_to_nonhead_rejected(self):
+        with pytest.raises(ValueError, match="not a head"):
+            ClusterAssignment(head_of=(0, 2, 0))
+
+    def test_head_as_gateway_rejected(self):
+        with pytest.raises(ValueError, match="gateway"):
+            ClusterAssignment(head_of=(0, 0), gateways=frozenset({0}))
+
+    def test_validate_against_graph(self):
+        asg = ClusterAssignment(head_of=(0, 0, 0))
+        snap = Snapshot.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="not adjacent"):
+            asg.validate(snap)
+
+    def test_validate_requires_affiliation(self):
+        asg = ClusterAssignment(head_of=(0, None))
+        snap = Snapshot.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="unaffiliated"):
+            asg.validate(snap)
+
+    def test_annotate(self):
+        asg = ClusterAssignment(head_of=(0, 0))
+        snap = Snapshot.from_edges(2, [(0, 1)])
+        annotated = asg.annotate(snap)
+        assert annotated.clustered
+        annotated.validate_hierarchy()
+
+
+class TestLowestId:
+    def test_path_clusters(self):
+        asg = lowest_id_clustering(_snap(path_graph(5)))
+        # sweep: 0 takes 1; 2 takes 3; 4 alone
+        assert asg.heads == frozenset({0, 2, 4})
+        assert asg.head_of == (0, 0, 2, 2, 4)
+
+    def test_heads_form_independent_set(self):
+        g = random_connected_graph(30, 0.1, seed=4)
+        snap = _snap(g)
+        asg = lowest_id_clustering(snap)
+        for h in asg.heads:
+            assert not (snap.adj[h] & asg.heads)
+
+    def test_every_node_covered_and_adjacent(self):
+        g = random_connected_graph(30, 0.1, seed=5)
+        snap = _snap(g)
+        lowest_id_clustering(snap).validate(snap)
+
+    def test_sweep_requires_permutation(self):
+        with pytest.raises(ValueError):
+            sweep_clustering(_snap(path_graph(3)), [0, 0, 1])
+
+    @given(seed=st.integers(0, 300), n=st.integers(2, 25), p=st.floats(0.05, 0.6))
+    @settings(max_examples=25, deadline=None)
+    def test_structural_invariants_random_graphs(self, seed, n, p):
+        snap = _snap(erdos_renyi(n, p, seed=seed))
+        asg = lowest_id_clustering(snap)
+        asg.validate(snap)  # full cover + adjacency, any graph incl. disconnected
+        for h in asg.heads:
+            assert not (snap.adj[h] & asg.heads)
+
+
+class TestHighestDegree:
+    def test_hub_becomes_head(self):
+        star_plus = nx.star_graph(4)  # node 0 centre
+        star_plus.add_edge(1, 2)
+        asg = highest_degree_clustering(_snap(star_plus))
+        assert 0 in asg.heads
+        assert asg.head_of[3] == 0
+
+    def test_usually_fewer_or_equal_heads_than_lowest_id_on_hub_graphs(self):
+        g = nx.barbell_graph(5, 2)
+        snap = _snap(g)
+        hd = highest_degree_clustering(snap)
+        li = lowest_id_clustering(snap)
+        assert len(hd.heads) <= len(li.heads) + 1
+
+    def test_valid_assignment(self):
+        g = random_connected_graph(25, 0.15, seed=7)
+        snap = _snap(g)
+        highest_degree_clustering(snap).validate(snap)
+
+
+class TestWcds:
+    def test_dominating_set_dominates(self):
+        g = random_connected_graph(30, 0.1, seed=9)
+        snap = _snap(g)
+        doms = set(greedy_dominating_set(snap))
+        for v in range(snap.n):
+            assert v in doms or (snap.adj[v] & doms)
+
+    def test_clustering_valid(self):
+        g = random_connected_graph(30, 0.1, seed=11)
+        snap = _snap(g)
+        wcds_clustering(snap).validate(snap)
+
+    def test_hub_graph_single_dominator(self):
+        snap = _snap(nx.star_graph(6))
+        assert greedy_dominating_set(snap) == [0]
+
+    def test_realized_L_at_most_3_on_connected_graphs(self):
+        """The WCDS property the paper cites: backbone hop bound <= 3."""
+        for seed in range(8):
+            g = random_connected_graph(40, 0.08, seed=seed)
+            snap = _snap(g)
+            asg = wcds_clustering(snap)
+            bound = backbone_hop_bound(snap, asg)
+            assert bound is not None and bound <= 3, (seed, bound)
+
+
+class TestGateways:
+    def test_path_heads_get_interior_gateways(self):
+        snap = _snap(path_graph(5))
+        asg = lowest_id_clustering(snap)  # heads {0, 2, 4}
+        with_gw, L = select_gateways(snap, asg)
+        assert L == 2
+        assert with_gw.gateways == frozenset({1, 3})
+        with_gw.validate(snap)
+
+    def test_adjacent_heads_no_gateways(self):
+        snap = Snapshot.from_edges(2, [(0, 1)])
+        asg = ClusterAssignment(head_of=(0, 1))
+        with_gw, L = select_gateways(snap, asg)
+        assert L == 1
+        assert with_gw.gateways == frozenset()
+
+    def test_single_head(self):
+        snap = _snap(nx.star_graph(3))
+        asg = ClusterAssignment(head_of=(0, 0, 0, 0))
+        with_gw, L = select_gateways(snap, asg)
+        assert L == 0
+        assert with_gw.gateways == frozenset()
+
+    def test_disconnected_heads_return_none(self):
+        snap = Snapshot.from_edges(4, [(0, 1), (2, 3)])
+        asg = ClusterAssignment(head_of=(0, 0, 2, 2))
+        _, L = select_gateways(snap, asg)
+        assert L is None
+
+    def test_heads_never_flagged_gateway(self):
+        g = random_connected_graph(30, 0.1, seed=13)
+        snap = _snap(g)
+        asg, L = select_gateways(snap, lowest_id_clustering(snap))
+        assert not (asg.gateways & asg.heads)
+        assert L is not None

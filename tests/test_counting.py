@@ -1,0 +1,56 @@
+"""Tests for counting (network-size estimation) via dissemination."""
+
+import pytest
+
+from repro.core.counting import CountingResult, count_flat, count_hierarchical
+from repro.experiments.scenarios import hinet_one_scenario
+from repro.graphs.generators.static import path_graph, static_trace
+from repro.graphs.generators.worstcase import shuffled_path_trace
+
+
+class TestCountFlat:
+    def test_exact_on_static_path(self):
+        trace = static_trace(path_graph(12), rounds=11)
+        res = count_flat(trace)
+        assert res.exact
+        assert all(c == 12 for c in res.counts.values())
+
+    def test_exact_on_worstcase_dynamics(self):
+        trace = shuffled_path_trace(16, rounds=15, seed=2)
+        res = count_flat(trace)
+        assert res.exact
+
+    def test_insufficient_rounds_underestimates(self):
+        trace = static_trace(path_graph(12), rounds=11)
+        res = count_flat(trace, rounds=2)
+        assert not res.exact
+        # endpoints of the path see at most 3 nodes in 2 rounds
+        assert res.counts[0] <= 3
+
+    def test_single_node(self):
+        trace = static_trace(path_graph(1), rounds=1)
+        res = count_flat(trace)
+        assert res.exact and res.counts[0] == 1
+
+
+class TestCountHierarchical:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return hinet_one_scenario(n0=24, theta=8, k=1, L=2, seed=6)
+
+    def test_exact_on_hinet(self, scenario):
+        res = count_hierarchical(scenario.trace)
+        assert res.exact
+
+    def test_cheaper_than_flat_counting(self, scenario):
+        """The paper's communication saving carries over to counting."""
+        hier = count_hierarchical(scenario.trace)
+        flat = count_flat(scenario.trace)
+        assert hier.exact and flat.exact
+        assert hier.tokens_sent < flat.tokens_sent
+
+    def test_result_record_fields(self, scenario):
+        res = count_hierarchical(scenario.trace)
+        assert isinstance(res, CountingResult)
+        assert res.rounds <= 23
+        assert res.tokens_sent > 0

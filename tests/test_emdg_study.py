@@ -1,0 +1,35 @@
+"""Tests for the clustered-EMDG future-work study."""
+
+import pytest
+
+from repro.experiments.emdg_study import emdg_cluster_study
+
+
+class TestEmdgStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return emdg_cluster_study(
+            pq_grid=((0.02, 0.05), (0.1, 0.5)), n=30, rounds=40, k=3, seed=71
+        )
+
+    def test_row_per_grid_cell(self, rows):
+        assert [(r["p"], r["q"]) for r in rows] == [(0.02, 0.05), (0.1, 0.5)]
+
+    def test_all_complete(self, rows):
+        assert all(r["alg2_complete"] and r["klo_complete"] for r in rows)
+
+    def test_volatility_raises_reaffiliation(self, rows):
+        calm, stormy = rows
+        assert stormy["nr"] >= calm["nr"]
+
+    def test_hierarchy_saves_on_emdg(self, rows):
+        for r in rows:
+            assert r["alg2_comm"] < r["klo_comm"], r
+
+    def test_stationary_density_reported(self, rows):
+        assert rows[0]["density"] == pytest.approx(0.02 / 0.07, abs=1e-3)
+
+    def test_deterministic(self):
+        a = emdg_cluster_study(pq_grid=((0.05, 0.2),), n=20, rounds=20, seed=9)
+        b = emdg_cluster_study(pq_grid=((0.05, 0.2),), n=20, rounds=20, seed=9)
+        assert a == b

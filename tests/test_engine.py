@@ -1,0 +1,175 @@
+"""Unit and behavioural tests for the synchronous engine."""
+
+import pytest
+
+from repro.graphs.trace import GraphTrace
+from repro.sim.engine import SynchronousEngine, run
+from repro.sim.messages import Message
+from repro.sim.node import NodeAlgorithm
+from repro.sim.topology import Snapshot
+
+
+class Echo(NodeAlgorithm):
+    """Broadcast everything known every round (mini-flooding for tests)."""
+
+    def send(self, ctx):
+        if not self.TA:
+            return []
+        return [Message.broadcast(self.node, self.TA)]
+
+    def receive(self, ctx, inbox):
+        for m in inbox:
+            self.TA |= m.tokens
+
+
+class UnicastOnce(NodeAlgorithm):
+    """Node 0 unicasts its token to a fixed dest in round 0."""
+
+    dest = 1
+
+    def send(self, ctx):
+        if ctx.round_index == 0 and self.TA:
+            return [Message.unicast(self.node, self.dest, self.TA)]
+        return []
+
+    def receive(self, ctx, inbox):
+        for m in inbox:
+            self.TA |= m.tokens
+
+
+class Silent(NodeAlgorithm):
+    def send(self, ctx):
+        return []
+
+    def receive(self, ctx, inbox):
+        pass
+
+    def finished(self, ctx):
+        return True
+
+
+def _line(n, rounds=10):
+    snap = Snapshot.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    return GraphTrace.constant(snap, rounds=rounds)
+
+
+class TestBasicRun:
+    def test_flood_completes_on_path(self):
+        net = _line(5)
+        res = run(net, lambda v, k, init: Echo(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=10,
+                  stop_when_complete=True)
+        assert res.complete
+        # one token crossing a 5-path takes exactly 4 rounds
+        assert res.metrics.completion_round == 4
+
+    def test_outputs_are_final_token_sets(self):
+        net = _line(3)
+        res = run(net, lambda v, k, init: Echo(v, k, init), k=2,
+                  initial={0: frozenset({0}), 2: frozenset({1})},
+                  max_rounds=5, stop_when_complete=True)
+        assert res.outputs == {v: frozenset({0, 1}) for v in range(3)}
+        assert res.missing() == {}
+
+    def test_missing_reports_gaps(self):
+        net = _line(3, rounds=1)
+        res = run(net, lambda v, k, init: Echo(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=1)
+        assert not res.complete
+        assert res.missing() == {2: frozenset({0})}
+
+    def test_stop_when_all_finished(self):
+        net = _line(4)
+        res = run(net, lambda v, k, init: Silent(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=50)
+        assert res.metrics.rounds == 1  # everyone finished after round 0
+
+
+class TestDeliverySemantics:
+    def test_unicast_delivered_to_neighbor(self):
+        net = _line(3)
+        res = run(net, lambda v, k, init: UnicastOnce(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=1)
+        assert 0 in res.outputs[1]
+        assert 0 not in res.outputs[2]
+
+    def test_unicast_to_non_neighbor_dropped_but_charged(self):
+        class FarUnicast(UnicastOnce):
+            dest = 2  # not adjacent to 0 on a path
+
+        net = _line(3)
+        res = run(net, lambda v, k, init: FarUnicast(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=1)
+        assert 0 not in res.outputs[2]
+        assert res.metrics.dropped_unicasts == 1
+        assert res.metrics.tokens_sent == 1  # the radio still transmitted
+
+    def test_broadcast_costs_once_regardless_of_audience(self):
+        star = Snapshot.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        net = GraphTrace.constant(star, rounds=1)
+        res = run(net, lambda v, k, init: Echo(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=1)
+        # node 0 broadcast 1 token to 3 neighbours: cost 1, delivery x3
+        assert res.metrics.tokens_sent == 1
+        assert all(0 in res.outputs[v] for v in range(4))
+
+    def test_same_round_send_receive_no_relay(self):
+        """A message cannot be relayed onward within the round it arrives."""
+        net = _line(3, rounds=1)
+        res = run(net, lambda v, k, init: Echo(v, k, init), k=1,
+                  initial={0: frozenset({0})}, max_rounds=1)
+        assert 0 in res.outputs[1]
+        assert 0 not in res.outputs[2]
+
+
+class TestValidation:
+    def test_sender_spoofing_rejected(self):
+        class Spoof(NodeAlgorithm):
+            def send(self, ctx):
+                return [Message.broadcast(99, self.TA or {0})]
+
+            def receive(self, ctx, inbox):
+                pass
+
+        net = _line(2)
+        with pytest.raises(ValueError, match="sender"):
+            run(net, lambda v, k, init: Spoof(v, k, init), k=1,
+                initial={0: frozenset({0})}, max_rounds=1)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            run(_line(2), lambda v, k, init: Echo(v, k, init), k=-1,
+                initial={}, max_rounds=1)
+
+    def test_initial_out_of_universe_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            run(_line(2), lambda v, k, init: Echo(v, k, init), k=1,
+                initial={0: frozenset({5})}, max_rounds=1)
+
+    def test_initial_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="node"):
+            run(_line(2), lambda v, k, init: Echo(v, k, init), k=1,
+                initial={9: frozenset({0})}, max_rounds=1)
+
+
+class TestTraceRecording:
+    def test_trace_records_sends_and_deliveries(self):
+        net = _line(3)
+        engine = SynchronousEngine(record_trace=True)
+        res = engine.run(net, lambda v, k, init: Echo(v, k, init), k=1,
+                         initial={0: frozenset({0})}, max_rounds=2,
+                         stop_when_complete=True)
+        assert res.trace is not None
+        first = res.trace.rounds[0]
+        assert len(first.sends) == 1
+        assert first.tokens_sent() == 1
+
+    def test_knowledge_snapshots(self):
+        net = _line(3)
+        engine = SynchronousEngine(record_knowledge=True)
+        res = engine.run(net, lambda v, k, init: Echo(v, k, init), k=1,
+                         initial={0: frozenset({0})}, max_rounds=3,
+                         stop_when_complete=True)
+        assert res.trace.first_heard(2, 0) == 1
+        hops = res.trace.token_path(0)
+        assert (0, 0, 1) in hops  # round 0: node 0 -> node 1

@@ -1,0 +1,69 @@
+"""Tests for declarative grid sweeps."""
+
+import pytest
+
+from repro.experiments.grid import grid_cells, grid_sweep
+
+
+def _cell(seed, n0, alpha):
+    return {"n0": n0, "alpha": alpha, "seed": seed, "cost": n0 * alpha}
+
+
+def _real_cell(seed, n0):
+    from repro.experiments.runner import run_algorithm1
+    from repro.experiments.scenarios import hinet_interval_scenario
+
+    s = hinet_interval_scenario(n0=n0, theta=max(n0 * 3 // 10, 2), k=2,
+                                alpha=2, L=2, seed=seed, verify=False)
+    rec = run_algorithm1(s)
+    return {"n0": n0, "tokens": rec.tokens_sent, "complete": rec.complete}
+
+
+class TestGridCells:
+    def test_cartesian_product_ordered(self):
+        cells = grid_cells({"b": [1, 2], "a": ["x", "y"]})
+        assert cells == [
+            {"a": "x", "b": 1}, {"a": "x", "b": 2},
+            {"a": "y", "b": 1}, {"a": "y", "b": 2},
+        ]
+
+    def test_empty_grid_single_cell(self):
+        assert grid_cells({}) == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            grid_cells({"a": []})
+
+
+class TestGridSweep:
+    def test_rows_per_cell_with_params(self):
+        rows = grid_sweep(_cell, {"n0": [10, 20], "alpha": [1, 3]}, seed=5)
+        assert len(rows) == 4
+        # keys iterate sorted ("alpha" outer, "n0" inner)
+        assert [r["cost"] for r in rows] == [10, 20, 30, 60]
+
+    def test_seeds_distinct_and_reproducible(self):
+        a = grid_sweep(_cell, {"n0": [10, 20], "alpha": [1]}, seed=5)
+        b = grid_sweep(_cell, {"n0": [10, 20], "alpha": [1]}, seed=5)
+        assert a == b
+        assert a[0]["seed"] != a[1]["seed"]
+
+    def test_reshaping_grid_keeps_cell_seeds(self):
+        """A cell's seed depends on its parameters, not its position."""
+        small = grid_sweep(_cell, {"n0": [10], "alpha": [1, 2]}, seed=5)
+        big = grid_sweep(_cell, {"n0": [10, 20], "alpha": [1, 2]}, seed=5)
+        by_params = {(r["n0"], r["alpha"]): r["seed"] for r in big}
+        for r in small:
+            assert by_params[(r["n0"], r["alpha"])] == r["seed"]
+
+    def test_parallel_matches_serial(self):
+        serial = grid_sweep(_cell, {"n0": [1, 2, 3], "alpha": [4]},
+                            seed=9, processes=1)
+        parallel = grid_sweep(_cell, {"n0": [1, 2, 3], "alpha": [4]},
+                              seed=9, processes=2)
+        assert serial == parallel
+
+    def test_real_simulation_grid(self):
+        rows = grid_sweep(_real_cell, {"n0": [20, 30]}, seed=3)
+        assert all(r["complete"] for r in rows)
+        assert rows[0]["tokens"] < rows[1]["tokens"]

@@ -1,0 +1,130 @@
+"""Unit tests for repro.sim.messages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.messages import (
+    Delivery,
+    Message,
+    TokenDomain,
+    initial_assignment,
+    token_range,
+)
+from repro.sim.rng import make_rng
+
+
+class TestTokenRange:
+    def test_basic(self):
+        assert token_range(3) == frozenset({0, 1, 2})
+
+    def test_empty(self):
+        assert token_range(0) == frozenset()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            token_range(-1)
+
+
+class TestMessage:
+    def test_broadcast_constructor(self):
+        m = Message.broadcast(2, [1, 3])
+        assert m.delivery is Delivery.BROADCAST
+        assert m.tokens == frozenset({1, 3})
+        assert m.dest is None
+
+    def test_unicast_constructor(self):
+        m = Message.unicast(2, 5, [0])
+        assert m.delivery is Delivery.UNICAST
+        assert m.dest == 5
+
+    def test_cost_is_token_count(self):
+        assert Message.broadcast(0, [1, 2, 3]).cost == 3
+        assert Message.broadcast(0, []).cost == 0
+
+    def test_payload_cost_added(self):
+        m = Message(sender=0, tokens=frozenset(), payload=0b101, payload_cost=1)
+        assert m.cost == 1
+
+    def test_payload_requires_cost(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, tokens=frozenset(), payload=7)
+
+    def test_negative_payload_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, tokens=frozenset({1}), payload_cost=-1)
+
+    def test_unicast_without_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, tokens=frozenset({1}), delivery=Delivery.UNICAST)
+
+    def test_broadcast_with_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, tokens=frozenset({1}), dest=3)
+
+    def test_tokens_coerced_to_frozenset(self):
+        m = Message(sender=0, tokens={1, 2})
+        assert isinstance(m.tokens, frozenset)
+
+
+class TestTokenDomain:
+    def test_roundtrip(self):
+        dom = TokenDomain.from_items(["a", "b", "c"])
+        assert dom.k == 3
+        assert dom.payload(1) == "b"
+        assert dom.token_id("c") == 2
+
+    def test_add_idempotent(self):
+        dom = TokenDomain()
+        assert dom.add("x") == dom.add("x") == 0
+        assert dom.k == 1
+
+    def test_decode_sorted(self):
+        dom = TokenDomain.from_items(["a", "b", "c"])
+        assert dom.decode({2, 0}) == ["a", "c"]
+
+
+class TestInitialAssignment:
+    def test_spread_covers_all_tokens(self):
+        asg = initial_assignment(5, 3, mode="spread")
+        union = frozenset().union(*asg.values())
+        assert union == token_range(5)
+
+    def test_spread_deterministic_layout(self):
+        asg = initial_assignment(4, 2, mode="spread")
+        assert asg[0] == frozenset({0, 2})
+        assert asg[1] == frozenset({1, 3})
+
+    def test_single_mode(self):
+        asg = initial_assignment(3, 10, mode="single")
+        assert asg == {0: frozenset({0, 1, 2})}
+
+    def test_single_mode_zero_tokens(self):
+        assert initial_assignment(0, 10, mode="single") == {}
+
+    def test_random_mode_covers_and_reproduces(self):
+        a = initial_assignment(6, 4, rng=make_rng(1), mode="random")
+        b = initial_assignment(6, 4, rng=make_rng(1), mode="random")
+        assert a == b
+        assert frozenset().union(*a.values()) == token_range(6)
+
+    def test_random_mode_needs_rng(self):
+        with pytest.raises(ValueError):
+            initial_assignment(2, 2, mode="random")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            initial_assignment(2, 2, mode="bogus")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            initial_assignment(2, 0)
+
+    @given(k=st.integers(0, 40), n=st.integers(1, 30))
+    def test_spread_partition_property(self, k, n):
+        """Spread assignment partitions the token universe exactly."""
+        asg = initial_assignment(k, n, mode="spread")
+        seen = []
+        for toks in asg.values():
+            seen.extend(toks)
+        assert sorted(seen) == list(range(k))

@@ -1,0 +1,87 @@
+"""Unit tests for repro.sim.metrics."""
+
+from repro.sim.messages import Message
+from repro.sim.metrics import Metrics
+
+
+def _bcast(tokens):
+    return Message.broadcast(0, tokens)
+
+
+class TestRecording:
+    def test_tokens_and_messages_accumulate(self):
+        m = Metrics()
+        m.begin_round()
+        m.record_send(_bcast([1, 2]))
+        m.record_send(Message.unicast(1, 2, [3]))
+        assert m.tokens_sent == 3
+        assert m.messages_sent == 2
+        assert m.broadcasts == 1
+        assert m.unicasts == 1
+
+    def test_per_round_token_series(self):
+        m = Metrics()
+        m.begin_round()
+        m.record_send(_bcast([1]))
+        m.end_round(coverage=5)
+        m.begin_round()
+        m.record_send(_bcast([1, 2, 3]))
+        m.end_round(coverage=8)
+        assert m.per_round_tokens == [1, 3]
+        assert m.per_round_coverage == [5, 8]
+        assert m.rounds == 2
+
+    def test_role_attribution(self):
+        m = Metrics()
+        m.begin_round()
+        m.record_send(_bcast([1, 2]), role="head")
+        m.record_send(_bcast([3]), role="member")
+        m.record_send(_bcast([4]), role="head")
+        assert m.role_tokens("head") == 3
+        assert m.role_tokens("member") == 1
+        assert m.role_tokens("gateway") == 0
+        assert m.by_role["head"].messages == 2
+
+    def test_drops_counted(self):
+        m = Metrics()
+        m.record_drop()
+        m.record_drop()
+        assert m.dropped_unicasts == 2
+
+
+class TestCompletion:
+    def test_incomplete_by_default(self):
+        m = Metrics()
+        assert not m.complete
+        assert m.completion_round is None
+
+    def test_mark_complete_records_first_round_only(self):
+        m = Metrics()
+        m.begin_round()
+        m.end_round(coverage=1)
+        m.mark_complete()
+        m.begin_round()
+        m.end_round(coverage=1)
+        m.mark_complete()  # should not overwrite
+        assert m.completion_round == 1
+        assert m.complete
+
+    def test_summary_keys(self):
+        m = Metrics()
+        s = m.summary()
+        assert set(s) == {
+            "rounds", "completion_round", "tokens_sent", "messages_sent",
+            "broadcasts", "unicasts", "dropped_unicasts", "lost_deliveries",
+        }
+
+    def test_losses_counted(self):
+        m = Metrics()
+        m.record_loss()
+        m.record_loss()
+        assert m.lost_deliveries == 2
+
+    def test_str_mentions_state(self):
+        m = Metrics()
+        assert "incomplete" in str(m)
+        m.begin_round(); m.end_round(0); m.mark_complete()
+        assert "complete@1" in str(m)

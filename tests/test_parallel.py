@@ -1,0 +1,69 @@
+"""Tests for process-parallel experiment execution."""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import parallel_map, parallel_replicate
+from repro.experiments.replication import replicate
+
+# module-level functions: the picklability contract of ProcessPoolExecutor
+
+
+def _square(x):
+    return x * x
+
+
+def _tiny_experiment(seed):
+    """A real (fast) experiment: one small verified scenario pair."""
+    from repro.experiments.runner import run_algorithm1, run_klo_interval
+    from repro.experiments.scenarios import hinet_interval_scenario
+
+    s = hinet_interval_scenario(n0=24, theta=8, k=3, alpha=2, L=2,
+                                seed=seed, verify=False)
+    ours = run_algorithm1(s)
+    theirs = run_klo_interval(s)
+    return {"ratio": theirs.tokens_sent / max(ours.tokens_sent, 1)}
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        out = parallel_map(_square, list(range(10)), processes=2)
+        assert out == [x * x for x in range(10)]
+
+    def test_serial_path(self):
+        assert parallel_map(_square, [3, 4], processes=1) == [9, 16]
+
+    def test_empty_and_single(self):
+        assert parallel_map(_square, [], processes=4) == []
+        assert parallel_map(_square, [5], processes=4) == [25]
+
+    def test_processes_validated(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], processes=0)
+
+    def test_parallel_equals_serial(self):
+        serial = parallel_map(_square, list(range(8)), processes=1)
+        parallel = parallel_map(_square, list(range(8)), processes=2)
+        assert serial == parallel
+
+
+class TestParallelReplicate:
+    def test_matches_serial_replicate(self):
+        """Same derived seeds -> identical statistics, any worker count."""
+        serial = replicate(_tiny_experiment, replications=4, base_seed=7)
+        parallel = parallel_replicate(_tiny_experiment, replications=4,
+                                      base_seed=7, processes=2)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert serial[key].mean == pytest.approx(parallel[key].mean)
+            assert serial[key].std == pytest.approx(parallel[key].std)
+
+    def test_real_experiment_in_workers(self):
+        out = parallel_replicate(_tiny_experiment, replications=3,
+                                 base_seed=1, processes=2)
+        assert out["ratio"].minimum > 1.0
+
+    def test_replications_validated(self):
+        with pytest.raises(ValueError):
+            parallel_replicate(_tiny_experiment, replications=0)

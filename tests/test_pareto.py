@@ -1,0 +1,85 @@
+"""Tests for the Pareto-frontier experiment."""
+
+import pytest
+
+from repro.experiments.pareto import dissemination_pareto, pareto_frontier
+
+
+class TestParetoFrontier:
+    def test_dominated_point_excluded(self):
+        pts = [
+            {"name": "a", "t": 1, "c": 10},
+            {"name": "b", "t": 2, "c": 20},  # dominated by a
+            {"name": "c", "t": 3, "c": 5},
+        ]
+        front = pareto_frontier(pts, x="t", y="c")
+        names = {p["name"] for p in front}
+        assert names == {"a", "c"}
+
+    def test_ties_kept(self):
+        pts = [
+            {"name": "a", "t": 1, "c": 10},
+            {"name": "b", "t": 1, "c": 10},
+        ]
+        front = pareto_frontier(pts, x="t", y="c")
+        assert len(front) == 2
+
+    def test_none_coordinates_excluded(self):
+        pts = [
+            {"name": "a", "t": None, "c": 1},
+            {"name": "b", "t": 2, "c": 2},
+        ]
+        front = pareto_frontier(pts, x="t", y="c")
+        assert [p["name"] for p in front] == ["b"]
+
+    def test_single_point_is_frontier(self):
+        pts = [{"t": 5, "c": 5}]
+        assert pareto_frontier(pts, "t", "c") == pts
+
+
+class TestDisseminationPareto:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return dissemination_pareto(n0=30, k=3, theta=9, seed=89)
+
+    def test_all_seven_algorithms_present(self, outcome):
+        rows, _ = outcome
+        assert len(rows) == 7
+        kinds = {r["kind"] for r in rows}
+        assert kinds == {"guaranteed", "best-effort"}
+
+    def test_guaranteed_algorithms_complete(self, outcome):
+        rows, _ = outcome
+        for r in rows:
+            if r["kind"] == "guaranteed":
+                assert r["complete"], r
+
+    def test_frontier_nonempty_and_marked(self, outcome):
+        rows, frontier = outcome
+        assert frontier
+        marked = [r for r in rows if r["on_frontier"]]
+        assert len(marked) == len(frontier)
+
+    def test_frontier_is_mutually_nondominated(self, outcome):
+        _, frontier = outcome
+        for p in frontier:
+            for q in frontier:
+                if p is q:
+                    continue
+                assert not (
+                    q["completion"] <= p["completion"]
+                    and q["tokens_sent"] < p["tokens_sent"]
+                )
+
+    def test_hinet_undominated_among_guaranteed(self, outcome):
+        """Algorithm 2 is never dominated by another *guaranteed*
+        algorithm — the paper's claim as a Pareto statement."""
+        rows, _ = outcome
+        hinet = next(r for r in rows if "Algorithm 2" in r["algorithm"])
+        others = [r for r in rows
+                  if r["kind"] == "guaranteed" and r is not hinet]
+        for q in others:
+            assert not (
+                q["completion"] <= hinet["completion"]
+                and q["tokens_sent"] < hinet["tokens_sent"]
+            )

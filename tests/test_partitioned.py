@@ -1,0 +1,91 @@
+"""Tests for the intermittently-connected (DTN-style) generator."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.flooding import make_flood_all_factory, make_flood_new_factory
+from repro.graphs.dynamic_diameter import dynamic_diameter
+from repro.graphs.generators.partitioned import partitioned_trace
+from repro.graphs.properties import is_T_interval_connected
+from repro.sim.engine import run
+from repro.sim.messages import initial_assignment
+
+
+def _components(snap):
+    g = nx.Graph()
+    g.add_nodes_from(range(snap.n))
+    g.add_edges_from(snap.edges())
+    return list(nx.connected_components(g))
+
+
+class TestStructure:
+    def test_not_one_interval_connected(self):
+        trace = partitioned_trace(18, rounds=30, islands=3, seed=1)
+        assert not is_T_interval_connected(trace, 1)
+
+    def test_islands_internally_connected(self):
+        trace = partitioned_trace(18, rounds=10, islands=3, seed=2)
+        for r in range(10):
+            comps = _components(trace.snapshot(r))
+            # at most `islands` components; islands never fragment further
+            assert len(comps) <= 3
+
+    def test_meetings_bridge_pairs(self):
+        trace = partitioned_trace(12, rounds=12, islands=2, meet_every=3,
+                                  meet_for=1, seed=3)
+        # during a meeting round (phase 0), the two islands are joined
+        assert len(_components(trace.snapshot(0))) == 1
+        # between meetings they are apart
+        assert len(_components(trace.snapshot(1))) == 2
+
+    def test_single_island_degenerates_to_connected(self):
+        trace = partitioned_trace(10, rounds=5, islands=1, seed=4)
+        assert is_T_interval_connected(trace, 1)
+
+    def test_reproducible(self):
+        a = partitioned_trace(15, rounds=10, islands=3, seed=9)
+        b = partitioned_trace(15, rounds=10, islands=3, seed=9)
+        for r in range(10):
+            assert a.snapshot(r).edge_set() == b.snapshot(r).edge_set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partitioned_trace(5, rounds=3, islands=6)
+        with pytest.raises(ValueError):
+            partitioned_trace(5, rounds=0)
+        with pytest.raises(ValueError):
+            partitioned_trace(5, rounds=3, meet_every=0)
+
+
+class TestEventualDelivery:
+    def test_flooding_eventually_covers(self):
+        """Temporal connectivity via round-robin meetings suffices for
+        repetition-bearing flooding, just slowly."""
+        n = 18
+        trace = partitioned_trace(n, rounds=200, islands=3, meet_every=4,
+                                  seed=5)
+        res = run(trace, make_flood_all_factory(), k=2,
+                  initial=initial_assignment(2, n, mode="spread"),
+                  max_rounds=200, stop_when_complete=True)
+        assert res.complete
+        # and it takes longer than any 1-interval bound would suggest
+        assert res.metrics.completion_round > 3
+
+    def test_dynamic_diameter_finite_but_large(self):
+        n = 12
+        trace = partitioned_trace(n, rounds=300, islands=3, meet_every=5,
+                                  seed=6)
+        d = dynamic_diameter(trace)
+        assert d is not None
+        assert d > 5  # crossing islands costs meeting waits
+
+    def test_epidemic_flooding_usually_strands_tokens(self):
+        """One-shot forwarding misses meetings that happen later — the
+        DTN case amplifies the known epidemic failure."""
+        n = 18
+        trace = partitioned_trace(n, rounds=120, islands=3, meet_every=6,
+                                  seed=7)
+        res = run(trace, make_flood_new_factory(), k=3,
+                  initial=initial_assignment(3, n, mode="spread"),
+                  max_rounds=120)
+        assert not res.complete

@@ -1,0 +1,70 @@
+"""Tests for the SimTrace recording structures."""
+
+import pytest
+
+from repro.sim.messages import Message
+from repro.sim.trace import DeliveryEvent, RoundTrace, SimTrace
+
+
+class TestRoundTrace:
+    def test_tokens_sent(self):
+        rt = RoundTrace(round_index=0)
+        rt.sends.append((Message.broadcast(0, {1, 2}), "head"))
+        rt.sends.append((Message.unicast(1, 0, {3}), "member"))
+        assert rt.tokens_sent() == 3
+
+
+class TestSimTrace:
+    def _trace(self):
+        trace = SimTrace(record_knowledge=True)
+        r0 = trace.begin_round(0)
+        msg = Message.broadcast(0, {5})
+        r0.sends.append((msg, "head"))
+        r0.deliveries.append(DeliveryEvent(1, msg))
+        r0.knowledge = {0: frozenset({5}), 1: frozenset({5}), 2: frozenset()}
+        r1 = trace.begin_round(1)
+        msg2 = Message.broadcast(1, {5})
+        r1.sends.append((msg2, "gateway"))
+        r1.deliveries.append(DeliveryEvent(2, msg2))
+        r1.knowledge = {0: frozenset({5}), 1: frozenset({5}), 2: frozenset({5})}
+        return trace
+
+    def test_current_round(self):
+        trace = self._trace()
+        assert trace.current.round_index == 1
+
+    def test_current_without_rounds_raises(self):
+        with pytest.raises(IndexError):
+            SimTrace().current
+
+    def test_first_heard(self):
+        trace = self._trace()
+        assert trace.first_heard(0, 5) == 0
+        assert trace.first_heard(2, 5) == 1
+        assert trace.first_heard(2, 99) is None
+
+    def test_first_heard_requires_knowledge(self):
+        trace = SimTrace(record_knowledge=False)
+        trace.begin_round(0)
+        with pytest.raises(ValueError):
+            trace.first_heard(0, 0)
+
+    def test_token_path(self):
+        trace = self._trace()
+        assert trace.token_path(5) == [(0, 0, 1), (1, 1, 2)]
+        assert trace.token_path(99) == []
+
+    def test_describe_round(self):
+        trace = self._trace()
+        text = trace.describe_round(0)
+        assert "round 0" in text
+        assert "node 0 (head)" in text
+        assert "{5}" in text
+
+    def test_describe_unicast_round(self):
+        trace = SimTrace()
+        rt = trace.begin_round(0)
+        rt.sends.append((Message.unicast(3, 7, {1}), "member"))
+        text = trace.describe_round(0)
+        assert "-> 7" in text
+        assert "unicast" in text

@@ -1,0 +1,63 @@
+"""Tests for the extension sweeps (small grids to keep runtime modest)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    sweep_alpha_L,
+    sweep_k,
+    sweep_n,
+    sweep_reaffiliation,
+)
+
+
+class TestSweepN:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sweep_n(ns=(60, 100), k=4, alpha=3, L=2, seed=5)
+
+    def test_rows_per_size(self, rows):
+        assert [r["n"] for r in rows] == [60, 100]
+
+    def test_all_complete(self, rows):
+        assert all(r["hinet_complete"] and r["klo_complete"] for r in rows)
+
+    def test_hinet_advantage_at_paper_scale(self, rows):
+        big = rows[-1]
+        assert big["comm_ratio"] > 1.0
+
+
+class TestSweepK:
+    def test_cost_grows_with_k(self):
+        rows = sweep_k(ks=(2, 8), n0=60, theta=18, alpha=3, L=2, seed=5)
+        assert rows[0]["hinet_comm"] < rows[1]["hinet_comm"]
+        assert rows[0]["klo_comm"] < rows[1]["klo_comm"]
+        assert all(r["hinet_complete"] for r in rows)
+
+
+class TestSweepReaffiliation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sweep_reaffiliation(ps=(0.0, 0.8), n0=40, theta=12, k=3, L=2, seed=5)
+
+    def test_empirical_nr_increases(self, rows):
+        assert rows[0]["empirical_nr"] <= rows[1]["empirical_nr"]
+
+    def test_hinet_cost_rises_with_churn(self, rows):
+        assert rows[0]["hinet_comm"] <= rows[1]["hinet_comm"]
+
+    def test_all_complete(self, rows):
+        assert all(r["hinet_complete"] for r in rows)
+
+
+class TestSweepAlphaL:
+    def test_grid_and_stable_variant_cheaper(self):
+        rows = sweep_alpha_L(alphas=(2,), Ls=(1, 2), n0=40, theta=10, k=3, seed=5)
+        assert len(rows) == 2
+        for r in rows:
+            assert r["alg1_complete"] and r["alg1_stable_complete"]
+            assert r["alg1_stable_comm"] <= r["alg1_comm"]
+
+    def test_T_tracks_alpha_and_L(self):
+        rows = sweep_alpha_L(alphas=(1, 4), Ls=(2,), n0=40, theta=10, k=3, seed=5)
+        assert rows[0]["T"] == 3 + 2  # k + alpha*L
+        assert rows[1]["T"] == 3 + 8

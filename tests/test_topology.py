@@ -1,0 +1,122 @@
+"""Unit tests for repro.sim.topology.Snapshot."""
+
+import networkx as nx
+import pytest
+
+from repro.roles import Role
+from repro.sim.topology import Snapshot, adjacency_from_edges
+
+
+class TestAdjacencyFromEdges:
+    def test_symmetric(self):
+        adj = adjacency_from_edges(3, [(0, 1)])
+        assert adj[0] == frozenset({1})
+        assert adj[1] == frozenset({0})
+        assert adj[2] == frozenset()
+
+    def test_duplicate_edges_harmless(self):
+        adj = adjacency_from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        assert adj[0] == frozenset({1})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            adjacency_from_edges(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            adjacency_from_edges(2, [(0, 2)])
+
+
+class TestSnapshotBasics:
+    def test_edges_normalised(self, triangle):
+        assert triangle.edges() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_set_frozen(self, triangle):
+        es = triangle.edge_set()
+        assert isinstance(es, frozenset)
+        assert (1, 2) in es
+
+    def test_degree(self, path5):
+        assert path5.degree(0) == 1
+        assert path5.degree(2) == 2
+
+    def test_from_networkx(self):
+        snap = Snapshot.from_networkx(nx.path_graph(4))
+        assert snap.n == 4
+        assert snap.neighbors(1) == frozenset({0, 2})
+
+    def test_flat_snapshot_roleless(self, triangle):
+        assert triangle.role(0) is None
+        assert triangle.head(0) is None
+        assert not triangle.clustered
+
+
+class TestSnapshotHierarchy:
+    def test_heads(self, two_clusters):
+        assert two_clusters.heads() == frozenset({0, 3})
+
+    def test_cluster_members_include_head_and_gateway(self, two_clusters):
+        assert two_clusters.cluster_members(0) == frozenset({0, 1, 2})
+        assert two_clusters.cluster_members(3) == frozenset({3, 4})
+
+    def test_clusters_dict(self, two_clusters):
+        assert two_clusters.clusters() == {
+            0: frozenset({0, 1, 2}),
+            3: frozenset({3, 4}),
+        }
+
+    def test_validate_passes(self, two_clusters):
+        two_clusters.validate_hierarchy()
+
+    def test_hierarchy_query_on_flat_raises(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.heads()
+
+
+class TestHierarchyValidation:
+    def test_head_must_self_affiliate(self):
+        snap = Snapshot.from_edges(
+            2, [(0, 1)],
+            roles=[Role.HEAD, Role.MEMBER],
+            head_of=[1, 1],  # head 0 claims cluster 1
+        )
+        with pytest.raises(ValueError, match="head 0"):
+            snap.validate_hierarchy()
+
+    def test_member_must_join_actual_head(self):
+        snap = Snapshot.from_edges(
+            3, [(0, 1), (1, 2)],
+            roles=[Role.HEAD, Role.MEMBER, Role.MEMBER],
+            head_of=[0, 2, None],  # node 1 joins non-head 2
+        )
+        with pytest.raises(ValueError, match="non-head"):
+            snap.validate_hierarchy()
+
+    def test_member_must_be_adjacent_to_head(self):
+        snap = Snapshot.from_edges(
+            3, [(0, 1)],
+            roles=[Role.HEAD, Role.MEMBER, Role.MEMBER],
+            head_of=[0, 0, 0],  # node 2 not adjacent to head 0
+        )
+        with pytest.raises(ValueError, match="not adjacent"):
+            snap.validate_hierarchy()
+
+    def test_unaffiliated_node_tolerated_by_snapshot(self):
+        snap = Snapshot.from_edges(
+            2, [(0, 1)],
+            roles=[Role.HEAD, Role.MEMBER],
+            head_of=[0, None],
+        )
+        snap.validate_hierarchy()  # None = unaffiliated is structurally legal
+
+
+class TestRole:
+    def test_values_match_paper(self):
+        assert str(Role.HEAD) == "h"
+        assert str(Role.GATEWAY) == "g"
+        assert str(Role.MEMBER) == "m"
+
+    def test_broadcast_duty(self):
+        assert Role.HEAD.broadcasts
+        assert Role.GATEWAY.broadcasts
+        assert not Role.MEMBER.broadcasts
