@@ -1,0 +1,59 @@
+"""Shared machine-readable benchmark output.
+
+Benches that track the simulator's own performance (as opposed to paper
+artifacts) record their numbers here: :func:`record_bench` merges one
+case's stats into ``BENCH_engine.json`` at the repo root, so successive
+PRs accumulate a comparable throughput trajectory instead of prose claims
+buried in logs.  ``collect_report.py`` folds the file into REPORT.md.
+
+The file layout is ``{"meta": {...}, "cases": {case name: stats}}``;
+stats dicts are flat (numbers/strings/bools only) to stay diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from statistics import mean, median
+from typing import Callable, Dict
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def time_ms(fn: Callable[[], object], repeats: int = 5) -> Dict[str, float]:
+    """Wall-clock one callable: best/median/mean over ``repeats`` runs, in ms.
+
+    One untimed warm-up run first, so memoized topology caches (which any
+    real sweep would hit warm) don't distort the first sample.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1000.0)
+    return {
+        "best_ms": round(min(samples), 3),
+        "median_ms": round(median(samples), 3),
+        "mean_ms": round(mean(samples), 3),
+        "repeats": repeats,
+    }
+
+
+def record_bench(case: str, stats: Dict[str, object]) -> Path:
+    """Merge one case's stats into ``BENCH_engine.json`` (creating it)."""
+    data: Dict[str, object] = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_by": "benchmarks/_bench_json.py",
+    }
+    data.setdefault("cases", {})[case] = stats
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return BENCH_JSON

@@ -3,10 +3,14 @@
 Not a paper artifact — keeps the simulator's performance visible so the
 sweep benchmarks stay laptop-scale (per the HPC guides: measure before
 optimising; these numbers are the baseline any engine change is judged
-against).
+against).  The reference-vs-fast comparison also persists machine-readable
+numbers to ``BENCH_engine.json`` (see ``_bench_json.py``) so future PRs
+have a throughput trajectory to diff against.
 """
 
 from __future__ import annotations
+
+from _bench_json import record_bench, time_ms
 
 from repro.core.algorithm1 import make_algorithm1_factory
 from repro.experiments.scenarios import hinet_interval_scenario
@@ -33,6 +37,47 @@ def test_engine_round_throughput(benchmark):
 
     res = benchmark(go)
     assert res.complete
+
+
+def test_engine_fast_vs_reference(benchmark):
+    """The full-run case on both engines: identical results, ≥3× faster.
+
+    The equality assertion repeats what tests/test_fastpath.py proves so
+    the recorded speedup can never silently come from diverging behaviour.
+    """
+    scenario = hinet_interval_scenario(
+        n0=100, theta=30, k=8, alpha=5, L=2, seed=47, verify=False
+    )
+    T = int(scenario.params["T"])
+    factory = make_algorithm1_factory(T=T, M=7)
+
+    def go(engine):
+        return run(
+            scenario.trace, factory, k=8, initial=scenario.initial,
+            max_rounds=7 * T, engine=engine,
+        )
+
+    ref_result = go("reference")
+    fast_result = go("fast")
+    assert fast_result.outputs == ref_result.outputs
+    assert fast_result.metrics == ref_result.metrics
+    assert fast_result.complete and ref_result.complete
+
+    ref_stats = time_ms(lambda: go("reference"), repeats=5)
+    fast_stats = time_ms(lambda: go("fast"), repeats=5)
+    speedup = ref_stats["median_ms"] / fast_stats["median_ms"]
+    record_bench("algorithm1_full_run_n100_r126", {
+        "scenario": "hinet_interval(n0=100, theta=30, k=8, alpha=5, L=2, seed=47)",
+        "rounds": ref_result.metrics.rounds,
+        "tokens_sent": ref_result.metrics.tokens_sent,
+        "reference_median_ms": ref_stats["median_ms"],
+        "fast_median_ms": fast_stats["median_ms"],
+        "speedup": round(speedup, 2),
+        "results_identical": True,
+    })
+    assert speedup >= 3.0, f"fast path only {speedup:.1f}x faster"
+
+    benchmark(lambda: go("fast"))
 
 
 def test_hinet_generation_throughput(benchmark):

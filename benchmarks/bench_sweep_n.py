@@ -10,6 +10,8 @@ term suppressed).
 
 from __future__ import annotations
 
+from _bench_json import record_bench
+
 from repro.experiments.report import format_records
 from repro.experiments.sweeps import sweep_n
 
@@ -25,6 +27,13 @@ def test_sweep_n(benchmark, save_result):
     text += format_records(rows)
     save_result("sweep_n", text)
     print("\n" + text)
+
+    record_bench("sweep_n_x1", {
+        "cells": len(rows),
+        "ns": "40,80,120,160",
+        "median_ms": round(benchmark.stats.stats.median * 1000.0, 3),
+        "engine": "fast (runner default)",
+    })
 
     assert all(r["hinet_complete"] and r["klo_complete"] for r in rows)
     # advantage at every size...

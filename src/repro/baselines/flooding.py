@@ -69,9 +69,15 @@ class FloodNewNode(NodeAlgorithm):
 
 def make_flood_all_factory():
     """Engine factory for :class:`FloodAllNode`."""
-    return lambda node, k, initial: FloodAllNode(node, k, initial)
+    factory = lambda node, k, initial: FloodAllNode(node, k, initial)  # noqa: E731
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("flood_all", {})
+    return factory
 
 
 def make_flood_new_factory():
     """Engine factory for :class:`FloodNewNode`."""
-    return lambda node, k, initial: FloodNewNode(node, k, initial)
+    factory = lambda node, k, initial: FloodNewNode(node, k, initial)  # noqa: E731
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("flood_new", {})
+    return factory

@@ -102,6 +102,8 @@ def make_klo_interval_factory(T: int, M: int):
     def factory(node: int, k: int, initial: frozenset) -> KLOIntervalNode:
         return KLOIntervalNode(node, k, initial, T=T, M=M)
 
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("klo_interval", {"T": T, "M": M})
     return factory
 
 
@@ -111,4 +113,6 @@ def make_klo_one_factory(M: int):
     def factory(node: int, k: int, initial: frozenset) -> KLOOneIntervalNode:
         return KLOOneIntervalNode(node, k, initial, M=M)
 
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("klo_one", {"M": M})
     return factory

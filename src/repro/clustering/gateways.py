@@ -13,7 +13,7 @@ broadcast like heads in Algorithms 1 and 2), not membership.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 import networkx as nx
 

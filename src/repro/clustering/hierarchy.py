@@ -9,8 +9,8 @@ pipeline stitches them into a clustered
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..roles import Role
 from ..sim.topology import Snapshot

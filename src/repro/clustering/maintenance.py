@@ -107,7 +107,7 @@ class MaintenanceStats:
     @property
     def max_realized_L(self) -> Optional[int]:
         """Worst per-round backbone hop bound (None if any round failed)."""
-        if any(l is None for l in self.realized_L):
+        if any(span is None for span in self.realized_L):
             return None
         return max(self.realized_L) if self.realized_L else 0
 

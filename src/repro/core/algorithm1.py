@@ -33,7 +33,7 @@ either way and both modes are exercised in the tests.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..roles import Role
 from ..sim.messages import Message
@@ -144,4 +144,6 @@ def make_algorithm1_factory(T: int, M: int, strict: bool = False):
     def factory(node: int, k: int, initial: frozenset) -> Algorithm1Node:
         return Algorithm1Node(node, k, initial, T=T, M=M, strict=strict)
 
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("algorithm1", {"T": T, "M": M, "strict": strict})
     return factory

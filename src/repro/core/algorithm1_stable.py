@@ -18,7 +18,7 @@ Communication cost shrinks by the members' re-upload term
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..roles import Role
 from ..sim.messages import Message
@@ -56,4 +56,6 @@ def make_algorithm1_stable_factory(T: int, M: int, strict: bool = False):
     def factory(node: int, k: int, initial: frozenset) -> Algorithm1StableHeadsNode:
         return Algorithm1StableHeadsNode(node, k, initial, T=T, M=M, strict=strict)
 
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("algorithm1_stable", {"T": T, "M": M, "strict": strict})
     return factory

@@ -87,4 +87,6 @@ def make_algorithm2_factory(M: int):
     def factory(node: int, k: int, initial: frozenset) -> Algorithm2Node:
         return Algorithm2Node(node, k, initial, M=M)
 
+    # advertise the vectorised equivalent (see repro.sim.fastpath)
+    factory.fastpath = ("algorithm2", {"M": M})
     return factory

@@ -21,7 +21,7 @@ What this enables (see ``benchmarks/bench_energy.py``):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..sim.messages import Message
 from ..sim.node import AlgorithmFactory, NodeAlgorithm, RoundContext

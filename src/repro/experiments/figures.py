@@ -13,7 +13,7 @@ reviewable artifact.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..core.algorithm1 import make_algorithm1_factory
 from ..graphs.generators.hinet import HiNetParams, generate_hinet

@@ -9,7 +9,7 @@ guaranteed designs from the best-effort ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..sim.rng import SeedLike, derive_seed
 from .runner import (

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..sim.rng import SeedLike, derive_seed
 
@@ -70,6 +70,7 @@ def replicate(
     seeds: Sequence[SeedLike] = None,
     replications: int = 10,
     base_seed: SeedLike = 0,
+    processes: Optional[int] = 1,
 ) -> Dict[str, MetricSummary]:
     """Run ``experiment(seed)`` across seeds and summarize each metric.
 
@@ -81,14 +82,21 @@ def replicate(
     seeds:
         Explicit seed list; defaults to ``replications`` seeds derived
         from ``base_seed`` (collision-resistant).
+    processes:
+        Worker processes (``1`` = serial, ``None`` = all cores).  With
+        more than one, ``experiment`` must be picklable (module-level);
+        results are identical to a serial run either way.
     """
     if seeds is None:
         seeds = [derive_seed(base_seed, "rep", i) for i in range(replications)]
     if not seeds:
         raise ValueError("need at least one seed")
+    # local import: parallel.py imports summarize from this module
+    from .parallel import parallel_map
+
+    rows = parallel_map(experiment, list(seeds), processes=processes)
     samples: Dict[str, List[float]] = {}
-    for seed in seeds:
-        row = experiment(seed)
+    for row in rows:
         for key, value in row.items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue

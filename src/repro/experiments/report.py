@@ -7,7 +7,7 @@ in any formatting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 __all__ = ["format_table", "format_records", "records_to_markdown"]
 

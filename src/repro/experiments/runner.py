@@ -10,8 +10,7 @@ benchmark prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from ..baselines.flooding import make_flood_all_factory, make_flood_new_factory
 from ..baselines.gossip import make_gossip_factory
@@ -87,9 +86,10 @@ def _execute(
     stop_when_complete: bool = False,
     record_trace: bool = False,
     record_knowledge: bool = False,
+    engine: str = "fast",
 ) -> RunRecord:
     engine = SynchronousEngine(
-        record_trace=record_trace, record_knowledge=record_knowledge
+        record_trace=record_trace, record_knowledge=record_knowledge, engine=engine
     )
     result = engine.run(
         scenario.trace,

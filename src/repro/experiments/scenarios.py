@@ -20,7 +20,7 @@ from ..core.bounds import (
     klo_interval_phases,
     required_T,
 )
-from ..graphs.generators.hinet import HiNetParams, HiNetScenario, generate_hinet
+from ..graphs.generators.hinet import HiNetParams, generate_hinet
 from ..graphs.generators.interval import t_interval_trace
 from ..graphs.generators.worstcase import shuffled_path_trace
 from ..graphs.properties import is_hinet, is_T_interval_connected

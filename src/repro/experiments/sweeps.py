@@ -10,7 +10,7 @@ the cluster size).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.analysis import (
     CostParams,
@@ -20,6 +20,7 @@ from ..core.analysis import (
     klo_one_comm,
 )
 from ..sim.rng import SeedLike, derive_seed
+from .parallel import parallel_map
 from .runner import (
     run_algorithm1,
     run_algorithm1_stable,
@@ -35,6 +36,12 @@ __all__ = [
     "sweep_n",
     "sweep_reaffiliation",
 ]
+
+# Every sweep fans its cells out through ``parallel_map``: cells are
+# independent seeded simulations, the cell functions below are
+# module-level (hence picklable), and results come back in input order —
+# so ``processes=1`` (the default) and ``processes=N`` give identical
+# rows.  Seeds are derived per cell *value*, never per worker.
 
 
 def _interval_pair_row(
@@ -69,6 +76,11 @@ def _interval_pair_row(
     }
 
 
+def _interval_pair_cell(args) -> Dict[str, object]:
+    """Picklable single-cell wrapper for the process pool."""
+    return _interval_pair_row(*args)
+
+
 def sweep_n(
     ns: Sequence[int] = (40, 80, 120, 160, 200),
     k: int = 8,
@@ -76,18 +88,15 @@ def sweep_n(
     L: int = 2,
     theta_frac: float = 0.3,
     seed: SeedLike = 17,
+    processes: Optional[int] = 1,
 ) -> List[Dict[str, object]]:
     """X1: communication/time vs network size (θ scales as ``theta_frac·n``)."""
-    rows = []
-    for n0 in ns:
-        theta = max(int(n0 * theta_frac), alpha)
-        rows.append(
-            _interval_pair_row(
-                n0, theta, k, alpha, L, reaffiliation_p=0.1,
-                seed=derive_seed(seed, "n", n0),
-            )
-        )
-    return rows
+    jobs = [
+        (n0, max(int(n0 * theta_frac), alpha), k, alpha, L, 0.1,
+         derive_seed(seed, "n", n0))
+        for n0 in ns
+    ]
+    return parallel_map(_interval_pair_cell, jobs, processes=processes)
 
 
 def sweep_k(
@@ -97,15 +106,41 @@ def sweep_k(
     alpha: int = 5,
     L: int = 2,
     seed: SeedLike = 23,
+    processes: Optional[int] = 1,
 ) -> List[Dict[str, object]]:
     """X2a: cost vs token count (phase length grows as ``k + αL``)."""
-    return [
-        _interval_pair_row(
-            n0, theta, k, alpha, L, reaffiliation_p=0.1,
-            seed=derive_seed(seed, "k", k),
-        )
+    jobs = [
+        (n0, theta, k, alpha, L, 0.1, derive_seed(seed, "k", k))
         for k in ks
     ]
+    return parallel_map(_interval_pair_cell, jobs, processes=processes)
+
+
+def _reaffiliation_cell(args) -> Dict[str, object]:
+    p, n0, theta, k, L, seed = args
+    scenario = hinet_one_scenario(
+        n0=n0, theta=theta, k=k, L=L,
+        reaffiliation_p=p, head_churn=2,
+        seed=seed, verify=False,
+    )
+    hinet = run_algorithm2(scenario)
+    klo = run_klo_one(scenario)
+    params = CostParams(
+        n0=n0, theta=theta, nm=float(scenario.params["nm"]),
+        nr=float(scenario.params["nr"]), k=k, alpha=1, L=L,
+    )
+    return {
+        "reaffiliation_p": p,
+        "empirical_nr": round(float(scenario.params["nr"]), 2),
+        "hinet_comm": hinet.tokens_sent,
+        "klo_comm": klo.tokens_sent,
+        "comm_ratio": klo.tokens_sent / max(hinet.tokens_sent, 1),
+        "hinet_done": hinet.completion_round,
+        "klo_done": klo.completion_round,
+        "analytic_hinet_comm": hinet_one_comm(params),
+        "analytic_klo_comm": klo_one_comm(params),
+        "hinet_complete": hinet.complete,
+    }
 
 
 def sweep_reaffiliation(
@@ -115,6 +150,7 @@ def sweep_reaffiliation(
     k: int = 8,
     L: int = 2,
     seed: SeedLike = 29,
+    processes: Optional[int] = 1,
 ) -> List[Dict[str, object]]:
     """X2b: Algorithm 2 vs 1-interval KLO as member churn rises.
 
@@ -122,34 +158,33 @@ def sweep_reaffiliation(
     the HiNet saving eroding (but not vanishing) with re-affiliation
     pressure, since member uploads are the only churn-sensitive term.
     """
-    rows: List[Dict[str, object]] = []
-    for p in ps:
-        scenario = hinet_one_scenario(
-            n0=n0, theta=theta, k=k, L=L,
-            reaffiliation_p=p, head_churn=2,
-            seed=derive_seed(seed, "p", int(p * 1000)), verify=False,
-        )
-        hinet = run_algorithm2(scenario)
-        klo = run_klo_one(scenario)
-        params = CostParams(
-            n0=n0, theta=theta, nm=float(scenario.params["nm"]),
-            nr=float(scenario.params["nr"]), k=k, alpha=1, L=L,
-        )
-        rows.append(
-            {
-                "reaffiliation_p": p,
-                "empirical_nr": round(float(scenario.params["nr"]), 2),
-                "hinet_comm": hinet.tokens_sent,
-                "klo_comm": klo.tokens_sent,
-                "comm_ratio": klo.tokens_sent / max(hinet.tokens_sent, 1),
-                "hinet_done": hinet.completion_round,
-                "klo_done": klo.completion_round,
-                "analytic_hinet_comm": hinet_one_comm(params),
-                "analytic_klo_comm": klo_one_comm(params),
-                "hinet_complete": hinet.complete,
-            }
-        )
-    return rows
+    jobs = [
+        (p, n0, theta, k, L, derive_seed(seed, "p", int(p * 1000)))
+        for p in ps
+    ]
+    return parallel_map(_reaffiliation_cell, jobs, processes=processes)
+
+
+def _alpha_L_cell(args) -> Dict[str, object]:
+    alpha, L, n0, theta, k, seed = args
+    scenario = hinet_interval_scenario(
+        n0=n0, theta=theta, k=k, alpha=alpha, L=L,
+        reaffiliation_p=0.1, head_churn=0,
+        seed=seed, verify=False,
+    )
+    a1 = run_algorithm1(scenario)
+    a1s = run_algorithm1_stable(scenario)
+    return {
+        "alpha": alpha,
+        "L": L,
+        "T": scenario.params["T"],
+        "alg1_comm": a1.tokens_sent,
+        "alg1_done": a1.completion_round,
+        "alg1_stable_comm": a1s.tokens_sent,
+        "alg1_stable_done": a1s.completion_round,
+        "alg1_complete": a1.complete,
+        "alg1_stable_complete": a1s.complete,
+    }
 
 
 def sweep_alpha_L(
@@ -159,6 +194,7 @@ def sweep_alpha_L(
     theta: int = 30,
     k: int = 8,
     seed: SeedLike = 31,
+    processes: Optional[int] = 1,
 ) -> List[Dict[str, object]]:
     """X3: the α / L design-choice ablation.
 
@@ -166,27 +202,9 @@ def sweep_alpha_L(
     (``⌈θ/α⌉ + 1`` shrinks); L reflects backbone geometry.  Also runs the
     Remark-1 stable-heads variant to quantify its saving.
     """
-    rows: List[Dict[str, object]] = []
-    for alpha in alphas:
-        for L in Ls:
-            scenario = hinet_interval_scenario(
-                n0=n0, theta=theta, k=k, alpha=alpha, L=L,
-                reaffiliation_p=0.1, head_churn=0,
-                seed=derive_seed(seed, "aL", alpha, L), verify=False,
-            )
-            a1 = run_algorithm1(scenario)
-            a1s = run_algorithm1_stable(scenario)
-            rows.append(
-                {
-                    "alpha": alpha,
-                    "L": L,
-                    "T": scenario.params["T"],
-                    "alg1_comm": a1.tokens_sent,
-                    "alg1_done": a1.completion_round,
-                    "alg1_stable_comm": a1s.tokens_sent,
-                    "alg1_stable_done": a1s.completion_round,
-                    "alg1_complete": a1.complete,
-                    "alg1_stable_complete": a1s.complete,
-                }
-            )
-    return rows
+    jobs = [
+        (alpha, L, n0, theta, k, derive_seed(seed, "aL", alpha, L))
+        for alpha in alphas
+        for L in Ls
+    ]
+    return parallel_map(_alpha_L_cell, jobs, processes=processes)

@@ -17,10 +17,9 @@ proofs are informal in places, the implementation against the theory):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List
 
 from ..core.algorithm1 import make_algorithm1_factory
-from ..core.algorithm2 import make_algorithm2_factory
 from ..core.bounds import algorithm1_phases, algorithm2_rounds_1interval
 from ..sim.engine import SynchronousEngine
 from .scenarios import Scenario

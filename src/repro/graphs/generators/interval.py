@@ -17,7 +17,7 @@ Every trace produced here is validated in the tests against
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import networkx as nx
 

@@ -26,7 +26,7 @@ import numpy as np
 from ...sim.rng import SeedLike, make_rng
 from ...sim.topology import Snapshot
 from ..trace import GraphTrace
-from .static import erdos_renyi, random_spanning_tree
+from .static import random_spanning_tree
 
 __all__ = ["edge_markovian_trace", "stationary_density"]
 

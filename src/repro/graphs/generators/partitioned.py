@@ -22,7 +22,7 @@ a meeting is in progress and islands == 2.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Sequence
+from typing import List
 
 from ...sim.rng import SeedLike, make_rng
 from ...sim.topology import Snapshot

@@ -28,7 +28,6 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
-from ..roles import Role
 from ..sim.topology import Snapshot
 from .trace import GraphTrace
 
@@ -84,10 +83,19 @@ def _hierarchy_key(snap: Snapshot) -> Tuple:
     return (snap.roles, snap.head_of)
 
 
+#: Instrumentation: number of per-round edge-set incorporations performed
+#: by the intersection machinery (one per round added to or removed from a
+#: running window).  The tests use it to assert that the sliding checkers
+#: do O(horizon) round operations instead of the naive O(horizon · T).
+_intersection_round_ops = 0
+
+
 def _intersection_graph(trace: GraphTrace, start: int, stop: int) -> nx.Graph:
     """Edges present in every round of ``[start, stop)`` (the Υ universe)."""
+    global _intersection_round_ops
     common: Optional[FrozenSet[Tuple[int, int]]] = None
     for r in range(start, stop):
+        _intersection_round_ops += 1
         edges = trace.snapshot(r).edge_set()
         common = edges if common is None else common & edges
         if not common:
@@ -98,18 +106,122 @@ def _intersection_graph(trace: GraphTrace, start: int, stop: int) -> nx.Graph:
     return g
 
 
+class _SlidingIntersection:
+    """Running edge-multiset of a sliding round window.
+
+    Adding/removing one round costs O(edges of that round); the current
+    window's intersection is exactly the edges whose count equals the
+    window width.  Sliding a T-window across an H-round trace therefore
+    touches each round's edge set twice (once in, once out) — O(H) round
+    operations total — where recomputing every window from scratch costs
+    O(H · T).
+    """
+
+    def __init__(self, trace: GraphTrace) -> None:
+        self.trace = trace
+        self.counts: Dict[Tuple[int, int], int] = {}
+        self.width = 0
+
+    def add_round(self, r: int) -> None:
+        global _intersection_round_ops
+        _intersection_round_ops += 1
+        counts = self.counts
+        for e in self.trace.snapshot(r).edge_set():
+            counts[e] = counts.get(e, 0) + 1
+        self.width += 1
+
+    def remove_round(self, r: int) -> None:
+        global _intersection_round_ops
+        _intersection_round_ops += 1
+        counts = self.counts
+        for e in self.trace.snapshot(r).edge_set():
+            c = counts[e] - 1
+            if c:
+                counts[e] = c
+            else:
+                del counts[e]
+        self.width -= 1
+
+    def spans_connected(self) -> bool:
+        """Whether the current intersection graph is connected on all n nodes."""
+        n = self.trace.n
+        if n <= 1:
+            return True
+        width = self.width
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        components = n
+        for (u, v), c in self.counts.items():
+            if c == width:
+                ru, rv = find(u), find(v)
+                if ru != rv:
+                    parent[ru] = rv
+                    components -= 1
+        return components == 1
+
+
+def _sliding_all_connected(trace: GraphTrace, T: int) -> bool:
+    """Sliding-window T-interval connectivity via one running intersection."""
+    horizon = trace.horizon
+    width = min(T, horizon)
+    window = _SlidingIntersection(trace)
+    for r in range(width):
+        window.add_round(r)
+    if not window.spans_connected():
+        return False
+    for start in range(1, horizon - width + 1):
+        window.remove_round(start - 1)
+        window.add_round(start + width - 1)
+        if not window.spans_connected():
+            return False
+    return True
+
+
+def _change_prefix(trace: GraphTrace, key) -> List[int]:
+    """Prefix sums of hierarchy change points: ``S[r]`` counts the rounds
+    ``1..r`` whose ``key`` differs from the previous round's.
+
+    A window ``[start, stop)`` holds a constant key iff
+    ``S[stop-1] == S[start]`` (key equality is transitive), so any number
+    of windows — sliding ones overlap heavily — is checked after a single
+    O(horizon) pass over the trace.
+    """
+    prefix = [0] * trace.horizon
+    prev = key(trace.snapshot(0))
+    changes = 0
+    for r in range(1, trace.horizon):
+        cur = key(trace.snapshot(r))
+        if cur != prev:
+            changes += 1
+        prefix[r] = changes
+        prev = cur
+    return prefix
+
+
 # ---------------------------------------------------------------------------
 # Definitions 2-4: stability of the hierarchy
 # ---------------------------------------------------------------------------
 
+def _stable_in_all_windows(
+    trace: GraphTrace, T: int, windows: str, key
+) -> bool:
+    """Whether ``key`` is constant on every T-interval (via change points)."""
+    prefix = _change_prefix(trace, key)
+    for start, stop in windows_of(trace.horizon, T, windows):
+        if prefix[stop - 1] != prefix[start]:
+            return False
+    return True
+
+
 def head_set_stable(trace: GraphTrace, T: int, windows: str = "blocks") -> bool:
     """Definition 2 (:math:`T_s`): the head set is constant on every T-interval."""
-    for start, stop in windows_of(trace.horizon, T, windows):
-        first = trace.snapshot(start).heads()
-        for r in range(start + 1, stop):
-            if trace.snapshot(r).heads() != first:
-                return False
-    return True
+    return _stable_in_all_windows(trace, T, windows, lambda s: s.heads())
 
 
 def cluster_stable(trace: GraphTrace, cluster: int, T: int, windows: str = "blocks") -> bool:
@@ -118,12 +230,9 @@ def cluster_stable(trace: GraphTrace, cluster: int, T: int, windows: str = "bloc
     A round in which the cluster does not exist contributes the empty set,
     so a cluster that disappears mid-interval is *not* stable.
     """
-    for start, stop in windows_of(trace.horizon, T, windows):
-        first = trace.snapshot(start).cluster_members(cluster)
-        for r in range(start + 1, stop):
-            if trace.snapshot(r).cluster_members(cluster) != first:
-                return False
-    return True
+    return _stable_in_all_windows(
+        trace, T, windows, lambda s: s.cluster_members(cluster)
+    )
 
 
 def hierarchy_stable(trace: GraphTrace, T: int, windows: str = "blocks") -> bool:
@@ -132,12 +241,7 @@ def hierarchy_stable(trace: GraphTrace, T: int, windows: str = "blocks") -> bool
     Checked directly on the full (roles, membership) maps, which is
     equivalent to Definition 2 plus Definition 3 for all clusters.
     """
-    for start, stop in windows_of(trace.horizon, T, windows):
-        first = _hierarchy_key(trace.snapshot(start))
-        for r in range(start + 1, stop):
-            if _hierarchy_key(trace.snapshot(r)) != first:
-                return False
-    return True
+    return _stable_in_all_windows(trace, T, windows, _hierarchy_key)
 
 
 def max_block_stable_hierarchy(trace: GraphTrace) -> int:
@@ -271,8 +375,15 @@ def is_T_interval_connected(trace: GraphTrace, T: int, windows: str = "sliding")
     """KLO's T-interval connectivity: every T-interval has a *stable*
     connected spanning subgraph (the intersection graph spans all nodes).
 
-    Defaults to sliding windows, KLO's original quantification.
+    Defaults to sliding windows, KLO's original quantification.  Sliding
+    windows overlap in all but one round, so they are checked with a
+    running intersection updated by one round per step (O(horizon) round
+    operations); aligned blocks are disjoint and checked directly.
     """
+    if T < 1:
+        raise ValueError(f"T must be >= 1, got {T}")
+    if windows == "sliding":
+        return _sliding_all_connected(trace, T)
     n = trace.n
     for start, stop in windows_of(trace.horizon, T, windows):
         inter = _intersection_graph(trace, start, stop)
@@ -286,6 +397,20 @@ def max_interval_connectivity(trace: GraphTrace, windows: str = "sliding") -> in
     even single rounds are disconnected)."""
     if not is_T_interval_connected(trace, 1, windows):
         return 0
+    if windows == "sliding":
+        # Sliding T-interval connectivity is monotone in T: every
+        # (T−1)-window is contained in some T-window, and a window's
+        # intersection only shrinks as the window grows — so if the larger
+        # window's intersection spans and connects all nodes, the smaller
+        # window's (a superset of edges) does too.  Binary search applies.
+        lo, hi = 1, trace.horizon
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if is_T_interval_connected(trace, mid, windows):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
     best = 1
     for T in range(2, trace.horizon + 1):
         if is_T_interval_connected(trace, T, windows):

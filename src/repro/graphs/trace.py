@@ -19,8 +19,8 @@ Rounds beyond the recorded horizon are handled per the ``extend`` policy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List
 
 from ..sim.topology import Snapshot
 

@@ -18,7 +18,7 @@ the next round), matching the paper's send/receive rounds.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 import networkx as nx
 

@@ -50,6 +50,25 @@ from .trace import DeliveryEvent, SimTrace
 __all__ = ["ActiveRun", "DynamicNetwork", "RunResult", "SynchronousEngine", "run"]
 
 
+def validate_run_args(
+    n: int, k: int, initial: Mapping[int, FrozenSet[int]], max_rounds: int
+) -> None:
+    """Shared input validation for the reference and fast execution paths."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+    assigned = set()
+    for node, toks in initial.items():
+        if not (0 <= node < n):
+            raise ValueError(
+                f"initial assignment names node {node} outside 0..{n-1}"
+            )
+        assigned |= set(toks)
+    if assigned - set(range(k)):
+        raise ValueError(f"initial assignment contains ids outside 0..{k-1}")
+
+
 class DynamicNetwork(Protocol):
     """What the engine requires of a scenario: a size and per-round snapshots."""
 
@@ -129,19 +148,7 @@ class ActiveRun:
         stop_when_finished: bool,
     ) -> None:
         n = network.n
-        if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
-        if max_rounds < 0:
-            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
-        assigned = set()
-        for node, toks in initial.items():
-            if not (0 <= node < n):
-                raise ValueError(
-                    f"initial assignment names node {node} outside 0..{n-1}"
-                )
-            assigned |= set(toks)
-        if assigned - set(range(k)):
-            raise ValueError(f"initial assignment contains ids outside 0..{k-1}")
+        validate_run_args(n, k, initial, max_rounds)
 
         self.engine = engine
         self.network = network
@@ -324,6 +331,14 @@ class SynchronousEngine:
         The audience is fixed at *transmission* time (the radio frame
         leaves over round r's edges); 1 (default) is the standard
         synchronous model used by the paper's analysis.
+    engine:
+        ``"reference"`` (default) executes per-node algorithm objects as
+        documented above.  ``"fast"`` routes :meth:`run` through the
+        vectorised bitset kernels of :mod:`repro.sim.fastpath` when the
+        algorithm family supports them (results are bit-identical; see
+        docs/performance.md), silently falling back to the reference path
+        otherwise.  :meth:`start` always steps the reference engine — the
+        fast path has no per-round inspection surface.
     """
 
     def __init__(
@@ -333,6 +348,7 @@ class SynchronousEngine:
         loss_p: float = 0.0,
         loss_seed=None,
         latency: int = 1,
+        engine: str = "reference",
     ) -> None:
         self.record_trace = record_trace or record_knowledge
         self.record_knowledge = record_knowledge
@@ -340,9 +356,12 @@ class SynchronousEngine:
             raise ValueError(f"loss_p must be in [0, 1), got {loss_p}")
         if latency < 1:
             raise ValueError(f"latency must be >= 1 round, got {latency}")
+        if engine not in ("reference", "fast"):
+            raise ValueError(f"engine must be 'reference' or 'fast', got {engine!r}")
         self.loss_p = loss_p
         self.loss_seed = loss_seed
         self.latency = latency
+        self.engine_mode = engine
 
     def start(
         self,
@@ -400,6 +419,21 @@ class SynchronousEngine:
             Stop once every node reports local termination via
             :meth:`NodeAlgorithm.finished` (and nothing is in flight).
         """
+        if self.engine_mode == "fast":
+            from . import fastpath
+
+            result = fastpath.try_run(
+                self,
+                network,
+                factory,
+                k,
+                initial,
+                max_rounds,
+                stop_when_complete=stop_when_complete,
+                stop_when_finished=stop_when_finished,
+            )
+            if result is not None:
+                return result
         active = self.start(
             network, factory, k, initial, max_rounds,
             stop_when_complete=stop_when_complete,
@@ -420,8 +454,8 @@ def run(
     """One-shot convenience wrapper around :class:`SynchronousEngine`.
 
     Keyword arguments ``record_trace`` / ``record_knowledge`` /
-    ``loss_p`` / ``loss_seed`` / ``latency`` configure the engine;
-    everything else is forwarded to :meth:`SynchronousEngine.run`.
+    ``loss_p`` / ``loss_seed`` / ``latency`` / ``engine`` configure the
+    engine; everything else is forwarded to :meth:`SynchronousEngine.run`.
     """
     engine = SynchronousEngine(
         record_trace=kwargs.pop("record_trace", False),
@@ -429,5 +463,6 @@ def run(
         loss_p=kwargs.pop("loss_p", 0.0),
         loss_seed=kwargs.pop("loss_seed", None),
         latency=kwargs.pop("latency", 1),
+        engine=kwargs.pop("engine", "reference"),
     )
     return engine.run(network, factory, k, initial, max_rounds, **kwargs)

@@ -1,0 +1,654 @@
+"""Vectorised bitset execution for the token-dissemination algorithm family.
+
+The reference engine (:mod:`repro.sim.engine`) dispatches per-node Python
+objects exchanging ``frozenset`` token sets — ideal for clarity and for
+arbitrary user algorithms, but the hot loop of every benchmark sweep.
+This module re-implements the *fixed* algorithm family of the paper
+(Algorithm 1, its Remark-1 stable-heads variant, Algorithm 2, both KLO
+baselines, and the two flooding baselines) as vectorised kernels:
+
+* a node's token set is a row of ``uint64`` words (one bit per token), so
+  set union is ``|``, difference is ``& ~``, and cardinality is a popcount;
+* per-round topology comes from the memoized CSR arrays of
+  :meth:`repro.sim.topology.Snapshot.arrays`;
+* send/receive for all ``n`` nodes are a handful of numpy array operations
+  instead of ``2n`` Python method calls.
+
+**Bit-identical results.**  For supported algorithms the fast path
+reproduces the reference engine exactly: the same :class:`RunResult`
+outputs, the same :class:`~repro.sim.metrics.Metrics` (token/message
+counts, per-role breakdown, per-round series, completion round), the same
+drop/loss accounting, and — because fault injection consumes the loss RNG
+in the reference engine's exact delivery order — the same behaviour under
+``loss_p > 0`` and ``latency > 1``.  The equivalence suite in
+``tests/test_fastpath.py`` asserts this across algorithms, generators and
+seeds.
+
+**Dispatch.**  Factories built by the ``make_*_factory`` helpers carry a
+``factory.fastpath = (kind, params)`` tag.  :func:`try_run` executes the
+matching kernel, or returns ``None`` — letting the engine fall back to the
+reference path — when the factory is untagged (custom algorithms), when a
+trace recording was requested, or when the network is adaptive (the
+adversary hook needs per-node Python state).  ``RunResult.algorithms`` is
+``None`` on the fast path: there are no per-node objects to hand back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .engine import RunResult, SynchronousEngine, validate_run_args
+from .metrics import Metrics, RoleCost
+from .topology import Snapshot, SnapshotArrays
+
+__all__ = ["supported_kinds", "try_run"]
+
+_U1 = np.uint64(1)
+_ROLE_HEAD, _ROLE_GATEWAY, _ROLE_MEMBER = 0, 1, 2
+_ROLE_NAMES = ((0, "head"), (1, "gateway"), (2, "member"))
+
+
+# ---------------------------------------------------------------------------
+# bit tricks on (m, W) uint64 rows
+# ---------------------------------------------------------------------------
+
+def _popcounts(rows: np.ndarray) -> np.ndarray:
+    """Per-row popcount of (m, W) uint64 rows."""
+    return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+
+def _lowest_bit_rows(rows: np.ndarray) -> np.ndarray:
+    """One-hot rows isolating each row's lowest set bit (rows must be != 0)."""
+    out = np.zeros_like(rows)
+    wsel = (rows != 0).argmax(axis=1)
+    ar = np.arange(rows.shape[0])
+    w = rows[ar, wsel]
+    out[ar, wsel] = w & ~(w - _U1)
+    return out
+
+def _highest_bit_rows(rows: np.ndarray) -> np.ndarray:
+    """One-hot rows isolating each row's highest set bit (rows must be != 0)."""
+    out = np.zeros_like(rows)
+    wsel = rows.shape[1] - 1 - (rows[:, ::-1] != 0).argmax(axis=1)
+    ar = np.arange(rows.shape[0])
+    s = rows[ar, wsel].copy()
+    s |= s >> _U1
+    s |= s >> np.uint64(2)
+    s |= s >> np.uint64(4)
+    s |= s >> np.uint64(8)
+    s |= s >> np.uint64(16)
+    s |= s >> np.uint64(32)
+    out[ar, wsel] = s ^ (s >> _U1)
+    return out
+
+def _rows_to_frozensets(bits: np.ndarray) -> List[FrozenSet[int]]:
+    """Decode (n, W) uint64 rows back to per-node frozensets of token ids."""
+    n, W = bits.shape
+    unpacked = np.unpackbits(
+        bits.astype("<u8").view(np.uint8).reshape(n, W * 8),
+        axis=1,
+        bitorder="little",
+    )
+    return [frozenset(np.nonzero(row)[0].tolist()) for row in unpacked]
+
+
+# ---------------------------------------------------------------------------
+# per-round send batches
+# ---------------------------------------------------------------------------
+
+class _SendBatch:
+    """All transmissions of one round, as arrays.
+
+    Senders appear at most once per side (every supported algorithm sends
+    at most one message per node per round) and in ascending node order —
+    the reference engine's iteration order, which the loss path relies on.
+    """
+
+    __slots__ = (
+        "bc_senders", "bc_payload", "bc_costs",
+        "uc_senders", "uc_dests", "uc_ok", "uc_payload", "uc_costs",
+    )
+
+    def __init__(
+        self,
+        bc_senders: np.ndarray,
+        bc_payload: np.ndarray,
+        bc_costs: np.ndarray,
+        uc_senders: np.ndarray,
+        uc_dests: np.ndarray,
+        uc_ok: np.ndarray,
+        uc_payload: np.ndarray,
+        uc_costs: np.ndarray,
+    ) -> None:
+        self.bc_senders = bc_senders
+        self.bc_payload = bc_payload
+        self.bc_costs = bc_costs
+        self.uc_senders = uc_senders
+        self.uc_dests = uc_dests
+        self.uc_ok = uc_ok
+        self.uc_payload = uc_payload
+        self.uc_costs = uc_costs
+
+    @property
+    def messages(self) -> int:
+        return len(self.bc_senders) + len(self.uc_senders)
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+
+
+def _broadcast_batch(senders: np.ndarray, payload: np.ndarray, costs: np.ndarray) -> _SendBatch:
+    W = payload.shape[1] if payload.ndim == 2 else 1
+    empty_rows = np.empty((0, W), dtype=np.uint64)
+    return _SendBatch(
+        senders, payload, costs,
+        _EMPTY_IDS, _EMPTY_IDS, _EMPTY_BOOL, empty_rows, _EMPTY_IDS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+class _Kernel:
+    """Vectorised state of one algorithm family across all nodes.
+
+    Subclasses implement :meth:`send` (returning a :class:`_SendBatch` or
+    ``None`` for a silent round) and :meth:`finished`; the default
+    :meth:`receive` ORs every delivered payload row into ``TA``.
+    """
+
+    def __init__(self, n: int, k: int, W: int, TA: np.ndarray) -> None:
+        self.n = n
+        self.k = k
+        self.W = W
+        self.TA = TA
+
+    # -- engine interface --------------------------------------------------
+
+    def send(self, r: int, arrs: SnapshotArrays) -> Optional[_SendBatch]:
+        raise NotImplementedError
+
+    def receive(
+        self, r: int, arrs: SnapshotArrays,
+        rec: np.ndarray, snd: np.ndarray, payload: np.ndarray,
+    ) -> None:
+        np.bitwise_or.at(self.TA, rec, payload)
+
+    def finished(self, r: int) -> bool:
+        """Whether every node has locally terminated after round ``r``."""
+        return False
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _head_arr(self, arrs: SnapshotArrays) -> np.ndarray:
+        if arrs.head_of is not None:
+            return arrs.head_of
+        cached = getattr(self, "_neg1", None)
+        if cached is None:
+            cached = np.full(self.n, -1, dtype=np.int64)
+            self._neg1 = cached
+        return cached
+
+    def _member_mask(self, arrs: SnapshotArrays) -> Optional[np.ndarray]:
+        return None if arrs.roles is None else arrs.roles == _ROLE_MEMBER
+
+
+class _Algorithm1Kernel(_Kernel):
+    """Algorithm 1 (Fig. 4) and its Remark-1 stable-heads variant."""
+
+    def __init__(self, n, k, W, TA, T: int, M: int, strict: bool, stable: bool = False):
+        super().__init__(n, k, W, TA)
+        if T < 1 or M < 1:
+            raise ValueError(f"T and M must be >= 1, got T={T}, M={M}")
+        self.T = T
+        self.M = M
+        self.strict = strict
+        self.stable = stable
+        self.TS = np.zeros_like(TA)
+        self.TR = np.zeros_like(TA)
+        # previous phase's head per node; -1 encodes "None", matching the
+        # reference's initial `_phase_head = None`
+        self.phase_head = np.full(n, -1, dtype=np.int64)
+
+    def send(self, r: int, arrs: SnapshotArrays) -> Optional[_SendBatch]:
+        if r // self.T >= self.M:
+            return None
+        member = self._member_mask(arrs)
+        head_arr = self._head_arr(arrs)
+
+        if r % self.T == 0:
+            # phase boundary: members forget TS/TR on head change (plain
+            # Algorithm 1 only); heads/gateways clear their per-phase TS
+            if member is None:
+                self.TS[:] = 0
+            else:
+                if not self.stable:
+                    reset = member & (head_arr != self.phase_head)
+                    self.TS[reset] = 0
+                    self.TR[reset] = 0
+                self.TS[~member] = 0
+            self.phase_head[:] = head_arr
+
+        uc_senders = _EMPTY_IDS
+        uc_dests = _EMPTY_IDS
+        uc_ok = _EMPTY_BOOL
+        uc_payload = np.empty((0, self.W), dtype=np.uint64)
+        if member is not None and not (self.stable and r >= self.T):
+            unknown = self.TA & ~(self.TS | self.TR)
+            can = member & (head_arr >= 0) & unknown.any(axis=1)
+            uc_senders = np.nonzero(can)[0]
+            if uc_senders.size:
+                uc_payload = _highest_bit_rows(unknown[uc_senders])
+                self.TS[uc_senders] |= uc_payload
+                uc_dests = head_arr[uc_senders]
+                uc_ok = arrs.head_adjacent[uc_senders]
+
+        unsent = self.TA & ~self.TS
+        canb = unsent.any(axis=1)
+        if member is not None:
+            canb &= ~member
+        bc_senders = np.nonzero(canb)[0]
+        if bc_senders.size:
+            bc_payload = _lowest_bit_rows(unsent[bc_senders])
+            self.TS[bc_senders] |= bc_payload
+        else:
+            bc_payload = np.empty((0, self.W), dtype=np.uint64)
+
+        return _SendBatch(
+            bc_senders, bc_payload,
+            np.ones(bc_senders.size, dtype=np.int64),
+            uc_senders, uc_dests, uc_ok, uc_payload,
+            np.ones(uc_senders.size, dtype=np.int64),
+        )
+
+    def receive(self, r, arrs, rec, snd, payload):
+        member = self._member_mask(arrs)
+        if member is None:
+            np.bitwise_or.at(self.TA, rec, payload)
+            return
+        head_arr = self._head_arr(arrs)
+        memb = member[rec]
+        nonmemb = ~memb
+        if nonmemb.any():
+            np.bitwise_or.at(self.TA, rec[nonmemb], payload[nonmemb])
+        from_head = memb & (head_arr[rec] == snd)
+        if from_head.any():
+            np.bitwise_or.at(self.TA, rec[from_head], payload[from_head])
+            np.bitwise_or.at(self.TR, rec[from_head], payload[from_head])
+        if not self.strict:
+            overheard = memb & ~from_head
+            if overheard.any():
+                np.bitwise_or.at(self.TA, rec[overheard], payload[overheard])
+
+    def finished(self, r: int) -> bool:
+        return r + 1 >= self.M * self.T
+
+
+class _Algorithm2Kernel(_Kernel):
+    """Algorithm 2 (Fig. 5): full-set uploads on (re-)affiliation, full-set
+    head/gateway broadcasts every round."""
+
+    def __init__(self, n, k, W, TA, M: int):
+        super().__init__(n, k, W, TA)
+        if M < 1:
+            raise ValueError(f"M must be >= 1, got {M}")
+        self.M = M
+        self.prev_head = np.full(n, -1, dtype=np.int64)
+        self.seen = np.zeros(n, dtype=bool)
+
+    def send(self, r: int, arrs: SnapshotArrays) -> Optional[_SendBatch]:
+        if r >= self.M:
+            return None
+        member = self._member_mask(arrs)
+        head_arr = self._head_arr(arrs)
+        has_tokens = self.TA.any(axis=1)
+
+        uc_senders = _EMPTY_IDS
+        uc_dests = _EMPTY_IDS
+        uc_ok = _EMPTY_BOOL
+        uc_payload = np.empty((0, self.W), dtype=np.uint64)
+        if member is not None:
+            changed = ~self.seen | (head_arr != self.prev_head)
+            can = member & changed & (head_arr >= 0) & has_tokens
+            uc_senders = np.nonzero(can)[0]
+            if uc_senders.size:
+                uc_payload = self.TA[uc_senders]
+                uc_dests = head_arr[uc_senders]
+                uc_ok = arrs.head_adjacent[uc_senders]
+        self.seen[:] = True
+        self.prev_head[:] = head_arr
+
+        canb = has_tokens
+        if member is not None:
+            canb = canb & ~member
+        bc_senders = np.nonzero(canb)[0]
+        bc_payload = self.TA[bc_senders]
+
+        return _SendBatch(
+            bc_senders, bc_payload, _popcounts(bc_payload),
+            uc_senders, uc_dests, uc_ok, uc_payload, _popcounts(uc_payload),
+        )
+
+    def finished(self, r: int) -> bool:
+        return r + 1 >= self.M
+
+
+class _KLOIntervalKernel(_Kernel):
+    """KLO token forwarding: min-id unsent token per phase, all nodes."""
+
+    def __init__(self, n, k, W, TA, T: int, M: int):
+        super().__init__(n, k, W, TA)
+        if T < 1 or M < 1:
+            raise ValueError(f"T and M must be >= 1, got T={T}, M={M}")
+        self.T = T
+        self.M = M
+        self.TS = np.zeros_like(TA)
+
+    def send(self, r: int, arrs: SnapshotArrays) -> Optional[_SendBatch]:
+        if r // self.T >= self.M:
+            return None
+        if r % self.T == 0:
+            self.TS[:] = 0
+        unsent = self.TA & ~self.TS
+        senders = np.nonzero(unsent.any(axis=1))[0]
+        if senders.size:
+            payload = _lowest_bit_rows(unsent[senders])
+            self.TS[senders] |= payload
+        else:
+            payload = np.empty((0, self.W), dtype=np.uint64)
+        return _broadcast_batch(senders, payload, np.ones(senders.size, dtype=np.int64))
+
+    def finished(self, r: int) -> bool:
+        return r + 1 >= self.M * self.T
+
+
+class _FullSetBroadcastKernel(_Kernel):
+    """Everyone broadcasts their whole token set each round.
+
+    ``M=None`` floods forever (FloodAllNode); otherwise this is the KLO
+    1-interval baseline with its ``M``-round budget.
+    """
+
+    def __init__(self, n, k, W, TA, M: Optional[int] = None):
+        super().__init__(n, k, W, TA)
+        if M is not None and M < 1:
+            raise ValueError(f"M must be >= 1, got {M}")
+        self.M = M
+
+    def send(self, r: int, arrs: SnapshotArrays) -> Optional[_SendBatch]:
+        if self.M is not None and r >= self.M:
+            return None
+        senders = np.nonzero(self.TA.any(axis=1))[0]
+        payload = self.TA[senders]
+        return _broadcast_batch(senders, payload, _popcounts(payload))
+
+    def finished(self, r: int) -> bool:
+        return self.M is not None and r + 1 >= self.M
+
+
+class _FloodNewKernel(_Kernel):
+    """Epidemic flooding: broadcast only tokens first learned last round."""
+
+    def __init__(self, n, k, W, TA):
+        super().__init__(n, k, W, TA)
+        self.fresh = TA.copy()
+
+    def send(self, r: int, arrs: SnapshotArrays) -> Optional[_SendBatch]:
+        senders = np.nonzero(self.fresh.any(axis=1))[0]
+        payload = self.fresh[senders]
+        self.fresh[senders] = 0
+        return _broadcast_batch(senders, payload, _popcounts(payload))
+
+    def receive(self, r, arrs, rec, snd, payload):
+        received = np.zeros_like(self.TA)
+        np.bitwise_or.at(received, rec, payload)
+        novel = received & ~self.TA
+        self.TA |= novel
+        self.fresh |= novel
+
+
+_KERNELS = {
+    "algorithm1": lambda n, k, W, TA, **p: _Algorithm1Kernel(n, k, W, TA, **p),
+    "algorithm1_stable": lambda n, k, W, TA, **p: _Algorithm1Kernel(
+        n, k, W, TA, stable=True, **p
+    ),
+    "algorithm2": lambda n, k, W, TA, **p: _Algorithm2Kernel(n, k, W, TA, **p),
+    "klo_interval": lambda n, k, W, TA, **p: _KLOIntervalKernel(n, k, W, TA, **p),
+    "klo_one": lambda n, k, W, TA, M: _FullSetBroadcastKernel(n, k, W, TA, M=M),
+    "flood_all": lambda n, k, W, TA: _FullSetBroadcastKernel(n, k, W, TA, M=None),
+    "flood_new": lambda n, k, W, TA: _FloodNewKernel(n, k, W, TA),
+}
+
+
+def supported_kinds() -> Tuple[str, ...]:
+    """The ``factory.fastpath`` kinds this module can execute."""
+    return tuple(sorted(_KERNELS))
+
+
+# ---------------------------------------------------------------------------
+# accounting and delivery
+# ---------------------------------------------------------------------------
+
+def _account(metrics: Metrics, batch: _SendBatch, arrs: SnapshotArrays) -> None:
+    """Record one round's transmissions exactly as the reference engine does."""
+    b = len(batch.bc_senders)
+    u = len(batch.uc_senders)
+    if b + u == 0:
+        return
+    tokens = int(batch.bc_costs.sum()) + int(batch.uc_costs.sum())
+    metrics.tokens_sent += tokens
+    metrics.messages_sent += b + u
+    metrics.broadcasts += b
+    metrics.unicasts += u
+    if metrics.per_round_tokens:
+        metrics.per_round_tokens[-1] += tokens
+    if u:
+        metrics.dropped_unicasts += int((~batch.uc_ok).sum())
+    if arrs.roles is None:
+        cost = metrics.by_role.setdefault("flat", RoleCost())
+        cost.tokens += tokens
+        cost.messages += b + u
+        return
+    senders = np.concatenate((batch.bc_senders, batch.uc_senders))
+    costs = np.concatenate((batch.bc_costs, batch.uc_costs))
+    codes = arrs.roles[senders]
+    msg_counts = np.bincount(codes, minlength=3)
+    tok_counts = np.bincount(codes, weights=costs, minlength=3)
+    for code, name in _ROLE_NAMES:
+        if msg_counts[code]:
+            cost = metrics.by_role.setdefault(name, RoleCost())
+            cost.tokens += int(tok_counts[code])
+            cost.messages += int(msg_counts[code])
+
+
+def _deliveries(
+    batch: _SendBatch, arrs: SnapshotArrays
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Expand a send batch into flat (receiver, sender, payload-row) arrays."""
+    parts = []
+    senders = batch.bc_senders
+    if senders.size:
+        lens = arrs.degrees[senders]
+        total = int(lens.sum())
+        if total:
+            starts = arrs.indptr[senders]
+            cum = np.cumsum(lens)
+            pos = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - lens), lens)
+            parts.append((
+                arrs.indices[pos],
+                np.repeat(senders, lens),
+                np.repeat(batch.bc_payload, lens, axis=0),
+            ))
+    if batch.uc_senders.size:
+        ok = batch.uc_ok
+        if ok.any():
+            parts.append((
+                batch.uc_dests[ok],
+                batch.uc_senders[ok],
+                batch.uc_payload[ok],
+            ))
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+
+
+def _deliveries_with_loss(
+    batch: _SendBatch,
+    snap: Snapshot,
+    metrics: Metrics,
+    rng,
+    loss_p: float,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Delivery under fault injection, drawing the loss RNG in the reference
+    engine's exact order: ascending sender, broadcast audiences iterated in
+    ``snap.adj[sender]`` (frozenset) order, drops consuming no randomness."""
+    b = len(batch.bc_senders)
+    payload_all = (
+        np.concatenate((batch.bc_payload, batch.uc_payload))
+        if batch.uc_senders.size
+        else batch.bc_payload
+    )
+    senders_all = np.concatenate((batch.bc_senders, batch.uc_senders))
+    order = np.argsort(senders_all, kind="stable")
+    rec_out: List[int] = []
+    snd_out: List[int] = []
+    row_out: List[int] = []
+    for i in order:
+        i = int(i)
+        s = int(senders_all[i])
+        if i < b:  # broadcast
+            for u in snap.adj[s]:
+                if rng.random() < loss_p:
+                    metrics.record_loss()
+                else:
+                    rec_out.append(u)
+                    snd_out.append(s)
+                    row_out.append(i)
+        else:  # unicast (unreachable destinations draw nothing)
+            if batch.uc_ok[i - b]:
+                if rng.random() < loss_p:
+                    metrics.record_loss()
+                else:
+                    rec_out.append(int(batch.uc_dests[i - b]))
+                    snd_out.append(s)
+                    row_out.append(i)
+    if not rec_out:
+        return None
+    return (
+        np.asarray(rec_out, dtype=np.int64),
+        np.asarray(snd_out, dtype=np.int64),
+        payload_all[np.asarray(row_out, dtype=np.int64)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the fast engine loop
+# ---------------------------------------------------------------------------
+
+def try_run(
+    engine: SynchronousEngine,
+    network,
+    factory,
+    k: int,
+    initial: Mapping[int, FrozenSet[int]],
+    max_rounds: int,
+    stop_when_complete: bool = False,
+    stop_when_finished: bool = True,
+) -> Optional[RunResult]:
+    """Execute a run on the fast path, or return ``None`` if unsupported.
+
+    Supported: factories tagged with a known ``factory.fastpath`` kind, on
+    non-adaptive networks, without trace recording.  Loss and latency are
+    fully supported (see module docstring).
+    """
+    spec = getattr(factory, "fastpath", None)
+    if spec is None:
+        return None
+    kind, params = spec
+    make_kernel = _KERNELS.get(kind)
+    if make_kernel is None:
+        return None
+    if engine.record_trace or engine.record_knowledge:
+        return None
+    if getattr(network, "adaptive_snapshot", None) is not None:
+        return None
+
+    n = network.n
+    validate_run_args(n, k, initial, max_rounds)
+    W = max(1, (k + 63) // 64)
+    TA = np.zeros((n, W), dtype=np.uint64)
+    for node, toks in initial.items():
+        for t in toks:
+            TA[node, t >> 6] |= _U1 << np.uint64(t & 63)
+    kernel = make_kernel(n, k, W, TA, **params)
+
+    metrics = Metrics()
+    loss_rng = None
+    if engine.loss_p > 0:
+        from .rng import make_rng
+
+        loss_rng = make_rng(engine.loss_seed)
+    latency = engine.latency
+    target = n * k
+    in_flight: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+
+    for r in range(max_rounds):
+        snap = network.snapshot(r)
+        if snap.n != n:
+            raise ValueError(
+                f"snapshot for round {r} has {snap.n} nodes, expected {n}"
+            )
+        arrs = snap.arrays()
+        metrics.begin_round()
+
+        batch = kernel.send(r, arrs)
+        if batch is not None and batch.messages:
+            _account(metrics, batch, arrs)
+            if loss_rng is None:
+                flat = _deliveries(batch, arrs)
+            else:
+                flat = _deliveries_with_loss(
+                    batch, snap, metrics, loss_rng, engine.loss_p
+                )
+            if flat is not None:
+                in_flight.setdefault(r + latency - 1, []).append(flat)
+
+        pending = in_flight.pop(r, None)
+        if pending:
+            if len(pending) == 1:
+                rec, snd, payload = pending[0]
+            else:
+                rec = np.concatenate([p[0] for p in pending])
+                snd = np.concatenate([p[1] for p in pending])
+                payload = np.concatenate([p[2] for p in pending])
+            kernel.receive(r, arrs, rec, snd, payload)
+
+        coverage = int(np.bitwise_count(kernel.TA).sum())
+        metrics.end_round(coverage)
+        if coverage == target:
+            metrics.mark_complete()
+            if stop_when_complete:
+                break
+        if stop_when_finished and not in_flight and kernel.finished(r):
+            break
+
+    token_sets = _rows_to_frozensets(kernel.TA)
+    outputs = {v: token_sets[v] for v in range(n)}
+    return RunResult(
+        n=n,
+        k=k,
+        metrics=metrics,
+        outputs=outputs,
+        complete=all(len(t) == k for t in outputs.values()),
+        trace=None,
+        algorithms=None,
+    )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, List, Optional, Sequence
+from typing import Callable, FrozenSet, Optional, Sequence
 
 from ..roles import Role
 from .messages import Message

@@ -13,9 +13,50 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..roles import Role
 
-__all__ = ["Snapshot", "adjacency_from_edges"]
+__all__ = ["ROLE_CODES", "Snapshot", "SnapshotArrays", "adjacency_from_edges"]
+
+#: Stable integer codes for roles in :class:`SnapshotArrays` (``-1`` = flat).
+ROLE_CODES: Dict[Role, int] = {Role.HEAD: 0, Role.GATEWAY: 1, Role.MEMBER: 2}
+
+
+@dataclass(frozen=True)
+class SnapshotArrays:
+    """A snapshot's topology re-encoded as flat numpy arrays.
+
+    The vectorised fast path (:mod:`repro.sim.fastpath`) consumes these
+    instead of per-node frozensets.  Built once per snapshot and memoized
+    (see :meth:`Snapshot.arrays`), so traces that repeat a snapshot — or
+    algorithms that run many rounds on the same topology — pay the
+    conversion cost a single time.
+
+    Attributes
+    ----------
+    indptr, indices:
+        CSR adjacency: node ``v``'s neighbours (sorted ascending) are
+        ``indices[indptr[v]:indptr[v+1]]``.
+    degrees:
+        ``indptr`` differences, i.e. per-node degree.
+    roles:
+        Per-node :data:`ROLE_CODES` values, or ``None`` for flat snapshots.
+    head_of:
+        Per-node cluster head id with ``-1`` for "unaffiliated", or
+        ``None`` for flat snapshots.
+    head_adjacent:
+        ``head_adjacent[v]`` is ``True`` iff ``v`` has a head and that head
+        is a neighbour this round (whether a member's unicast upload would
+        be delivered); ``None`` for flat snapshots.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    degrees: np.ndarray
+    roles: Optional[np.ndarray]
+    head_of: Optional[np.ndarray]
+    head_adjacent: Optional[np.ndarray]
 
 
 def adjacency_from_edges(
@@ -59,6 +100,21 @@ class Snapshot:
     roles: Optional[Tuple[Role, ...]] = None
     head_of: Optional[Tuple[Optional[int], ...]] = None
 
+    # -- memoization -----------------------------------------------------
+    #
+    # Snapshots are immutable, yet algorithms and checkers re-ask the same
+    # derived questions (heads, edge set, clusters) every round.  Results
+    # are cached in a plain dict attached lazily via object.__setattr__
+    # (allowed on frozen dataclasses); the cache is not a dataclass field,
+    # so equality and hashing are unaffected.
+
+    def _memo(self) -> dict:
+        cache = self.__dict__.get("_memo_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_memo_cache", cache)
+        return cache
+
     # -- construction ----------------------------------------------------
 
     @classmethod
@@ -98,12 +154,24 @@ class Snapshot:
         return len(self.adj[v])
 
     def edges(self) -> List[Tuple[int, int]]:
-        """Undirected edge list with ``u < v``."""
-        return [(u, v) for u in range(self.n) for v in self.adj[u] if u < v]
+        """Undirected edge list with ``u < v`` (a fresh list per call)."""
+        cache = self._memo()
+        cached = cache.get("edges")
+        if cached is None:
+            cached = tuple(
+                (u, v) for u in range(self.n) for v in self.adj[u] if u < v
+            )
+            cache["edges"] = cached
+        return list(cached)
 
     def edge_set(self) -> FrozenSet[Tuple[int, int]]:
         """Frozen set of normalised (u < v) edges — handy for trace diffing."""
-        return frozenset(self.edges())
+        cache = self._memo()
+        cached = cache.get("edge_set")
+        if cached is None:
+            cached = frozenset(self.edges())
+            cache["edge_set"] = cached
+        return cached
 
     def role(self, v: int) -> Optional[Role]:
         """Role of ``v`` this round, or ``None`` in a flat scenario."""
@@ -123,7 +191,14 @@ class Snapshot:
     def heads(self) -> FrozenSet[int]:
         """The cluster-head set :math:`V_h` of this round."""
         self._require_clustered()
-        return frozenset(v for v in range(self.n) if self.roles[v] is Role.HEAD)
+        cache = self._memo()
+        cached = cache.get("heads")
+        if cached is None:
+            cached = frozenset(
+                v for v in range(self.n) if self.roles[v] is Role.HEAD
+            )
+            cache["heads"] = cached
+        return cached
 
     def cluster_members(self, head: int) -> FrozenSet[int]:
         """The member set :math:`M_k` of the cluster headed by ``head``.
@@ -132,17 +207,75 @@ class Snapshot:
         everyone whose ``I(v)`` equals ``head``.
         """
         self._require_clustered()
-        return frozenset(v for v in range(self.n) if self.head_of[v] == head)
+        return self.clusters().get(head, frozenset())
+
+    def head_members(self, head: int) -> FrozenSet[int]:
+        """Alias of :meth:`cluster_members` (the paper's :math:`M_k`)."""
+        return self.cluster_members(head)
 
     def clusters(self) -> Dict[int, FrozenSet[int]]:
         """All clusters as ``{head id: member set}`` (members include head)."""
         self._require_clustered()
-        out: Dict[int, set] = {}
-        for v in range(self.n):
-            h = self.head_of[v]
-            if h is not None:
-                out.setdefault(h, set()).add(v)
-        return {h: frozenset(s) for h, s in out.items()}
+        cache = self._memo()
+        cached = cache.get("clusters")
+        if cached is None:
+            out: Dict[int, set] = {}
+            for v in range(self.n):
+                h = self.head_of[v]
+                if h is not None:
+                    out.setdefault(h, set()).add(v)
+            cached = {h: frozenset(s) for h, s in out.items()}
+            cache["clusters"] = cached
+        return dict(cached)
+
+    # -- numpy views -------------------------------------------------------
+
+    def arrays(self) -> SnapshotArrays:
+        """This snapshot as flat numpy arrays (memoized; see
+        :class:`SnapshotArrays`)."""
+        cache = self._memo()
+        cached = cache.get("arrays")
+        if cached is None:
+            n = self.n
+            degrees = np.fromiter(
+                (len(s) for s in self.adj), dtype=np.int64, count=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (u for s in self.adj for u in sorted(s)),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            roles = head_of = head_adjacent = None
+            if self.roles is not None:
+                roles = np.fromiter(
+                    (ROLE_CODES[r] for r in self.roles), dtype=np.int8, count=n
+                )
+            if self.head_of is not None:
+                head_of = np.fromiter(
+                    (-1 if h is None else h for h in self.head_of),
+                    dtype=np.int64,
+                    count=n,
+                )
+                head_adjacent = np.fromiter(
+                    (
+                        h is not None and h in self.adj[v]
+                        for v, h in enumerate(self.head_of)
+                    ),
+                    dtype=bool,
+                    count=n,
+                )
+            cached = SnapshotArrays(
+                indptr=indptr,
+                indices=indices,
+                degrees=degrees,
+                roles=roles,
+                head_of=head_of,
+                head_adjacent=head_adjacent,
+            )
+            cache["arrays"] = cached
+        return cached
 
     # -- validation --------------------------------------------------------
 

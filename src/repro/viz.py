@@ -13,9 +13,8 @@ what the examples and benchmark artifacts need.  Three views:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from .graphs.trace import GraphTrace
 from .roles import Role
 from .sim.metrics import Metrics
 from .sim.topology import Snapshot

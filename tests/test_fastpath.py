@@ -1,0 +1,251 @@
+"""Fast-path equivalence: ``engine="fast"`` must be bit-identical to the
+reference engine for every supported algorithm, scenario family, and
+channel configuration (loss, latency), and must fall back silently
+everywhere else."""
+
+import pytest
+
+from repro.baselines.flooding import make_flood_all_factory, make_flood_new_factory
+from repro.baselines.gossip import make_gossip_factory
+from repro.baselines.klo import make_klo_interval_factory, make_klo_one_factory
+from repro.core.algorithm1 import make_algorithm1_factory
+from repro.core.algorithm1_stable import make_algorithm1_stable_factory
+from repro.core.algorithm2 import make_algorithm2_factory
+from repro.experiments.scenarios import (
+    hinet_interval_scenario,
+    hinet_one_scenario,
+    one_interval_scenario,
+)
+from repro.sim import fastpath
+from repro.sim.engine import SynchronousEngine, run
+from repro.sim.topology import Snapshot
+
+
+def _hinet(seed, n0=50, theta=16, k=5, alpha=4, L=2):
+    return hinet_interval_scenario(
+        n0=n0, theta=theta, k=k, alpha=alpha, L=L, seed=seed, verify=False
+    )
+
+
+def _hinet1(seed, n0=40, theta=12, k=4):
+    return hinet_one_scenario(n0=n0, theta=theta, k=k, seed=seed, verify=False)
+
+
+def _flat(seed, n0=30, k=4):
+    return one_interval_scenario(n0=n0, k=k, seed=seed, verify=False)
+
+
+def _case_id(case):
+    return case[0]
+
+
+# (name, scenario builder, factory builder, max_rounds)
+CASES = [
+    ("alg1", _hinet, lambda s: make_algorithm1_factory(T=12, M=5), 60),
+    ("alg1-strict", _hinet, lambda s: make_algorithm1_factory(T=12, M=5, strict=True), 60),
+    ("alg1-stable", _hinet, lambda s: make_algorithm1_stable_factory(T=12, M=5), 60),
+    ("alg2", _hinet1, lambda s: make_algorithm2_factory(M=s.n - 1), 45),
+    ("klo-interval", _hinet, lambda s: make_klo_interval_factory(T=12, M=5), 60),
+    ("klo-one", _flat, lambda s: make_klo_one_factory(M=s.n - 1), 35),
+    ("klo-one-clustered", _hinet1, lambda s: make_klo_one_factory(M=s.n - 1), 45),
+    ("flood-all", _flat, lambda s: make_flood_all_factory(), 35),
+    ("flood-new", _flat, lambda s: make_flood_new_factory(), 35),
+    ("flood-new-clustered", _hinet, lambda s: make_flood_new_factory(), 40),
+]
+
+
+def assert_equivalent(scenario, factory, max_rounds, **engine_kwargs):
+    """Run both engines and compare every observable of the result."""
+    ref = SynchronousEngine(**engine_kwargs).run(
+        scenario.trace, factory, scenario.k, scenario.initial, max_rounds
+    )
+    fast = SynchronousEngine(engine="fast", **engine_kwargs).run(
+        scenario.trace, factory, scenario.k, scenario.initial, max_rounds
+    )
+    assert fast.n == ref.n and fast.k == ref.k
+    assert fast.outputs == ref.outputs
+    assert fast.complete == ref.complete
+    assert fast.metrics == ref.metrics  # every counter, series and role bucket
+    assert fast.trace is None and fast.algorithms is None
+    return ref, fast
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("case", CASES, ids=_case_id)
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_bit_identical(self, case, seed):
+        name, scen_fn, fac_fn, max_rounds = case
+        scenario = scen_fn(seed)
+        assert_equivalent(scenario, fac_fn(scenario), max_rounds)
+
+    @pytest.mark.parametrize("case", CASES, ids=_case_id)
+    def test_bit_identical_under_loss(self, case):
+        name, scen_fn, fac_fn, max_rounds = case
+        scenario = scen_fn(7)
+        assert_equivalent(
+            scenario, fac_fn(scenario), max_rounds, loss_p=0.25, loss_seed=11
+        )
+
+    @pytest.mark.parametrize("case", CASES, ids=_case_id)
+    def test_bit_identical_under_latency(self, case):
+        name, scen_fn, fac_fn, max_rounds = case
+        scenario = scen_fn(5)
+        assert_equivalent(scenario, fac_fn(scenario), max_rounds, latency=2)
+
+    def test_loss_and_latency_together(self):
+        scenario = _hinet(9)
+        assert_equivalent(
+            scenario,
+            make_algorithm1_factory(T=12, M=5),
+            60,
+            latency=3,
+            loss_p=0.15,
+            loss_seed=3,
+        )
+
+    def test_stop_when_complete(self):
+        scenario = _flat(4)
+        factory = make_flood_all_factory()
+        ref = SynchronousEngine().run(
+            scenario.trace, factory, scenario.k, scenario.initial, 40,
+            stop_when_complete=True,
+        )
+        fast = SynchronousEngine(engine="fast").run(
+            scenario.trace, factory, scenario.k, scenario.initial, 40,
+            stop_when_complete=True,
+        )
+        assert fast.metrics == ref.metrics
+        assert fast.outputs == ref.outputs
+
+    def test_module_level_run_accepts_engine(self):
+        scenario = _flat(6)
+        factory = make_klo_one_factory(M=scenario.n - 1)
+        ref = run(scenario.trace, factory, scenario.k, scenario.initial, 35)
+        fast = run(
+            scenario.trace, factory, scenario.k, scenario.initial, 35,
+            engine="fast",
+        )
+        assert fast.outputs == ref.outputs
+        assert fast.metrics == ref.metrics
+
+    def test_unreachable_head_unicast_is_dropped_identically(self):
+        # a hand-built trace whose member is affiliated to a non-adjacent
+        # head exercises the dropped-unicast accounting on both paths
+        from repro.roles import Role
+
+        snap = Snapshot(
+            adj=(frozenset({2}), frozenset(), frozenset({0})),
+            roles=(Role.HEAD, Role.MEMBER, Role.MEMBER),
+            head_of=(0, 0, 0),
+        )
+        from repro.graphs.trace import GraphTrace
+
+        trace = GraphTrace(snapshots=[snap] * 6)
+        factory = make_algorithm2_factory(M=4)
+        initial = {0: frozenset({0}), 1: frozenset({1}), 2: frozenset()}
+        ref = SynchronousEngine().run(trace, factory, 2, initial, 6)
+        fast = SynchronousEngine(engine="fast").run(trace, factory, 2, initial, 6)
+        assert ref.metrics.dropped_unicasts > 0
+        assert fast.metrics == ref.metrics
+        assert fast.outputs == ref.outputs
+
+
+class TestDispatch:
+    def test_supported_kinds(self):
+        assert fastpath.supported_kinds() == (
+            "algorithm1",
+            "algorithm1_stable",
+            "algorithm2",
+            "flood_all",
+            "flood_new",
+            "klo_interval",
+            "klo_one",
+        )
+
+    def test_factories_carry_fastpath_tags(self):
+        assert make_algorithm1_factory(T=3, M=2).fastpath == (
+            "algorithm1", {"T": 3, "M": 2, "strict": False},
+        )
+        assert make_klo_one_factory(M=9).fastpath == ("klo_one", {"M": 9})
+        assert make_flood_all_factory().fastpath == ("flood_all", {})
+
+    def test_untagged_factory_falls_back(self):
+        scenario = _flat(3)
+        factory = make_gossip_factory(seed=1)
+        assert not hasattr(factory, "fastpath")
+        result = SynchronousEngine(engine="fast").run(
+            scenario.trace, factory, scenario.k, scenario.initial, 10
+        )
+        # reference path ran: per-node objects are present
+        assert result.algorithms is not None
+
+    def test_trace_recording_falls_back(self):
+        scenario = _flat(3)
+        factory = make_flood_all_factory()
+        result = SynchronousEngine(engine="fast", record_trace=True).run(
+            scenario.trace, factory, scenario.k, scenario.initial, 10
+        )
+        assert result.trace is not None
+        assert result.algorithms is not None
+
+    def test_adaptive_network_falls_back(self):
+        scenario = _flat(3)
+
+        class Adaptive:
+            n = scenario.n
+
+            def snapshot(self, r):
+                return scenario.trace.snapshot(r)
+
+            def adaptive_snapshot(self, r, knowledge):
+                return scenario.trace.snapshot(r)
+
+        factory = make_flood_all_factory()
+        result = SynchronousEngine(engine="fast").run(
+            Adaptive(), factory, scenario.k, scenario.initial, 10
+        )
+        assert result.algorithms is not None
+
+    def test_invalid_engine_mode_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SynchronousEngine(engine="warp")
+
+    def test_fast_path_validates_inputs_like_reference(self):
+        scenario = _flat(3)
+        factory = make_flood_all_factory()
+        eng = SynchronousEngine(engine="fast")
+        with pytest.raises(ValueError, match="outside"):
+            eng.run(
+                scenario.trace, factory, scenario.k,
+                {scenario.n + 5: frozenset({0})}, 10,
+            )
+        with pytest.raises(ValueError, match="max_rounds"):
+            eng.run(scenario.trace, factory, scenario.k, scenario.initial, -1)
+
+
+class TestWideTokenSets:
+    def test_more_than_64_tokens(self):
+        # k > 64 exercises the multi-word bitset rows
+        n, k = 20, 130
+        scenario = _flat(8, n0=n, k=4)  # topology only; assignment built here
+        initial = {v: frozenset(range(v * 7, min(v * 7 + 7, k))) for v in range(n)}
+        factory = make_flood_all_factory()
+        ref = SynchronousEngine().run(scenario.trace, factory, k, initial, 25)
+        fast = SynchronousEngine(engine="fast").run(
+            scenario.trace, factory, k, initial, 25
+        )
+        assert fast.outputs == ref.outputs
+        assert fast.metrics == ref.metrics
+
+    def test_klo_token_order_across_words(self):
+        # min/max token selection must honour ids spanning word boundaries
+        n, k = 12, 96
+        scenario = _flat(2, n0=n, k=4)
+        initial = {v: frozenset({v, 95 - v, 63, 64}) for v in range(n)}
+        factory = make_klo_interval_factory(T=10, M=12)
+        ref = SynchronousEngine().run(scenario.trace, factory, k, initial, 120)
+        fast = SynchronousEngine(engine="fast").run(
+            scenario.trace, factory, k, initial, 120
+        )
+        assert fast.outputs == ref.outputs
+        assert fast.metrics == ref.metrics
