@@ -12,15 +12,7 @@ dynamics; HiNet is the cheapest of the guaranteed ones.
 from __future__ import annotations
 
 from repro.experiments.report import format_records
-from repro.experiments.runner import (
-    run_flood_all,
-    run_flood_new,
-    run_gossip,
-    run_kactive,
-    run_klo_one,
-    run_netcoding,
-    run_algorithm2,
-)
+from repro.experiments.runner import execute
 from repro.experiments.scenarios import hinet_one_scenario, one_interval_scenario
 
 
@@ -35,15 +27,15 @@ def _family(seed=43):
     # (they have no termination detection — an omniscient early stop would
     # under-report their real cost); best-effort ones run to completion.
     guaranteed = [
-        run_algorithm2(clustered),
-        run_klo_one(flat),
-        run_flood_all(flat, rounds=n0 - 1, stop_when_complete=False),
+        execute("algorithm2", clustered),
+        execute("klo-one", flat),
+        execute("flood-all", flat, rounds=n0 - 1, stop_when_complete=False),
     ]
     best_effort = [
-        run_flood_new(flat),
-        run_kactive(flat, A=3),
-        run_gossip(flat, seed=seed),
-        run_netcoding(flat, seed=seed),
+        execute("flood-new", flat),
+        execute("kactive", flat, A=3),
+        execute("gossip", flat, seed=seed),
+        execute("netcoding", flat, seed=seed),
     ]
     return [
         {

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.replication import replicate
 from repro.experiments.report import format_records
-from repro.experiments.runner import run_algorithm1, run_klo_interval
+from repro.experiments.runner import execute
 from repro.experiments.scenarios import hinet_interval_scenario
 
 
@@ -19,8 +19,8 @@ def _experiment(seed):
     scenario = hinet_interval_scenario(
         n0=100, theta=30, k=8, alpha=5, L=2, seed=seed, verify=False,
     )
-    ours = run_algorithm1(scenario)
-    theirs = run_klo_interval(scenario)
+    ours = execute("algorithm1", scenario)
+    theirs = execute("klo-interval", scenario)
     return {
         "comm_ratio": theirs.tokens_sent / max(ours.tokens_sent, 1),
         "hinet_tokens": ours.tokens_sent,

@@ -16,10 +16,11 @@ from repro.experiments.report import format_records
 from repro.experiments.sweeps import sweep_k, sweep_reaffiliation
 
 
-def test_sweep_k(benchmark, save_result):
+def test_sweep_k(benchmark, save_result, result_cache):
     rows = benchmark.pedantic(
         sweep_k,
-        kwargs=dict(ks=(2, 4, 8, 16), n0=80, theta=24, alpha=3, L=2, seed=23),
+        kwargs=dict(ks=(2, 4, 8, 16), n0=80, theta=24, alpha=3, L=2, seed=23,
+                    cache=result_cache),
         rounds=1,
         iterations=1,
     )
@@ -38,11 +39,11 @@ def test_sweep_k(benchmark, save_result):
     assert klo == sorted(klo)
 
 
-def test_sweep_reaffiliation(benchmark, save_result):
+def test_sweep_reaffiliation(benchmark, save_result, result_cache):
     rows = benchmark.pedantic(
         sweep_reaffiliation,
         kwargs=dict(ps=(0.0, 0.1, 0.3, 0.6, 0.9), n0=60, theta=18, k=4, L=2,
-                    seed=29),
+                    seed=29, cache=result_cache),
         rounds=1,
         iterations=1,
     )

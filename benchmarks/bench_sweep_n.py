@@ -16,13 +16,10 @@ from repro.experiments.report import format_records
 from repro.experiments.sweeps import sweep_n
 
 
-def test_sweep_n(benchmark, save_result):
-    rows = benchmark.pedantic(
-        sweep_n,
-        kwargs=dict(ns=(40, 80, 120, 160), k=6, alpha=3, L=2, seed=17),
-        rounds=1,
-        iterations=1,
-    )
+def test_sweep_n(benchmark, save_result, result_cache):
+    kwargs = dict(ns=(40, 80, 120, 160), k=6, alpha=3, L=2, seed=17,
+                  cache=result_cache)
+    rows = benchmark.pedantic(sweep_n, kwargs=kwargs, rounds=1, iterations=1)
     text = "X1 — communication & time vs network size (theta = 0.3 n0)\n\n"
     text += format_records(rows)
     save_result("sweep_n", text)
@@ -33,7 +30,13 @@ def test_sweep_n(benchmark, save_result):
         "ns": "40,80,120,160",
         "median_ms": round(benchmark.stats.stats.median * 1000.0, 3),
         "engine": "fast (runner default)",
+        "cache_entries": len(result_cache),
     })
+
+    # resumability: a warm re-run replays every cell from disk,
+    # row-for-row identical to the cold sweep
+    assert len(result_cache) > 0
+    assert sweep_n(**kwargs) == rows
 
     assert all(r["hinet_complete"] and r["klo_complete"] for r in rows)
     # advantage at every size...

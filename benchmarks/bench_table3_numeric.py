@@ -33,9 +33,10 @@ def test_table3_analytic(benchmark, save_result):
     assert deviations == [0, 0, 0, -960]
 
 
-def test_table3_simulated(benchmark, save_result):
+def test_table3_simulated(benchmark, save_result, result_cache):
+    kwargs = {"seed": 2013, "n0": 100, "cache": result_cache}
     rows = benchmark.pedantic(
-        simulated_table3, kwargs={"seed": 2013, "n0": 100}, rounds=1, iterations=1
+        simulated_table3, kwargs=kwargs, rounds=1, iterations=1
     )
     text = "Table 3 (simulated) — measured on verified scenarios, n0=100\n\n"
     text += format_records(rows)
@@ -50,3 +51,7 @@ def test_table3_simulated(benchmark, save_result):
     # time: completion never exceeds the analytic budget
     for r in rows:
         assert r["measured_completion"] <= r["analytic_time"]
+    # resumability: a warm re-run of the table is four cache hits,
+    # reproducing the rows exactly
+    assert len(result_cache) == 4
+    assert simulated_table3(**kwargs) == rows

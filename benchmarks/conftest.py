@@ -26,3 +26,15 @@ def save_result():
         return path
 
     return _save
+
+
+@pytest.fixture
+def result_cache(tmp_path):
+    """A fresh on-disk result cache for cache-aware benches.
+
+    Rooted under pytest's tmp dir, so timing numbers always reflect a
+    *cold* cache; benches then re-run warm to assert replay fidelity.
+    """
+    from repro.experiments.cache import ResultCache
+
+    return ResultCache(tmp_path / "result-cache")

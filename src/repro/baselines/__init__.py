@@ -28,6 +28,7 @@ from .klo import (
     make_klo_one_factory,
 )
 from .netcoding import NetworkCodingNode, make_netcoding_factory
+from . import specs  # noqa: F401  (registers the algorithm specs at import)
 
 __all__ = [
     "CountingOutcome",

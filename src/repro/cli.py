@@ -5,6 +5,8 @@ without writing a script:
 
 .. code-block:: console
 
+   $ python -m repro list-algorithms        # the algorithm registry
+   $ python -m repro run algorithm1 --n0 40 # any registered algorithm
    $ python -m repro table3                 # analytic Table 3 + deviations
    $ python -m repro table3 --simulate      # measured counterpart
    $ python -m repro fig3                   # Algorithm-1 walkthrough
@@ -12,7 +14,11 @@ without writing a script:
    $ python -m repro mobility --nodes 60 --rounds 80
 
 Every command takes ``--seed`` for reproducibility and prints the same
-fixed-width tables the benchmark suite persists.
+fixed-width tables the benchmark suite persists.  Simulation commands
+also take ``--cache DIR`` (or the ``REPRO_RESULT_CACHE`` environment
+variable): runs are keyed content-addressed on disk, so repeating a
+command — or resuming an interrupted sweep — replays finished cells
+without executing them.
 """
 
 from __future__ import annotations
@@ -30,8 +36,21 @@ from .experiments.figures import (
 from .experiments.report import format_records
 from .experiments.sweeps import sweep_alpha_L, sweep_k, sweep_n, sweep_reaffiliation
 from .experiments.tables import analytic_table2, analytic_table3, simulated_table3
+from .registry import AlgorithmSpec, all_specs, get_spec, spec_names
 
 __all__ = ["build_parser", "main"]
+
+#: Scenario builders ``repro run`` can pair with an algorithm.
+_SCENARIOS = ("auto", "hinet-interval", "hinet-one", "klo-interval",
+              "one-interval", "dhop")
+
+
+def _add_cache_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result-cache directory (computed cells replay from disk; "
+        "defaults to $REPRO_RESULT_CACHE when set)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +63,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2013,
                         help="master seed for simulated commands")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-algorithms",
+                   help="every registered algorithm spec, one row each")
+
+    rn = sub.add_parser(
+        "run", help="run one registered algorithm on a generated scenario"
+    )
+    rn.add_argument("algorithm", metavar="ALGORITHM",
+                    help="registry name (see list-algorithms)")
+    rn.add_argument("--scenario", choices=_SCENARIOS, default="auto",
+                    help="scenario family; 'auto' picks the algorithm's "
+                    "model class")
+    rn.add_argument("--n0", type=int, default=50, help="network size")
+    rn.add_argument("--theta", type=int, default=None,
+                    help="cluster count (default: max(0.3*n0, alpha))")
+    rn.add_argument("--k", type=int, default=5, help="token count")
+    rn.add_argument("--alpha", type=int, default=3, help="stability parameter")
+    rn.add_argument("--L", type=int, default=2, help="backbone hop bound")
+    rn.add_argument("--rounds", type=int, default=None,
+                    help="override the round budget (where the spec allows)")
+    rn.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    _add_cache_flag(rn)
 
     t2 = sub.add_parser("table2", help="analytic cost model (Table 2)")
     t2.add_argument("--n0", type=int, default=100)
@@ -58,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     t3.add_argument("--simulate", action="store_true",
                     help="also run the measured counterpart")
     t3.add_argument("--n0", type=int, default=100)
+    _add_cache_flag(t3)
 
     sub.add_parser("fig1", help="example clustered network (Figure 1)")
     sub.add_parser("fig2", help="definition lattice (Figure 2)")
@@ -67,21 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
     sn.add_argument("--sizes", type=int, nargs="+", default=[40, 80, 120, 160])
     sn.add_argument("--k", type=int, default=6)
     sn.add_argument("--alpha", type=int, default=3)
+    _add_cache_flag(sn)
 
     sk = sub.add_parser("sweep-k", help="cost vs token count (X2a)")
     sk.add_argument("--ks", type=int, nargs="+", default=[2, 4, 8, 16])
     sk.add_argument("--n0", type=int, default=80)
     sk.add_argument("--theta", type=int, default=24)
+    _add_cache_flag(sk)
 
     sr = sub.add_parser("sweep-nr", help="cost vs re-affiliation churn (X2b)")
     sr.add_argument("--ps", type=float, nargs="+",
                     default=[0.0, 0.1, 0.3, 0.6, 0.9])
     sr.add_argument("--n0", type=int, default=60)
     sr.add_argument("--theta", type=int, default=18)
+    _add_cache_flag(sr)
 
     ab = sub.add_parser("ablation", help="alpha/L design ablation (X3a)")
     ab.add_argument("--alphas", type=int, nargs="+", default=[1, 2, 5])
     ab.add_argument("--Ls", type=int, nargs="+", default=[1, 2])
+    _add_cache_flag(ab)
 
     mo = sub.add_parser("mobility", help="mobility end-to-end pipeline (X4)")
     mo.add_argument("--nodes", type=int, default=60)
@@ -96,8 +142,70 @@ def build_parser() -> argparse.ArgumentParser:
     pa = sub.add_parser("pareto", help="time/communication Pareto frontier (X12)")
     pa.add_argument("--n0", type=int, default=50)
     pa.add_argument("--k", type=int, default=5)
+    _add_cache_flag(pa)
 
     return parser
+
+
+def _default_scenario(spec: AlgorithmSpec) -> str:
+    """Pick the scenario family matching a spec's model class."""
+    if spec.family == "multihop":
+        return "dhop"
+    if spec.model_class.startswith("(T"):
+        return "hinet-interval"
+    if spec.model_class.startswith("(1"):
+        return "hinet-one"
+    if spec.model_class.startswith("T-interval"):
+        return "klo-interval"
+    return "one-interval"
+
+
+def _cmd_run(args) -> str:
+    from .experiments.runner import execute
+    from .experiments.scenarios import (
+        dhop_scenario,
+        hinet_interval_scenario,
+        hinet_one_scenario,
+        klo_interval_scenario,
+        one_interval_scenario,
+    )
+
+    try:
+        spec = get_spec(args.algorithm)
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"known: {', '.join(spec_names())}"
+        )
+
+    kind = _default_scenario(spec) if args.scenario == "auto" else args.scenario
+    theta = max(args.n0 * 3 // 10, args.alpha) if args.theta is None else args.theta
+    if kind == "hinet-interval":
+        scenario = hinet_interval_scenario(
+            n0=args.n0, theta=theta, k=args.k, alpha=args.alpha, L=args.L,
+            seed=args.seed,
+        )
+    elif kind == "hinet-one":
+        scenario = hinet_one_scenario(
+            n0=args.n0, theta=theta, k=args.k, L=args.L, seed=args.seed,
+        )
+    elif kind == "klo-interval":
+        scenario = klo_interval_scenario(
+            n0=args.n0, k=args.k, alpha=args.alpha, L=args.L, seed=args.seed,
+        )
+    elif kind == "dhop":
+        scenario = dhop_scenario(n0=args.n0, k=args.k, L=args.L, seed=args.seed)
+    else:
+        scenario = one_interval_scenario(n0=args.n0, k=args.k, seed=args.seed)
+
+    overrides = {}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if spec.seeded:
+        overrides["seed"] = args.seed  # reproducible (and cacheable) run
+    record = execute(spec, scenario, engine=args.engine, cache=args.cache,
+                     **overrides)
+    return f"scenario: {scenario.name}\n\n" + format_records([record.row()])
 
 
 def _cmd_mobility(args) -> str:
@@ -158,7 +266,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
-    if args.command == "table2":
+    if args.command == "list-algorithms":
+        print(format_records([spec.row() for spec in all_specs()]))
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "table2":
         params = CostParams(n0=args.n0, theta=args.theta, nm=args.nm,
                             nr=args.nr, k=args.k, alpha=args.alpha, L=args.L)
         print(format_records(analytic_table2(params)))
@@ -166,7 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_records(analytic_table3()))
         if args.simulate:
             print()
-            print(format_records(simulated_table3(seed=args.seed, n0=args.n0)))
+            print(format_records(simulated_table3(seed=args.seed, n0=args.n0,
+                                                  cache=args.cache)))
     elif args.command == "fig1":
         _, text = fig1_example_network()
         print(text)
@@ -177,17 +290,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(fig3_walkthrough(seed=args.seed))
     elif args.command == "sweep-n":
         print(format_records(sweep_n(ns=args.sizes, k=args.k,
-                                     alpha=args.alpha, seed=args.seed)))
+                                     alpha=args.alpha, seed=args.seed,
+                                     cache=args.cache)))
     elif args.command == "sweep-k":
         print(format_records(sweep_k(ks=args.ks, n0=args.n0,
-                                     theta=args.theta, seed=args.seed)))
+                                     theta=args.theta, seed=args.seed,
+                                     cache=args.cache)))
     elif args.command == "sweep-nr":
         print(format_records(sweep_reaffiliation(ps=args.ps, n0=args.n0,
                                                  theta=args.theta,
-                                                 seed=args.seed)))
+                                                 seed=args.seed,
+                                                 cache=args.cache)))
     elif args.command == "ablation":
         print(format_records(sweep_alpha_L(alphas=args.alphas, Ls=args.Ls,
-                                           seed=args.seed)))
+                                           seed=args.seed, cache=args.cache)))
     elif args.command == "mobility":
         print(_cmd_mobility(args))
     elif args.command == "count":
@@ -197,7 +313,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         rows, frontier = dissemination_pareto(
             n0=args.n0, k=args.k, theta=max(args.n0 * 3 // 10, 2),
-            seed=args.seed,
+            seed=args.seed, cache=args.cache,
         )
         print(format_records(rows))
         print()

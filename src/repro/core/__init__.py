@@ -30,6 +30,7 @@ from .analysis import (
     table3,
 )
 from .counting import CountingResult, count_flat, count_hierarchical
+from . import specs  # noqa: F401  (registers the algorithm specs at import)
 from .bounds import (
     algorithm1_phases,
     algorithm1_stable_phases,

@@ -17,6 +17,7 @@ from itertools import product
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..sim.rng import SeedLike, derive_seed
+from .cache import CacheLike
 from .parallel import parallel_map
 
 __all__ = ["grid_cells", "grid_sweep"]
@@ -41,7 +42,9 @@ def grid_cells(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
 
 
 def _run_cell(args):
-    fn, params, seed = args
+    fn, params, seed, cache = args
+    if cache is not None:
+        return fn(seed=seed, cache=cache, **params)
     return fn(seed=seed, **params)
 
 
@@ -50,6 +53,7 @@ def grid_sweep(
     grid: Mapping[str, Sequence[Any]],
     seed: SeedLike = 0,
     processes: Optional[int] = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, Any]]:
     """Evaluate ``cell(seed=..., **params)`` over every grid cell.
 
@@ -58,10 +62,14 @@ def grid_sweep(
     an axis value, reordering — never disturbs an existing cell's
     randomness.  With ``processes > 1`` the cell function must be
     picklable (module-level).
+
+    A non-``None`` ``cache`` is forwarded to the cell as a ``cache=``
+    keyword (the cell threads it into its ``execute`` calls), making the
+    whole grid resumable: cells already on disk replay without running.
     """
     cells = grid_cells(grid)
     jobs = []
     for params in cells:
         key = ";".join(f"{k}={params[k]!r}" for k in sorted(params))
-        jobs.append((cell, params, derive_seed(seed, "grid", key)))
+        jobs.append((cell, params, derive_seed(seed, "grid", key), cache))
     return parallel_map(_run_cell, jobs, processes=processes)

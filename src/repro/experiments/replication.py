@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..sim.rng import SeedLike, derive_seed
 
-__all__ = ["MetricSummary", "replicate", "summarize"]
+__all__ = ["MetricSummary", "replicate", "replicate_algorithm", "summarize"]
 
 #: t-distribution 97.5 % quantiles for small sample sizes (df 1..30);
 #: beyond 30 the normal 1.96 is close enough.  Hard-coded so the module
@@ -102,3 +103,71 @@ def replicate(
                 continue
             samples.setdefault(key, []).append(float(value))
     return {key: summarize(vals) for key, vals in samples.items()}
+
+
+def _algorithm_replication_cell(
+    algorithm: str,
+    scenario_builder: Callable[..., Any],
+    scenario_kwargs: Dict[str, Any],
+    cache: Any,
+    overrides: Dict[str, Any],
+    seed: SeedLike,
+) -> Dict[str, float]:
+    """Module-level (picklable) cell: fresh seeded scenario → one run row."""
+    from .runner import execute
+
+    scenario = scenario_builder(seed=seed, **scenario_kwargs)
+    record = execute(algorithm, scenario, cache=cache, **overrides)
+    row = dict(record.row())
+    # summarize() skips booleans; expose completion as a rate instead.
+    row["complete_rate"] = float(record.complete)
+    return row
+
+
+def replicate_algorithm(
+    algorithm,
+    scenario_builder: Callable[..., Any],
+    *,
+    replications: int = 10,
+    seeds: Optional[Sequence[SeedLike]] = None,
+    base_seed: SeedLike = 0,
+    processes: Optional[int] = 1,
+    cache=None,
+    scenario_kwargs: Optional[Mapping[str, Any]] = None,
+    **overrides,
+) -> Dict[str, MetricSummary]:
+    """Replicate one *registered* algorithm over fresh seeded scenarios.
+
+    The registry-driven sibling of :func:`replicate`: name an algorithm
+    (``"algorithm1"``, ``"klo-interval"``, … — anything in
+    ``repro list-algorithms``) and a scenario builder (any
+    ``seed``-accepting callable from
+    :mod:`repro.experiments.scenarios`), and each replication builds an
+    independent scenario, executes through the unified
+    :func:`~repro.experiments.runner.execute` path and feeds the record's
+    row into the metric summaries.  ``cache`` makes the whole replication
+    resumable; ``**overrides`` are the spec's declared knobs.
+
+    >>> from repro.experiments.scenarios import hinet_interval_scenario
+    >>> s = replicate_algorithm("algorithm1", hinet_interval_scenario,
+    ...                         replications=3,
+    ...                         scenario_kwargs={"n0": 30, "theta": 9, "k": 3})
+    >>> s["tokens_sent"].n
+    3
+    """
+    name = algorithm if isinstance(algorithm, str) else algorithm.name
+    experiment = partial(
+        _algorithm_replication_cell,
+        name,
+        scenario_builder,
+        dict(scenario_kwargs or {}),
+        cache,
+        dict(overrides),
+    )
+    return replicate(
+        experiment,
+        seeds=seeds,
+        replications=replications,
+        base_seed=base_seed,
+        processes=processes,
+    )

@@ -1,37 +1,34 @@
-"""Algorithm runners: execute an algorithm on a scenario for its proven bound.
+"""Unified algorithm execution: registry specs in, :class:`RunRecord` out.
 
-Each ``run_*`` helper derives the algorithm's round budget from the
-scenario's model parameters exactly as the corresponding theorem
-prescribes, executes the engine, and returns a :class:`RunRecord` pairing
-the measured costs with the analytic prediction — the row format every
-benchmark prints.
+One function, :func:`execute`, runs *any* registered algorithm on a
+scenario for its theorem-derived round budget: the spec (resolved from
+:mod:`repro.registry` by name) validates the scenario's model parameters,
+plans the node factory and budget, and the engine does the rest.  The
+historical ``run_*`` helpers remain as one-line wrappers so existing
+call sites and notebooks keep working.
+
+Runs are *data*: ``RunRecord`` round-trips through JSON
+(:func:`repro.io.run_record_to_dict`), and passing ``cache=`` (a
+directory or a :class:`~repro.experiments.cache.ResultCache`) keys each
+execution by ``(spec name+version, scenario content, engine, overrides)``
+— a warm cache replays the record without touching the engine, which is
+what lets sweeps resume and replications skip already-computed cells.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
-from ..baselines.flooding import make_flood_all_factory, make_flood_new_factory
-from ..baselines.gossip import make_gossip_factory
-from ..baselines.kactive import make_kactive_factory
-from ..baselines.klo import make_klo_interval_factory, make_klo_one_factory
-from ..baselines.netcoding import make_netcoding_factory
-from ..core.algorithm1 import make_algorithm1_factory
-from ..core.algorithm1_stable import make_algorithm1_stable_factory
-from ..core.algorithm2 import make_algorithm2_factory
-from ..core.bounds import (
-    algorithm1_phases,
-    algorithm1_stable_phases,
-    algorithm2_rounds_1interval,
-    klo_interval_phases,
-)
+from ..registry import AlgorithmSpec, get_spec
 from ..sim.engine import RunResult, SynchronousEngine
 from ..sim.rng import SeedLike
+from .cache import CacheLike, resolve_cache
 from .scenarios import Scenario
 
 __all__ = [
     "RunRecord",
+    "execute",
     "run_algorithm1",
     "run_algorithm1_stable",
     "run_algorithm2",
@@ -69,13 +66,101 @@ class RunRecord:
         """Flat dict for the table formatters."""
         return {
             "algorithm": self.algorithm,
+            "scenario": self.scenario,
             "n": self.n,
             "k": self.k,
             "bound_rounds": self.bound_rounds,
             "completion_round": self.completion_round,
             "tokens_sent": self.tokens_sent,
+            "messages_sent": self.messages_sent,
             "complete": self.complete,
         }
+
+
+def execute(
+    algorithm: Union[str, AlgorithmSpec],
+    scenario: Scenario,
+    *,
+    engine: str = "fast",
+    cache: CacheLike = None,
+    stop_when_complete: Optional[bool] = None,
+    record_trace: bool = False,
+    record_knowledge: bool = False,
+    **overrides,
+) -> RunRecord:
+    """Run one registered algorithm on a scenario for its proven budget.
+
+    Parameters
+    ----------
+    algorithm:
+        A canonical registry name (``"algorithm1"``, ``"klo-interval"``,
+        …; see ``repro list-algorithms``) or an :class:`AlgorithmSpec`.
+    scenario:
+        The verified scenario; its ``params`` must carry every key the
+        spec's ``required_params`` names.
+    engine:
+        ``"fast"`` (default; vectorised kernels where the factory
+        advertises them, bit-identical fallback otherwise) or
+        ``"reference"``.
+    cache:
+        ``None`` (consult the ``REPRO_RESULT_CACHE`` environment
+        variable), a directory path, or a
+        :class:`~repro.experiments.cache.ResultCache`.  On a hit the
+        cached record is returned without executing; on a miss the fresh
+        record is stored.  Trace-recording runs bypass the cache (traces
+        are not serialized).
+    stop_when_complete:
+        Override the spec's default omniscient-stop behaviour.
+    record_trace / record_knowledge:
+        Forwarded to the engine (forces the reference path).
+    **overrides:
+        Spec-specific knobs (``rounds=…``, ``strict=…``, ``A=…``,
+        ``seed=…`` …); anything the spec does not declare raises
+        ``TypeError``.
+    """
+    spec = algorithm if isinstance(algorithm, AlgorithmSpec) else get_spec(algorithm)
+    spec.validate_scenario(scenario)
+
+    unknown = set(overrides) - set(spec.overrides)
+    if unknown:
+        raise TypeError(
+            f"algorithm {spec.name!r} does not accept override(s) "
+            f"{sorted(unknown)} (accepted: {list(spec.overrides) or 'none'})"
+        )
+    plan = spec.plan(scenario, **overrides)
+    stop = plan.stop_when_complete if stop_when_complete is None else stop_when_complete
+
+    store = resolve_cache(cache)
+    key = None
+    # unseeded runs of seeded algorithms are not reproducible, so replaying
+    # one from the cache would silently freeze fresh entropy — never cache
+    reproducible = not (spec.seeded and plan.key_params.get("seed") is None)
+    if store is not None and reproducible and not (record_trace or record_knowledge):
+        key = store.key(
+            spec,
+            scenario,
+            engine=engine,
+            key_params=plan.key_params,
+            stop_when_complete=stop,
+            max_rounds=plan.max_rounds,
+        )
+        hit = store.get(key)
+        if hit is not None:
+            return hit
+
+    record = _execute(
+        plan.label or spec.display_name,
+        scenario,
+        plan.factory,
+        plan.max_rounds,
+        stop_when_complete=stop,
+        record_trace=record_trace,
+        record_knowledge=record_knowledge,
+        engine=engine,
+    )
+    if key is not None:
+        store.put(key, record)
+    return record
 
 
 def _execute(
@@ -88,10 +173,10 @@ def _execute(
     record_knowledge: bool = False,
     engine: str = "fast",
 ) -> RunRecord:
-    engine = SynchronousEngine(
+    sync = SynchronousEngine(
         record_trace=record_trace, record_knowledge=record_knowledge, engine=engine
     )
-    result = engine.run(
+    result = sync.run(
         scenario.trace,
         factory,
         k=scenario.k,
@@ -114,107 +199,49 @@ def _execute(
     )
 
 
-def _param(scenario: Scenario, key: str) -> object:
-    if key not in scenario.params:
-        raise KeyError(
-            f"scenario {scenario.name!r} lacks parameter {key!r} "
-            f"(available: {sorted(scenario.params)})"
-        )
-    return scenario.params[key]
-
-
-# --- the paper's algorithms ---------------------------------------------------
+# --- backward-compatible wrappers over the unified path -----------------------
+#
+# Each delegates to ``execute`` with its spec's canonical name; budgets,
+# labels and stop rules all live on the registered spec now.
 
 def run_algorithm1(scenario: Scenario, strict: bool = False, **kw) -> RunRecord:
     """Algorithm 1 for Theorem 1's budget: ``M = ⌈θ/α⌉ + 1`` phases of ``T``."""
-    T = int(_param(scenario, "T"))
-    theta = int(_param(scenario, "theta"))
-    alpha = int(_param(scenario, "alpha"))
-    M = algorithm1_phases(theta, alpha)
-    return _execute(
-        "Algorithm 1 (HiNet)",
-        scenario,
-        make_algorithm1_factory(T=T, M=M, strict=strict),
-        max_rounds=M * T,
-        **kw,
-    )
+    return execute("algorithm1", scenario, strict=strict, **kw)
 
 
 def run_algorithm1_stable(scenario: Scenario, **kw) -> RunRecord:
     """Remark-1 variant: ``M = ⌈|V_h|/α⌉ + 1`` phases (∞-stable head set)."""
-    T = int(_param(scenario, "T"))
-    alpha = int(_param(scenario, "alpha"))
-    num_heads = int(_param(scenario, "num_heads"))
-    M = algorithm1_stable_phases(num_heads, alpha)
-    return _execute(
-        "Algorithm 1 (stable heads)",
-        scenario,
-        make_algorithm1_stable_factory(T=T, M=M),
-        max_rounds=M * T,
-        **kw,
-    )
+    return execute("algorithm1-stable", scenario, **kw)
 
 
 def run_algorithm2(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
     """Algorithm 2 for Theorem 2's budget (``n − 1`` rounds) by default."""
-    M = algorithm2_rounds_1interval(scenario.n) if rounds is None else rounds
-    return _execute(
-        "Algorithm 2 (HiNet)",
-        scenario,
-        make_algorithm2_factory(M=M),
-        max_rounds=M,
-        **kw,
-    )
+    return execute("algorithm2", scenario, rounds=rounds, **kw)
 
-
-# --- KLO baselines -------------------------------------------------------------
 
 def run_klo_interval(scenario: Scenario, **kw) -> RunRecord:
     """KLO under T-interval connectivity: ``⌈n₀/(αL)⌉`` phases of ``T``."""
-    T = int(_param(scenario, "T"))
-    alpha = int(_param(scenario, "alpha"))
-    L = int(_param(scenario, "L"))
-    M = klo_interval_phases(scenario.n, alpha, L)
-    return _execute(
-        "KLO (T-interval)",
-        scenario,
-        make_klo_interval_factory(T=T, M=M),
-        max_rounds=M * T,
-        **kw,
-    )
+    return execute("klo-interval", scenario, **kw)
 
 
 def run_klo_one(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
     """KLO 1-interval full-broadcast for ``n − 1`` rounds."""
-    M = algorithm2_rounds_1interval(scenario.n) if rounds is None else rounds
-    return _execute(
-        "KLO (1-interval)",
-        scenario,
-        make_klo_one_factory(M=M),
-        max_rounds=M,
-        **kw,
-    )
+    return execute("klo-one", scenario, rounds=rounds, **kw)
 
-
-# --- related-work baselines ------------------------------------------------------
 
 def run_flood_all(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
     """Unconditional flooding, stopped at completion (measurement baseline)."""
-    M = algorithm2_rounds_1interval(scenario.n) if rounds is None else rounds
-    kw.setdefault("stop_when_complete", True)
-    return _execute("Flood (all)", scenario, make_flood_all_factory(), M, **kw)
+    return execute("flood-all", scenario, rounds=rounds, **kw)
 
 
 def run_flood_new(scenario: Scenario, rounds: Optional[int] = None, **kw) -> RunRecord:
     """Epidemic flooding (no delivery guarantee on dynamic graphs)."""
-    M = 4 * scenario.n if rounds is None else rounds
-    return _execute("Flood (new only)", scenario, make_flood_new_factory(), M, **kw)
+    return execute("flood-new", scenario, rounds=rounds, **kw)
 
 
 def run_kactive(scenario: Scenario, A: int = 3, rounds: Optional[int] = None, **kw) -> RunRecord:
     """A-active parsimonious flooding."""
-    M = 4 * scenario.n if rounds is None else rounds
-    return _execute(f"{A}-active flood", scenario, make_kactive_factory(A), M, **kw)
+    return execute("kactive", scenario, A=A, rounds=rounds, **kw)
 
 
 def run_gossip(
@@ -225,19 +252,11 @@ def run_gossip(
     **kw,
 ) -> RunRecord:
     """Random push gossip (probabilistic completion)."""
-    M = 8 * scenario.n if rounds is None else rounds
-    kw.setdefault("stop_when_complete", True)
-    return _execute(
-        f"Gossip ({mode})", scenario, make_gossip_factory(seed=seed, mode=mode), M, **kw
-    )
+    return execute("gossip", scenario, mode=mode, rounds=rounds, seed=seed, **kw)
 
 
 def run_netcoding(
     scenario: Scenario, rounds: Optional[int] = None, seed: SeedLike = None, **kw
 ) -> RunRecord:
     """GF(2) random linear network coding (Haeupler–Karger style)."""
-    M = 4 * scenario.n if rounds is None else rounds
-    kw.setdefault("stop_when_complete", True)
-    return _execute(
-        "Network coding", scenario, make_netcoding_factory(seed=seed), M, **kw
-    )
+    return execute("netcoding", scenario, rounds=rounds, seed=seed, **kw)

@@ -30,6 +30,7 @@ from ..sim.rng import SeedLike
 
 __all__ = [
     "Scenario",
+    "dhop_scenario",
     "hinet_interval_scenario",
     "hinet_one_scenario",
     "klo_interval_scenario",
@@ -183,6 +184,60 @@ def hinet_one_scenario(
             "nm": scen.mean_members,
             "nr": scen.empirical_nr(),
             "generator": scen,
+        },
+    )
+
+
+def dhop_scenario(
+    n0: int = 40,
+    num_heads: int = 5,
+    k: int = 4,
+    d: int = 2,
+    L: int = 2,
+    T: Optional[int] = None,
+    phases: Optional[int] = None,
+    reaffiliation_p: float = 0.1,
+    churn_p: float = 0.0,
+    assignment: str = "spread",
+    seed: SeedLike = None,
+) -> Scenario:
+    """A verified d-hop hierarchical instance for the multihop extension.
+
+    Defaults size the phases for the Algorithm-1-style d-hop variant:
+    ``T = k + 2·(L + 2d)`` (uploads/downloads pipeline through depth-d
+    relay trees) over ``num_heads + 2`` phases; the plain d-hop
+    dissemination spec simply uses the whole horizon.  The generated
+    :class:`~repro.multihop.scenario.DHopScenario` rides along in
+    ``params["dhop"]`` — the registered d-hop specs need its per-round
+    parent/depth lookups.
+    """
+    from ..multihop.scenario import DHopParams, generate_dhop
+
+    T = (k + 2 * (L + 2 * d)) if T is None else T
+    phases = (num_heads + 2) if phases is None else phases
+    params = DHopParams(
+        n=n0,
+        num_heads=num_heads,
+        T=T,
+        phases=phases,
+        d=d,
+        L=L,
+        reaffiliation_p=reaffiliation_p,
+        churn_p=churn_p,
+    )
+    scen = generate_dhop(params, seed=seed)  # validates every phase itself
+    return Scenario(
+        name=f"d-hop HiNet n={n0} d={d} heads={num_heads} k={k}",
+        trace=scen.trace,
+        k=k,
+        initial=initial_assignment(k, n0, mode=assignment),
+        params={
+            "T": T,
+            "L": L,
+            "d": d,
+            "phases": phases,
+            "num_heads": num_heads,
+            "dhop": scen,
         },
     )
 

@@ -6,6 +6,13 @@ prediction, so benchmark output directly shows where the paper's claimed
 shape — HiNet winning communication by roughly 2× at equal-or-better
 time — holds and where it degrades (e.g. re-affiliation rates approaching
 the cluster size).
+
+All cells execute through the registry
+(:func:`repro.experiments.runner.execute`), so every sweep accepts a
+``cache`` argument (directory path or
+:class:`~repro.experiments.cache.ResultCache`): with a warm cache a
+re-run performs zero engine executions and an interrupted sweep resumes
+from the cells it already computed.
 """
 
 from __future__ import annotations
@@ -20,14 +27,9 @@ from ..core.analysis import (
     klo_one_comm,
 )
 from ..sim.rng import SeedLike, derive_seed
+from .cache import CacheLike
 from .parallel import parallel_map
-from .runner import (
-    run_algorithm1,
-    run_algorithm1_stable,
-    run_algorithm2,
-    run_klo_interval,
-    run_klo_one,
-)
+from .runner import execute
 from .scenarios import hinet_interval_scenario, hinet_one_scenario
 
 __all__ = [
@@ -41,20 +43,21 @@ __all__ = [
 # independent seeded simulations, the cell functions below are
 # module-level (hence picklable), and results come back in input order —
 # so ``processes=1`` (the default) and ``processes=N`` give identical
-# rows.  Seeds are derived per cell *value*, never per worker.
+# rows.  Seeds are derived per cell *value*, never per worker.  The cache
+# handle (just a directory path) pickles into the workers with the job.
 
 
 def _interval_pair_row(
     n0: int, theta: int, k: int, alpha: int, L: int,
-    reaffiliation_p: float, seed: SeedLike,
+    reaffiliation_p: float, seed: SeedLike, cache: CacheLike,
 ) -> Dict[str, object]:
     """Run Algorithm 1 and T-interval KLO on one shared scenario."""
     scenario = hinet_interval_scenario(
         n0=n0, theta=theta, k=k, alpha=alpha, L=L,
         reaffiliation_p=reaffiliation_p, seed=seed, verify=False,
     )
-    hinet = run_algorithm1(scenario)
-    klo = run_klo_interval(scenario)
+    hinet = execute("algorithm1", scenario, cache=cache)
+    klo = execute("klo-interval", scenario, cache=cache)
     params = CostParams(
         n0=n0, theta=theta, nm=float(scenario.params["nm"]),
         nr=float(scenario.params["nr"]), k=k, alpha=alpha, L=L,
@@ -89,11 +92,12 @@ def sweep_n(
     theta_frac: float = 0.3,
     seed: SeedLike = 17,
     processes: Optional[int] = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """X1: communication/time vs network size (θ scales as ``theta_frac·n``)."""
     jobs = [
         (n0, max(int(n0 * theta_frac), alpha), k, alpha, L, 0.1,
-         derive_seed(seed, "n", n0))
+         derive_seed(seed, "n", n0), cache)
         for n0 in ns
     ]
     return parallel_map(_interval_pair_cell, jobs, processes=processes)
@@ -107,24 +111,25 @@ def sweep_k(
     L: int = 2,
     seed: SeedLike = 23,
     processes: Optional[int] = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """X2a: cost vs token count (phase length grows as ``k + αL``)."""
     jobs = [
-        (n0, theta, k, alpha, L, 0.1, derive_seed(seed, "k", k))
+        (n0, theta, k, alpha, L, 0.1, derive_seed(seed, "k", k), cache)
         for k in ks
     ]
     return parallel_map(_interval_pair_cell, jobs, processes=processes)
 
 
 def _reaffiliation_cell(args) -> Dict[str, object]:
-    p, n0, theta, k, L, seed = args
+    p, n0, theta, k, L, seed, cache = args
     scenario = hinet_one_scenario(
         n0=n0, theta=theta, k=k, L=L,
         reaffiliation_p=p, head_churn=2,
         seed=seed, verify=False,
     )
-    hinet = run_algorithm2(scenario)
-    klo = run_klo_one(scenario)
+    hinet = execute("algorithm2", scenario, cache=cache)
+    klo = execute("klo-one", scenario, cache=cache)
     params = CostParams(
         n0=n0, theta=theta, nm=float(scenario.params["nm"]),
         nr=float(scenario.params["nr"]), k=k, alpha=1, L=L,
@@ -151,6 +156,7 @@ def sweep_reaffiliation(
     L: int = 2,
     seed: SeedLike = 29,
     processes: Optional[int] = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """X2b: Algorithm 2 vs 1-interval KLO as member churn rises.
 
@@ -159,21 +165,21 @@ def sweep_reaffiliation(
     pressure, since member uploads are the only churn-sensitive term.
     """
     jobs = [
-        (p, n0, theta, k, L, derive_seed(seed, "p", int(p * 1000)))
+        (p, n0, theta, k, L, derive_seed(seed, "p", int(p * 1000)), cache)
         for p in ps
     ]
     return parallel_map(_reaffiliation_cell, jobs, processes=processes)
 
 
 def _alpha_L_cell(args) -> Dict[str, object]:
-    alpha, L, n0, theta, k, seed = args
+    alpha, L, n0, theta, k, seed, cache = args
     scenario = hinet_interval_scenario(
         n0=n0, theta=theta, k=k, alpha=alpha, L=L,
         reaffiliation_p=0.1, head_churn=0,
         seed=seed, verify=False,
     )
-    a1 = run_algorithm1(scenario)
-    a1s = run_algorithm1_stable(scenario)
+    a1 = execute("algorithm1", scenario, cache=cache)
+    a1s = execute("algorithm1-stable", scenario, cache=cache)
     return {
         "alpha": alpha,
         "L": L,
@@ -195,6 +201,7 @@ def sweep_alpha_L(
     k: int = 8,
     seed: SeedLike = 31,
     processes: Optional[int] = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """X3: the α / L design-choice ablation.
 
@@ -203,7 +210,7 @@ def sweep_alpha_L(
     Remark-1 stable-heads variant to quantify its saving.
     """
     jobs = [
-        (alpha, L, n0, theta, k, derive_seed(seed, "aL", alpha, L))
+        (alpha, L, n0, theta, k, derive_seed(seed, "aL", alpha, L), cache)
         for alpha in alphas
         for L in Ls
     ]

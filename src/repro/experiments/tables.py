@@ -24,13 +24,8 @@ from ..core.analysis import (
     table2,
 )
 from ..sim.rng import SeedLike, derive_seed
-from .runner import (
-    RunRecord,
-    run_algorithm1,
-    run_algorithm2,
-    run_klo_interval,
-    run_klo_one,
-)
+from .cache import CacheLike
+from .runner import RunRecord, execute
 from .scenarios import hinet_interval_scenario, hinet_one_scenario
 
 __all__ = [
@@ -60,7 +55,9 @@ def analytic_table3() -> List[Dict[str, object]]:
     return rows
 
 
-def simulated_table3(seed: SeedLike = 2013, n0: int = 100) -> List[Dict[str, object]]:
+def simulated_table3(
+    seed: SeedLike = 2013, n0: int = 100, cache: CacheLike = None
+) -> List[Dict[str, object]]:
     """Measured counterpart of Table 3 on verified generated scenarios.
 
     Returns one row per Table 3 line with measured completion round and
@@ -69,6 +66,10 @@ def simulated_table3(seed: SeedLike = 2013, n0: int = 100) -> List[Dict[str, obj
     advantage: the cost model itself shows HiNet *losing* when θ/n₀ grows
     too large), k=8, α=5, L=2; member re-affiliation pressure is higher in
     the (1, L) scenario.
+
+    The four rows execute by registry name through the unified
+    :func:`~repro.experiments.runner.execute` path; with ``cache`` set, a
+    re-run of the table is four cache hits.
     """
     k, alpha, L = 8, 5, 2
     theta = max(round(0.3 * n0), alpha)
@@ -83,11 +84,12 @@ def simulated_table3(seed: SeedLike = 2013, n0: int = 100) -> List[Dict[str, obj
         seed=derive_seed(seed, "one"),
     )
 
+    # Order mirrors Table 3's rows (zipped with ``analytic_table3`` below).
     records: List[RunRecord] = [
-        run_klo_interval(interval),
-        run_algorithm1(interval),
-        run_klo_one(one),
-        run_algorithm2(one),
+        execute("klo-interval", interval, cache=cache),
+        execute("algorithm1", interval, cache=cache),
+        execute("klo-one", one, cache=cache),
+        execute("algorithm2", one, cache=cache),
     ]
 
     analytic = analytic_table3()

@@ -113,11 +113,11 @@ def check_lemma2(scenario: Scenario, strict: bool = False) -> List[Lemma2Record]
     return records
 
 
-def check_theorem1(scenario: Scenario, strict: bool = False) -> dict:
+def check_theorem1(scenario: Scenario, strict: bool = False, cache=None) -> dict:
     """Measure Theorem 1: Algorithm 1 completes within ⌈θ/α⌉+1 phases."""
-    from .runner import run_algorithm1
+    from .runner import execute
 
-    rec = run_algorithm1(scenario, strict=strict)
+    rec = execute("algorithm1", scenario, strict=strict, cache=cache)
     return {
         "bound_rounds": rec.bound_rounds,
         "completion_round": rec.completion_round,
@@ -127,11 +127,11 @@ def check_theorem1(scenario: Scenario, strict: bool = False) -> dict:
     }
 
 
-def check_theorem2(scenario: Scenario) -> dict:
+def check_theorem2(scenario: Scenario, cache=None) -> dict:
     """Measure Theorem 2: Algorithm 2 completes within n−1 rounds."""
-    from .runner import run_algorithm2
+    from .runner import execute
 
-    rec = run_algorithm2(scenario)
+    rec = execute("algorithm2", scenario, cache=cache)
     bound = algorithm2_rounds_1interval(scenario.n)
     return {
         "bound_rounds": bound,
@@ -158,11 +158,11 @@ def check_theorem3(scenario: Scenario, theta: int, alpha: int, L: int) -> dict:
     HiNet generator with ``T = α·L``.
     """
     from ..core.bounds import algorithm2_rounds_head_connectivity
-    from .runner import run_algorithm2
+    from .runner import execute
 
     intervals = algorithm2_rounds_head_connectivity(theta, alpha)
     bound = intervals * alpha * L
-    rec = run_algorithm2(scenario, rounds=bound)
+    rec = execute("algorithm2", scenario, rounds=bound)
     return {
         "bound_intervals": intervals,
         "bound_rounds": bound,
@@ -186,9 +186,9 @@ def check_comm_budget(scenario: Scenario, strict: bool = False) -> dict:
     """
     from math import ceil
 
-    from .runner import run_algorithm1
+    from .runner import execute
 
-    rec = run_algorithm1(scenario, strict=strict)
+    rec = execute("algorithm1", scenario, strict=strict)
     theta = int(scenario.params["theta"])
     alpha = int(scenario.params["alpha"])
     nm = float(scenario.params["nm"])

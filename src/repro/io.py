@@ -37,7 +37,12 @@ from .sim.topology import Snapshot
 __all__ = [
     "load_scenario",
     "load_trace",
+    "metrics_from_dict",
     "metrics_to_dict",
+    "run_record_from_dict",
+    "run_record_to_dict",
+    "run_result_from_dict",
+    "run_result_to_dict",
     "save_scenario",
     "save_trace",
     "scenario_from_dict",
@@ -178,3 +183,121 @@ def metrics_to_dict(metrics: Metrics, include_series: bool = False) -> Dict[str,
         out["per_round_tokens"] = list(metrics.per_round_tokens)
         out["per_round_coverage"] = list(metrics.per_round_coverage)
     return out
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> Metrics:
+    """Reconstruct :class:`Metrics` from :func:`metrics_to_dict` output.
+
+    Round-trips exactly when the dict was written with
+    ``include_series=True``; without the series the per-round arrays come
+    back empty (the headline counters are always faithful).
+    """
+    from .sim.metrics import RoleCost
+
+    metrics = Metrics(
+        rounds=int(data["rounds"]),
+        completion_round=(
+            None if data.get("completion_round") is None
+            else int(data["completion_round"])
+        ),
+        tokens_sent=int(data["tokens_sent"]),
+        messages_sent=int(data["messages_sent"]),
+        broadcasts=int(data.get("broadcasts", 0)),
+        unicasts=int(data.get("unicasts", 0)),
+        dropped_unicasts=int(data.get("dropped_unicasts", 0)),
+        lost_deliveries=int(data.get("lost_deliveries", 0)),
+        per_round_tokens=[int(v) for v in data.get("per_round_tokens", [])],
+        per_round_coverage=[int(v) for v in data.get("per_round_coverage", [])],
+    )
+    for role, counts in data.get("by_role", {}).items():
+        metrics.by_role[role] = RoleCost(
+            tokens=int(counts["tokens"]), messages=int(counts["messages"])
+        )
+    return metrics
+
+
+def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
+    """Encode a :class:`~repro.sim.engine.RunResult` as a JSON-ready dict.
+
+    The execution trace and the per-node algorithm objects are *not*
+    serialized (they hold arbitrary Python state); everything the result
+    tables and the cost analyses consume round-trips exactly.
+    """
+    return {
+        "format": "repro-result",
+        "version": _VERSION,
+        "n": result.n,
+        "k": result.k,
+        "complete": bool(result.complete),
+        "outputs": {str(v): sorted(toks) for v, toks in result.outputs.items()},
+        "metrics": metrics_to_dict(result.metrics, include_series=include_series),
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]):
+    """Decode a result written by :func:`run_result_to_dict`."""
+    if data.get("format") != "repro-result":
+        raise ValueError(
+            f"not a repro-result document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    from .sim.engine import RunResult
+
+    return RunResult(
+        n=int(data["n"]),
+        k=int(data["k"]),
+        metrics=metrics_from_dict(data["metrics"]),
+        outputs={
+            int(v): frozenset(int(t) for t in toks)
+            for v, toks in data["outputs"].items()
+        },
+        complete=bool(data["complete"]),
+    )
+
+
+def run_record_to_dict(record) -> Dict[str, Any]:
+    """Encode a :class:`~repro.experiments.runner.RunRecord` as JSON."""
+    return {
+        "format": "repro-run-record",
+        "version": _VERSION,
+        "algorithm": record.algorithm,
+        "scenario": record.scenario,
+        "n": record.n,
+        "k": record.k,
+        "bound_rounds": record.bound_rounds,
+        "rounds": record.rounds,
+        "completion_round": record.completion_round,
+        "tokens_sent": record.tokens_sent,
+        "messages_sent": record.messages_sent,
+        "complete": bool(record.complete),
+        "result": run_result_to_dict(record.result),
+    }
+
+
+def run_record_from_dict(data: Dict[str, Any]):
+    """Decode a record written by :func:`run_record_to_dict`."""
+    if data.get("format") != "repro-run-record":
+        raise ValueError(
+            f"not a repro-run-record document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    from .experiments.runner import RunRecord
+
+    return RunRecord(
+        algorithm=data["algorithm"],
+        scenario=data["scenario"],
+        n=int(data["n"]),
+        k=int(data["k"]),
+        bound_rounds=int(data["bound_rounds"]),
+        rounds=int(data["rounds"]),
+        completion_round=(
+            None if data.get("completion_round") is None
+            else int(data["completion_round"])
+        ),
+        tokens_sent=int(data["tokens_sent"]),
+        messages_sent=int(data["messages_sent"]),
+        complete=bool(data["complete"]),
+        result=run_result_from_dict(data["result"]),
+    )

@@ -18,6 +18,7 @@ from .algorithm1_dhop import DHopAlgorithm1Node, make_dhop_algorithm1_factory
 from .dissemination import DHopDisseminationNode, make_dhop_factory
 from .formation import DHopAssignment, dhop_clustering
 from .scenario import DHopParams, DHopScenario, generate_dhop
+from . import specs  # noqa: F401  (registers the algorithm specs at import)
 
 __all__ = [
     "DHopAlgorithm1Node",

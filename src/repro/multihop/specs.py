@@ -1,0 +1,84 @@
+"""Registry specs for the d-hop extension algorithms (registered at import).
+
+Both specs require a scenario carrying its generating
+:class:`~repro.multihop.scenario.DHopScenario` under ``params["dhop"]``
+(the :func:`repro.experiments.scenarios.dhop_scenario` builder provides
+this) — the relay rules need the per-round parent/depth lookups that the
+flat trace alone does not encode.  Because those assignments live outside
+the trace, their digest joins the cache ``key_params``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..registry import AlgorithmSpec, RunPlan, register
+from .algorithm1_dhop import make_dhop_algorithm1_factory
+from .dissemination import make_dhop_factory
+
+__all__ = ["DHOP_ALGORITHM1", "DHOP_DISSEMINATION"]
+
+
+def _assignment_digest(dhop) -> str:
+    payload = [
+        {"d": a.d, "head_of": list(a.head_of), "parent": list(a.parent),
+         "depth": list(a.depth)}
+        for a in dhop.assignments
+    ]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _plan_dhop(scenario, rounds=None) -> RunPlan:
+    dhop = scenario.params["dhop"]
+    M = scenario.trace.horizon if rounds is None else int(rounds)
+    return RunPlan(
+        factory=make_dhop_factory(M=M, scenario=dhop),
+        max_rounds=M,
+        key_params={"M": M, "d": dhop.params.d,
+                    "assignments": _assignment_digest(dhop)},
+    )
+
+
+DHOP_DISSEMINATION = register(
+    AlgorithmSpec(
+        name="dhop-dissemination",
+        display_name="Algorithm 2 (d-hop)",
+        family="multihop",
+        guarantee="guaranteed",
+        model_class="d-hop HiNet",
+        required_params=("dhop",),
+        plan=_plan_dhop,
+        overrides=("rounds",),
+        description="Algorithm 2 generalised to radius-d clusters with "
+        "tree-relayed uploads/downloads.",
+    )
+)
+
+
+def _plan_dhop_algorithm1(scenario) -> RunPlan:
+    dhop = scenario.params["dhop"]
+    T = int(scenario.params["T"])
+    M = int(scenario.params["phases"])
+    return RunPlan(
+        factory=make_dhop_algorithm1_factory(T=T, M=M, scenario=dhop),
+        max_rounds=M * T,
+        key_params={"T": T, "M": M, "d": dhop.params.d,
+                    "assignments": _assignment_digest(dhop)},
+    )
+
+
+DHOP_ALGORITHM1 = register(
+    AlgorithmSpec(
+        name="dhop-algorithm1",
+        display_name="Algorithm 1 (d-hop)",
+        family="multihop",
+        guarantee="guaranteed",
+        model_class="d-hop HiNet",
+        required_params=("dhop", "T", "phases"),
+        plan=_plan_dhop_algorithm1,
+        description="Phase-structured one-token-per-phase variant on "
+        "radius-d clusters.",
+    )
+)

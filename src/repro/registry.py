@@ -1,0 +1,205 @@
+"""Declarative algorithm registry: runs as data, not hand-written helpers.
+
+Every dissemination algorithm the repo implements is described by one
+:class:`AlgorithmSpec` — its canonical name, the scenario parameters it
+consumes, the model class its guarantee assumes, its theorem-derived
+round budget, and how to build the per-node factory.  The implementation
+packages register their specs *at import*: :mod:`repro.core.specs`,
+:mod:`repro.baselines.specs` and :mod:`repro.multihop.specs` each call
+:func:`register` when loaded, so ``import repro`` is enough to populate
+the registry.
+
+Consumers never hardcode algorithm lists again: the experiment layer
+resolves specs by name (``execute("algorithm1", scenario)``), the CLI
+enumerates them (``repro list-algorithms``), and the result cache keys
+runs by ``(spec name, spec version, scenario content, engine,
+overrides)``.  Adding an algorithm is one ``register(AlgorithmSpec(...))``
+call — sweeps, tables, Pareto frontiers, replication and the CLI pick it
+up with no further wiring.
+
+The module is deliberately dependency-light (no imports from ``sim`` or
+``experiments``) so any layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "AlgorithmSpec",
+    "RunPlan",
+    "all_specs",
+    "get_spec",
+    "register",
+    "spec_names",
+]
+
+
+@dataclass
+class RunPlan:
+    """A fully-resolved execution plan produced by :attr:`AlgorithmSpec.plan`.
+
+    Attributes
+    ----------
+    factory:
+        The engine node factory, ``factory(node, k, initial) -> NodeAlgorithm``.
+    max_rounds:
+        The round budget this run is entitled to (the theorem bound for
+        guaranteed algorithms, a measurement horizon for best-effort ones).
+    key_params:
+        The resolved, JSON-scalar algorithm parameters (``T``, ``M``,
+        seeds, flags …) — exactly what the result cache must key on so a
+        parameter change invalidates the cached cell.
+    stop_when_complete:
+        Default omniscient-stop behaviour for this algorithm (best-effort
+        baselines are measured to completion; guaranteed ones run their
+        full bound).  An explicit ``stop_when_complete=`` argument to
+        ``execute`` overrides it.
+    label:
+        Row label for this concrete parameterisation (e.g. ``"3-active
+        flood"``); defaults to the spec's display name.
+    """
+
+    factory: Callable
+    max_rounds: int
+    key_params: Dict[str, object] = field(default_factory=dict)
+    stop_when_complete: bool = False
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Declarative description of one runnable dissemination algorithm.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (kebab-case, e.g. ``"klo-interval"``).
+    display_name:
+        Human-readable label used in result tables.
+    family:
+        Implementation layer: ``"core"`` (the paper's algorithms),
+        ``"baseline"`` (related work), or ``"multihop"`` (extensions).
+    guarantee:
+        ``"guaranteed"`` — completes within its bound on its model class —
+        or ``"best-effort"``.
+    model_class:
+        The dynamic-network model the guarantee assumes (informational;
+        surfaced by ``repro list-algorithms``).
+    required_params:
+        Scenario ``params`` keys the plan consumes; validated before
+        execution so a mis-matched scenario fails with a clear error.
+    plan:
+        ``plan(scenario, **overrides) -> RunPlan``.  Derives the round
+        budget from the scenario's model parameters exactly as the
+        corresponding theorem prescribes and builds the node factory.
+    overrides:
+        Keyword overrides the plan accepts (e.g. ``("rounds", "seed")``);
+        anything else passed to ``execute`` is rejected.
+    version:
+        Bumped on any semantic change to the algorithm or its plan;
+        part of every cache key, so stale results can never be replayed.
+    fastpath:
+        Whether the factory advertises a vectorised kernel
+        (:mod:`repro.sim.fastpath`) via its ``fastpath`` tag.
+    seeded:
+        Whether the algorithm itself consumes randomness (gossip, RLNC);
+        such specs accept a ``seed`` override that joins the cache key.
+    description:
+        One-line summary for ``repro list-algorithms``.
+    """
+
+    name: str
+    display_name: str
+    family: str
+    guarantee: str
+    model_class: str
+    required_params: Tuple[str, ...]
+    plan: Callable[..., RunPlan]
+    overrides: Tuple[str, ...] = ()
+    version: int = 1
+    fastpath: bool = False
+    seeded: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.family not in ("core", "baseline", "multihop"):
+            raise ValueError(f"unknown family {self.family!r}")
+        if self.guarantee not in ("guaranteed", "best-effort"):
+            raise ValueError(f"unknown guarantee {self.guarantee!r}")
+
+    def validate_scenario(self, scenario) -> None:
+        """Raise ``KeyError`` unless the scenario carries every required param."""
+        missing = [p for p in self.required_params if p not in scenario.params]
+        if missing:
+            raise KeyError(
+                f"scenario {scenario.name!r} lacks parameter(s) "
+                f"{', '.join(repr(m) for m in missing)} required by "
+                f"{self.name!r} (model class {self.model_class}; "
+                f"available: {sorted(scenario.params)})"
+            )
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for ``repro list-algorithms`` output."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "guarantee": self.guarantee,
+            "model_class": self.model_class,
+            "requires": ",".join(self.required_params) or "-",
+            "overrides": ",".join(self.overrides) or "-",
+            "fastpath": self.fastpath,
+            "version": self.version,
+        }
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Add a spec to the registry; duplicate names are an error.
+
+    Returns the spec so registration modules can also re-export it.
+    """
+    if spec.name in _REGISTRY:
+        raise ValueError(f"algorithm {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_registered() -> None:
+    """Import the spec modules of every implementation layer.
+
+    Normally a no-op — the package ``__init__`` files import their
+    ``specs`` modules — but guards consumers that import a submodule
+    directly without going through the package.
+    """
+    import repro.baselines.specs  # noqa: F401
+    import repro.core.specs  # noqa: F401
+    import repro.multihop.specs  # noqa: F401
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    """Resolve a spec by canonical name (``_`` and ``-`` interchangeable)."""
+    _ensure_registered()
+    key = name.strip().lower().replace("_", "-")
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"no registered algorithm {name!r} "
+            f"(known: {', '.join(spec_names())})"
+        ) from None
+
+
+def all_specs() -> List[AlgorithmSpec]:
+    """Every registered spec, sorted by (family, name)."""
+    _ensure_registered()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.family, s.name))
+
+
+def spec_names() -> List[str]:
+    """Sorted canonical names of all registered algorithms."""
+    _ensure_registered()
+    return sorted(_REGISTRY)

@@ -90,3 +90,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "frontier:" in out
         assert "Algorithm 2" in out
+
+
+class TestRegistryCommands:
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("algorithm1", "algorithm2", "klo-interval", "gossip",
+                     "dhop-dissemination"):
+            assert name in out, name
+        assert "guaranteed" in out and "best-effort" in out
+
+    def test_run_auto_scenario(self, capsys):
+        assert main(["run", "algorithm1", "--n0", "24", "--theta", "7",
+                     "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 1 (HiNet)" in out
+        assert "HiNet n=24" in out  # auto-picked the (T, L)-HiNet scenario
+        assert "messages_sent" in out
+
+    def test_run_explicit_scenario_and_rounds(self, capsys):
+        assert main(["run", "flood-all", "--scenario", "one-interval",
+                     "--n0", "20", "--k", "3", "--rounds", "19"]) == 0
+        out = capsys.readouterr().out
+        assert "Flood (all)" in out
+
+    def test_run_seeded_algorithm_reproducible(self, capsys):
+        assert main(["--seed", "11", "run", "gossip", "--n0", "20",
+                     "--k", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "11", "run", "gossip", "--n0", "20",
+                     "--k", "3"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "bogus"])
+
+    def test_run_with_cache_replays(self, capsys, tmp_path):
+        argv = ["run", "algorithm2", "--n0", "20", "--k", "3",
+                "--cache", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*/*.json"))  # cached on disk
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_accepts_cache_flag(self, capsys, tmp_path):
+        assert main(["sweep-nr", "--ps", "0.0", "--n0", "20", "--theta", "6",
+                     "--cache", str(tmp_path)]) == 0
+        assert "empirical_nr" in capsys.readouterr().out
+        assert list(tmp_path.glob("*/*.json"))

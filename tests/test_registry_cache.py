@@ -1,0 +1,291 @@
+"""Tests for the algorithm registry, run serialization and the result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache, resolve_cache, scenario_fingerprint
+from repro.experiments.runner import execute
+from repro.experiments.scenarios import (
+    dhop_scenario,
+    hinet_interval_scenario,
+    hinet_one_scenario,
+)
+from repro.experiments.sweeps import sweep_n
+from repro.io import (
+    metrics_from_dict,
+    metrics_to_dict,
+    run_record_from_dict,
+    run_record_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.registry import all_specs, get_spec, spec_names
+from repro.sim.engine import SynchronousEngine
+
+#: The ten single-hop algorithms the run_* helpers historically covered.
+SINGLE_HOP = [
+    "algorithm1", "algorithm1-stable", "algorithm2",
+    "klo-interval", "klo-one",
+    "flood-all", "flood-new", "kactive", "gossip", "netcoding",
+]
+MULTIHOP = ["dhop-dissemination", "dhop-algorithm1"]
+
+
+@pytest.fixture(scope="module")
+def interval_scenario():
+    return hinet_interval_scenario(n0=24, theta=7, k=3, alpha=3, L=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def one_scenario():
+    return hinet_one_scenario(n0=24, theta=7, k=3, L=2, seed=5)
+
+
+def _canonical(record) -> str:
+    return json.dumps(run_record_to_dict(record), sort_keys=True)
+
+
+class TestRegistry:
+    def test_all_ten_single_hop_algorithms_registered(self):
+        names = spec_names()
+        for name in SINGLE_HOP:
+            assert name in names, name
+
+    def test_multihop_extensions_registered(self):
+        names = spec_names()
+        for name in MULTIHOP:
+            assert name in names, name
+
+    def test_get_spec_normalises_underscores(self):
+        assert get_spec("klo_interval") is get_spec("klo-interval")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="algorithm1"):
+            get_spec("nope")
+
+    def test_specs_validate_against_their_scenarios(
+        self, interval_scenario, one_scenario
+    ):
+        """Every registered spec accepts a real scenario of its model class."""
+        scenarios = {
+            "hinet-interval": interval_scenario,
+            "hinet-one": one_scenario,
+            "dhop": dhop_scenario(n0=20, num_heads=3, k=3, seed=5),
+        }
+        by_family = {"multihop": "dhop"}
+        for spec in all_specs():
+            if spec.family == "multihop":
+                scenario = scenarios[by_family[spec.family]]
+            elif "T" in spec.required_params or "alpha" in spec.required_params:
+                scenario = scenarios["hinet-interval"]
+            else:
+                scenario = scenarios["hinet-one"]
+            spec.validate_scenario(scenario)  # must not raise
+
+    def test_validate_names_missing_params(self, one_scenario):
+        # the (1, L) scenario has no alpha — Algorithm 1 must say so
+        with pytest.raises(KeyError, match="alpha"):
+            get_spec("algorithm1").validate_scenario(one_scenario)
+
+    def test_execute_rejects_unknown_override(self, interval_scenario):
+        with pytest.raises(TypeError, match="strict"):
+            execute("klo-interval", interval_scenario, strict=True)
+
+    def test_every_single_hop_spec_executes(
+        self, interval_scenario, one_scenario
+    ):
+        """All ten algorithms run through the one execute() path."""
+        for name in SINGLE_HOP:
+            spec = get_spec(name)
+            if "alpha" in spec.required_params:
+                scenario = interval_scenario
+            else:
+                scenario = one_scenario
+            overrides = {"seed": 7} if spec.seeded else {}
+            record = execute(name, scenario, **overrides)
+            assert record.n == scenario.n
+            assert record.tokens_sent >= 0
+            row = record.row()
+            assert row["scenario"] == scenario.name
+            assert row["messages_sent"] == record.messages_sent
+
+
+class TestJsonRoundTrip:
+    def test_run_record_round_trips(self, interval_scenario):
+        record = execute("algorithm1", interval_scenario)
+        data = json.loads(json.dumps(run_record_to_dict(record)))
+        back = run_record_from_dict(data)
+        assert run_record_to_dict(back) == run_record_to_dict(record)
+        assert back.row() == record.row()
+        assert back.result.outputs == record.result.outputs
+        assert back.result.metrics.summary() == record.result.metrics.summary()
+
+    def test_run_result_round_trips(self, one_scenario):
+        result = execute("klo-one", one_scenario).result
+        back = run_result_from_dict(
+            json.loads(json.dumps(run_result_to_dict(result)))
+        )
+        assert back.outputs == result.outputs
+        assert back.complete == result.complete
+        assert metrics_to_dict(back.metrics, include_series=True) == \
+            metrics_to_dict(result.metrics, include_series=True)
+
+    def test_metrics_series_round_trip(self, one_scenario):
+        metrics = execute("flood-all", one_scenario).result.metrics
+        encoded = metrics_to_dict(metrics, include_series=True)
+        back = metrics_from_dict(json.loads(json.dumps(encoded)))
+        assert back.per_round_tokens == metrics.per_round_tokens
+        assert back.per_round_coverage == metrics.per_round_coverage
+        assert dict(back.by_role) == dict(metrics.by_role)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="repro-run-record"):
+            run_record_from_dict({"format": "something-else"})
+
+
+class TestResultCache:
+    def test_hit_is_bit_identical_to_recompute(self, tmp_path, interval_scenario):
+        cache = ResultCache(tmp_path)
+        fresh = execute("algorithm1", interval_scenario, cache=cache)
+        assert len(cache) == 1
+        replay = execute("algorithm1", interval_scenario, cache=cache)
+        uncached = execute("algorithm1", interval_scenario)
+        assert _canonical(replay) == _canonical(fresh) == _canonical(uncached)
+
+    def test_hit_skips_engine(self, tmp_path, interval_scenario, monkeypatch):
+        cache = ResultCache(tmp_path)
+        execute("algorithm1", interval_scenario, cache=cache)
+        monkeypatch.setattr(
+            SynchronousEngine, "run",
+            lambda *a, **k: pytest.fail("engine executed on a warm cache"),
+        )
+        replay = execute("algorithm1", interval_scenario, cache=cache)
+        assert replay.complete
+
+    def test_key_changes_with_scenario_seed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = hinet_interval_scenario(n0=24, theta=7, k=3, alpha=3, L=2, seed=1)
+        b = hinet_interval_scenario(n0=24, theta=7, k=3, alpha=3, L=2, seed=2)
+        spec = get_spec("algorithm1")
+        key = lambda s: cache.key(spec, s, engine="fast", key_params={},
+                                  stop_when_complete=False, max_rounds=10)
+        assert scenario_fingerprint(a) != scenario_fingerprint(b)
+        assert key(a) != key(b)
+
+    def test_key_changes_with_param_engine_and_version(
+        self, tmp_path, interval_scenario
+    ):
+        from dataclasses import replace
+
+        cache = ResultCache(tmp_path)
+        spec = get_spec("algorithm1")
+
+        def key(spec=spec, engine="fast", params=None, stop=False, rounds=10):
+            return cache.key(spec, interval_scenario, engine=engine,
+                             key_params=dict(params or {}),
+                             stop_when_complete=stop, max_rounds=rounds)
+
+        base = key()
+        assert key(engine="reference") != base
+        assert key(params={"strict": True}) != base
+        assert key(stop=True) != base
+        assert key(rounds=11) != base
+        assert key(spec=replace(spec, version=2)) != base
+        assert key() == base  # and stable
+
+    def test_algorithm_seed_joins_key(self, tmp_path, one_scenario):
+        cache = ResultCache(tmp_path)
+        execute("gossip", one_scenario, cache=cache, seed=1)
+        execute("gossip", one_scenario, cache=cache, seed=2)
+        assert len(cache) == 2
+
+    def test_unseeded_stochastic_runs_never_cached(self, tmp_path, one_scenario):
+        cache = ResultCache(tmp_path)
+        execute("gossip", one_scenario, cache=cache)  # seed=None
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, interval_scenario):
+        cache = ResultCache(tmp_path)
+        execute("algorithm1", interval_scenario, cache=cache)
+        for path in cache.root.glob("*/*.json"):
+            path.write_text("{ truncated")
+        record = execute("algorithm1", interval_scenario, cache=cache)
+        assert record.complete  # recomputed and re-stored
+        replay = execute("algorithm1", interval_scenario, cache=cache)
+        assert _canonical(replay) == _canonical(record)
+
+    def test_resolve_cache_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        assert resolve_cache(None) is None
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        store = resolve_cache(None)
+        assert store is not None and store.root == tmp_path
+        assert resolve_cache(str(tmp_path)).root == tmp_path
+
+    def test_cache_accepts_plain_path_argument(self, tmp_path, interval_scenario):
+        execute("algorithm1", interval_scenario, cache=str(tmp_path))
+        assert len(ResultCache(tmp_path)) == 1
+
+
+class TestWarmSweep:
+    def test_warm_sweep_runs_zero_engine_executions(self, tmp_path, monkeypatch):
+        """Acceptance criterion: a re-run sweep with a warm cache performs
+        zero engine executions and produces identical rows."""
+        kwargs = dict(ns=(20, 26), k=3, alpha=3, L=2, seed=17,
+                      cache=ResultCache(tmp_path))
+        cold = sweep_n(**kwargs)
+        assert len(kwargs["cache"]) == 2 * len(cold)  # two algorithms per cell
+        monkeypatch.setattr(
+            SynchronousEngine, "run",
+            lambda *a, **k: pytest.fail("engine executed on a warm cache"),
+        )
+        warm = sweep_n(**kwargs)
+        assert warm == cold
+
+    def test_interrupted_sweep_resumes(self, tmp_path, monkeypatch):
+        """Cells computed before an interruption replay; only the missing
+        tail executes."""
+        cache = ResultCache(tmp_path)
+        full = sweep_n(ns=(20, 26), k=3, alpha=3, L=2, seed=17, cache=cache)
+
+        # drop one cell's entries to simulate the interruption
+        paths = sorted(cache.root.glob("*/*.json"))
+        kept = len(paths)
+        for path in paths[:2]:
+            path.unlink()
+        assert len(cache) == kept - 2
+
+        executions = []
+        real_run = SynchronousEngine.run
+
+        def counting_run(self, *a, **k):
+            executions.append(1)
+            return real_run(self, *a, **k)
+
+        monkeypatch.setattr(SynchronousEngine, "run", counting_run)
+        resumed = sweep_n(ns=(20, 26), k=3, alpha=3, L=2, seed=17, cache=cache)
+        assert resumed == full
+        assert len(executions) == 2  # exactly the dropped cells
+
+
+class TestDhopScenario:
+    def test_dhop_specs_execute_and_cache(self, tmp_path):
+        scenario = dhop_scenario(n0=20, num_heads=3, k=3, seed=9)
+        cache = ResultCache(tmp_path)
+        for name in MULTIHOP:
+            fresh = execute(name, scenario, cache=cache)
+            assert fresh.complete
+            replay = execute(name, scenario, cache=cache)
+            assert _canonical(replay) == _canonical(fresh)
+        assert len(cache) == 2
+
+
+class TestWrapperParity:
+    def test_wrappers_match_execute(self, interval_scenario, one_scenario):
+        from repro.experiments.runner import run_algorithm1, run_gossip
+
+        assert _canonical(run_algorithm1(interval_scenario)) == \
+            _canonical(execute("algorithm1", interval_scenario))
+        assert _canonical(run_gossip(one_scenario, seed=3)) == \
+            _canonical(execute("gossip", one_scenario, seed=3))
