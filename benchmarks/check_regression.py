@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate over ``BENCH_engine.json``.
+
+Re-runs the recorded engine-benchmark harness and fails (exit 1) if any
+*machine-portable* tracked metric regresses against the committed
+baseline:
+
+* deterministic counters (``rounds``, ``tokens_sent``) must match the
+  baseline **exactly** — any drift means engine semantics changed;
+* the fast path must still be *bit-identical* to the reference engine
+  (outputs, metrics, and the telemetry timeline);
+* the fast/reference **speedup ratio** — measured fresh, both engines on
+  the same machine in the same process — must stay within ``--threshold``
+  (default 25%) of the baseline's recorded ratio.
+
+Absolute wall-clock numbers in the baseline (``*_median_ms``) are *not*
+compared: they were recorded on whatever machine last refreshed the file
+and do not transfer across hardware.  The speedup ratio does, which is
+why it is the tracked performance metric.  Wall-clock-only cases (e.g.
+the sweep timing) are skipped with a note.
+
+CI runs this as the ``bench-regression`` job; refresh the baseline with
+``python -m pytest benchmarks/bench_engine_throughput.py`` after an
+intentional performance change (see docs/performance.md).
+
+``--inject-slowdown-ms N`` adds an artificial sleep inside the timed
+fast-path callable — the self-test hook ``tests/test_obs.py`` uses to
+prove the gate actually fails on a real slowdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:  # for _bench_json when run as a script
+    sys.path.insert(0, str(_HERE))
+
+try:
+    import repro  # noqa: F401  — importability probe only
+except ImportError:  # uninstalled checkout: fall back to the src layout
+    sys.path.insert(0, str(_HERE.parent / "src"))
+
+from _bench_json import BENCH_JSON, time_ms
+
+Row = Dict[str, object]
+CheckResult = Tuple[List[str], List[Row]]
+
+
+def _row(check: str, baseline: object, measured: object, ok: bool) -> Row:
+    return {"check": check, "baseline": baseline, "measured": measured,
+            "ok": "ok" if ok else "FAIL"}
+
+
+def check_algorithm1_full_run(
+    baseline: Dict[str, object],
+    threshold: float,
+    inject_slowdown_ms: float,
+    repeats: int,
+) -> CheckResult:
+    """Re-run the full-run engine case behind ``BENCH_engine.json``."""
+    from repro.core.algorithm1 import make_algorithm1_factory
+    from repro.experiments.scenarios import hinet_interval_scenario
+    from repro.sim.engine import run
+
+    scenario = hinet_interval_scenario(
+        n0=100, theta=30, k=8, alpha=5, L=2, seed=47, verify=False
+    )
+    T = int(scenario.params["T"])
+    factory = make_algorithm1_factory(T=T, M=7)
+
+    def go(engine: str):
+        return run(
+            scenario.trace, factory, k=8, initial=scenario.initial,
+            max_rounds=7 * T, engine=engine,
+        )
+
+    failures: List[str] = []
+    rows: List[Row] = []
+    ref, fast = go("reference"), go("fast")
+
+    for metric, got in (
+        ("rounds", fast.metrics.rounds),
+        ("tokens_sent", fast.metrics.tokens_sent),
+    ):
+        want = baseline.get(metric)
+        ok = want is None or got == want
+        rows.append(_row(metric, want, got, ok))
+        if not ok:
+            failures.append(
+                f"{metric}: measured {got} != baseline {want} "
+                "(deterministic counter drifted — engine semantics changed)"
+            )
+
+    identical = (
+        fast.outputs == ref.outputs
+        and fast.metrics == ref.metrics
+        and fast.timeline == ref.timeline
+    )
+    rows.append(_row("fast == reference (outputs+metrics+timeline)",
+                     True, identical, identical))
+    if not identical:
+        failures.append("fast path diverged from the reference engine")
+
+    sleep_s = inject_slowdown_ms / 1000.0
+
+    def timed_fast():
+        if sleep_s:
+            time.sleep(sleep_s)
+        return go("fast")
+
+    ref_stats = time_ms(lambda: go("reference"), repeats=repeats)
+    fast_stats = time_ms(timed_fast, repeats=repeats)
+    speedup = ref_stats["median_ms"] / fast_stats["median_ms"]
+    base_speedup = float(baseline.get("speedup", 0.0))
+    floor = base_speedup * (1.0 - threshold)
+    ok = speedup >= floor
+    rows.append(_row(f"speedup (floor {floor:.2f}x)",
+                     f"{base_speedup:.2f}x", f"{speedup:.2f}x", ok))
+    rows.append(_row("reference_median_ms (not gated)",
+                     baseline.get("reference_median_ms"),
+                     ref_stats["median_ms"], True))
+    rows.append(_row("fast_median_ms (not gated)",
+                     baseline.get("fast_median_ms"),
+                     fast_stats["median_ms"], True))
+    if not ok:
+        failures.append(
+            f"speedup regressed: {speedup:.2f}x < {floor:.2f}x "
+            f"(baseline {base_speedup:.2f}x, threshold {threshold:.0%})"
+        )
+    return failures, rows
+
+
+#: Baseline cases this gate knows how to re-run.  Cases absent here carry
+#: only absolute wall-clock stats and are skipped (not machine-portable).
+CHECKS = {
+    "algorithm1_full_run_n100_r126": check_algorithm1_full_run,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail if engine benchmarks regressed vs BENCH_engine.json"
+    )
+    parser.add_argument("--baseline", default=str(BENCH_JSON), metavar="JSON",
+                        help="baseline file (default: repo BENCH_engine.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional speedup regression "
+                        "(default: 0.25)")
+    parser.add_argument("--cases", nargs="+", default=None, metavar="NAME",
+                        help="only check these baseline cases")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats per engine (default: 5)")
+    parser.add_argument("--inject-slowdown-ms", type=float, default=0.0,
+                        help="testing hook: sleep this long inside the timed "
+                        "fast-path callable")
+    args = parser.parse_args(argv)
+
+    data = json.loads(Path(args.baseline).read_text())
+    cases: Dict[str, Dict[str, object]] = data.get("cases", {})
+    selected = args.cases if args.cases else sorted(cases)
+
+    failures: List[str] = []
+    rows: List[Row] = []
+    for name in selected:
+        if name not in cases:
+            failures.append(f"baseline has no case {name!r}")
+            continue
+        checker = CHECKS.get(name)
+        if checker is None:
+            print(f"skip {name}: wall-clock-only case (absolute ms is not "
+                  "machine-portable)")
+            continue
+        print(f"checking {name} ...")
+        case_failures, case_rows = checker(
+            cases[name], args.threshold, args.inject_slowdown_ms, args.repeats
+        )
+        failures.extend(case_failures)
+        rows.extend(case_rows)
+
+    if rows:
+        from repro.experiments.report import format_records
+
+        print()
+        print(format_records(rows))
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print()
+    print(f"OK: {len(rows)} checks passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

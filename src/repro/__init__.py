@@ -13,6 +13,8 @@ algorithms at similar-or-better round counts.  This library provides:
 * :mod:`repro.clustering` — head election, gateways, LCC maintenance;
 * :mod:`repro.core` — Algorithms 1 and 2 plus the Table 2 cost model;
 * :mod:`repro.baselines` — KLO, flooding, gossip, network coding;
+* :mod:`repro.obs` — run telemetry: per-round progress timelines,
+  wall-clock phase profiling, JSONL event export;
 * :mod:`repro.experiments` — scenario builders, runners, and the
   table/figure reproduction harness.
 
@@ -35,14 +37,18 @@ from . import (
     graphs,
     mobility,
     multihop,
+    obs,
     sim,
 )
+from .obs import Profiler, RunTimeline
 from .roles import Role
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Profiler",
     "Role",
+    "RunTimeline",
     "__version__",
     "aggregation",
     "baselines",
@@ -53,5 +59,6 @@ __all__ = [
     "graphs",
     "mobility",
     "multihop",
+    "obs",
     "sim",
 ]

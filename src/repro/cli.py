@@ -7,6 +7,8 @@ without writing a script:
 
    $ python -m repro list-algorithms        # the algorithm registry
    $ python -m repro run algorithm1 --n0 40 # any registered algorithm
+   $ python -m repro run algorithm1 --events out.jsonl  # + JSONL telemetry
+   $ python -m repro profile algorithm1     # wall-clock phase profiling
    $ python -m repro table3                 # analytic Table 3 + deviations
    $ python -m repro table3 --simulate      # measured counterpart
    $ python -m repro fig3                   # Algorithm-1 walkthrough
@@ -67,24 +69,43 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-algorithms",
                    help="every registered algorithm spec, one row each")
 
+    def _add_run_scenario_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("algorithm", metavar="ALGORITHM",
+                         help="registry name (see list-algorithms)")
+        cmd.add_argument("--scenario", choices=_SCENARIOS, default="auto",
+                         help="scenario family; 'auto' picks the algorithm's "
+                         "model class")
+        cmd.add_argument("--n0", type=int, default=50, help="network size")
+        cmd.add_argument("--theta", type=int, default=None,
+                         help="cluster count (default: max(0.3*n0, alpha))")
+        cmd.add_argument("--k", type=int, default=5, help="token count")
+        cmd.add_argument("--alpha", type=int, default=3,
+                         help="stability parameter")
+        cmd.add_argument("--L", type=int, default=2, help="backbone hop bound")
+        cmd.add_argument("--rounds", type=int, default=None,
+                         help="override the round budget (where the spec "
+                         "allows)")
+        cmd.add_argument("--engine", choices=["fast", "reference"],
+                         default="fast")
+
     rn = sub.add_parser(
         "run", help="run one registered algorithm on a generated scenario"
     )
-    rn.add_argument("algorithm", metavar="ALGORITHM",
-                    help="registry name (see list-algorithms)")
-    rn.add_argument("--scenario", choices=_SCENARIOS, default="auto",
-                    help="scenario family; 'auto' picks the algorithm's "
-                    "model class")
-    rn.add_argument("--n0", type=int, default=50, help="network size")
-    rn.add_argument("--theta", type=int, default=None,
-                    help="cluster count (default: max(0.3*n0, alpha))")
-    rn.add_argument("--k", type=int, default=5, help="token count")
-    rn.add_argument("--alpha", type=int, default=3, help="stability parameter")
-    rn.add_argument("--L", type=int, default=2, help="backbone hop bound")
-    rn.add_argument("--rounds", type=int, default=None,
-                    help="override the round budget (where the spec allows)")
-    rn.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    _add_run_scenario_flags(rn)
+    rn.add_argument("--events", default=None, metavar="PATH",
+                    help="write the run's telemetry timeline as JSONL "
+                    "structured events (one object per line)")
+    rn.add_argument("--obs", choices=["timeline", "profile", "off"],
+                    default="timeline",
+                    help="telemetry level (default: timeline counters)")
     _add_cache_flag(rn)
+
+    pf = sub.add_parser(
+        "profile",
+        help="profile one algorithm run: wall-clock phases (topology build, "
+        "property checks, round loop) plus the per-phase telemetry breakdown",
+    )
+    _add_run_scenario_flags(pf)
 
     t2 = sub.add_parser("table2", help="analytic cost model (Table 2)")
     t2.add_argument("--n0", type=int, default=100)
@@ -160,8 +181,25 @@ def _default_scenario(spec: AlgorithmSpec) -> str:
     return "one-interval"
 
 
-def _cmd_run(args) -> str:
-    from .experiments.runner import execute
+def _resolve_spec(name: str) -> AlgorithmSpec:
+    try:
+        return get_spec(name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; known: {', '.join(spec_names())}"
+        )
+
+
+def _build_scenario(args, spec: AlgorithmSpec, profiler=None):
+    """Build the scenario ``repro run``/``repro profile`` execute on.
+
+    With a :class:`~repro.obs.Profiler`, generation runs unverified under
+    a ``scenario_build`` section and the model-membership checkers run
+    separately under ``property_checks`` — the split the profile report
+    shows alongside the engine's own round-loop sections.
+    """
+    from contextlib import nullcontext
+
     from .experiments.scenarios import (
         dhop_scenario,
         hinet_interval_scenario,
@@ -170,42 +208,119 @@ def _cmd_run(args) -> str:
         one_interval_scenario,
     )
 
-    try:
-        spec = get_spec(args.algorithm)
-    except KeyError:
-        raise SystemExit(
-            f"unknown algorithm {args.algorithm!r}; "
-            f"known: {', '.join(spec_names())}"
-        )
-
     kind = _default_scenario(spec) if args.scenario == "auto" else args.scenario
     theta = max(args.n0 * 3 // 10, args.alpha) if args.theta is None else args.theta
-    if kind == "hinet-interval":
-        scenario = hinet_interval_scenario(
-            n0=args.n0, theta=theta, k=args.k, alpha=args.alpha, L=args.L,
-            seed=args.seed,
-        )
-    elif kind == "hinet-one":
-        scenario = hinet_one_scenario(
-            n0=args.n0, theta=theta, k=args.k, L=args.L, seed=args.seed,
-        )
-    elif kind == "klo-interval":
-        scenario = klo_interval_scenario(
-            n0=args.n0, k=args.k, alpha=args.alpha, L=args.L, seed=args.seed,
-        )
-    elif kind == "dhop":
-        scenario = dhop_scenario(n0=args.n0, k=args.k, L=args.L, seed=args.seed)
-    else:
-        scenario = one_interval_scenario(n0=args.n0, k=args.k, seed=args.seed)
+    profiled = profiler is not None
+    verify = not profiled  # profiled builds time the checkers separately
+    build = profiler.section("scenario_build") if profiled else nullcontext()
+    with build:
+        if kind == "hinet-interval":
+            scenario = hinet_interval_scenario(
+                n0=args.n0, theta=theta, k=args.k, alpha=args.alpha, L=args.L,
+                seed=args.seed, verify=verify,
+            )
+        elif kind == "hinet-one":
+            scenario = hinet_one_scenario(
+                n0=args.n0, theta=theta, k=args.k, L=args.L, seed=args.seed,
+                verify=verify,
+            )
+        elif kind == "klo-interval":
+            scenario = klo_interval_scenario(
+                n0=args.n0, k=args.k, alpha=args.alpha, L=args.L,
+                seed=args.seed, verify=verify,
+            )
+        elif kind == "dhop":
+            # the d-hop generator validates every phase internally
+            scenario = dhop_scenario(n0=args.n0, k=args.k, L=args.L,
+                                     seed=args.seed)
+        else:
+            scenario = one_interval_scenario(n0=args.n0, k=args.k,
+                                             seed=args.seed, verify=verify)
+    if profiled and kind != "dhop":
+        from .graphs.properties import is_hinet, is_T_interval_connected
 
+        T = int(scenario.params.get("T", 1))
+        with profiler.section("property_checks"):
+            if kind == "hinet-interval":
+                ok = is_hinet(scenario.trace, T, args.L)
+            elif kind == "hinet-one":
+                ok = is_hinet(scenario.trace, 1, args.L) and \
+                    is_T_interval_connected(scenario.trace, 1)
+            elif kind == "klo-interval":
+                ok = is_T_interval_connected(scenario.trace, T,
+                                             windows="blocks")
+            else:
+                ok = is_T_interval_connected(scenario.trace, 1)
+        if not ok:
+            raise SystemExit(f"generated {kind} trace failed verification")
+    return scenario
+
+
+def _spec_overrides(args, spec: AlgorithmSpec) -> dict:
     overrides = {}
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     if spec.seeded:
         overrides["seed"] = args.seed  # reproducible (and cacheable) run
+    return overrides
+
+
+def _cmd_run(args) -> str:
+    from .experiments.runner import execute
+
+    spec = _resolve_spec(args.algorithm)
+    scenario = _build_scenario(args, spec)
     record = execute(spec, scenario, engine=args.engine, cache=args.cache,
-                     **overrides)
-    return f"scenario: {scenario.name}\n\n" + format_records([record.row()])
+                     obs=args.obs, **_spec_overrides(args, spec))
+    out = f"scenario: {scenario.name}\n\n" + format_records([record.row()])
+    if args.events:
+        from .obs import write_events
+
+        timeline = record.result.timeline
+        if timeline is None:
+            raise SystemExit("--events requires telemetry; drop --obs off")
+        lines = write_events(
+            args.events,
+            timeline,
+            run_info={
+                "algorithm": record.algorithm,
+                "scenario": record.scenario,
+                "n": record.n,
+                "k": record.k,
+                "engine": args.engine,
+            },
+            summary=record.result.metrics.summary(),
+        )
+        out += f"\n\nwrote {lines} events to {args.events}"
+    return out
+
+
+def _cmd_profile(args) -> str:
+    from .experiments.runner import execute
+    from .obs import Profiler
+
+    spec = _resolve_spec(args.algorithm)
+    profiler = Profiler()
+    scenario = _build_scenario(args, spec, profiler=profiler)
+    with profiler.section("round_loop"):
+        record = execute(spec, scenario, engine=args.engine, cache=None,
+                         obs="profile", **_spec_overrides(args, spec))
+    timeline = record.result.timeline
+    timeline.profile.update(profiler.seconds)
+
+    T = int(scenario.params.get("T", 1))
+    parts = [
+        f"scenario: {scenario.name}",
+        f"engine: {args.engine}  rounds: {record.rounds}  "
+        f"completion: {record.completion_round}  tokens: {record.tokens_sent}",
+        "",
+        "wall-clock sections (round-loop sections overlap round_loop):",
+        format_records(timeline.profile_rows()),
+        "",
+        f"per-phase breakdown (T={T}):",
+        format_records(timeline.phases(T)),
+    ]
+    return "\n".join(parts)
 
 
 def _cmd_mobility(args) -> str:
@@ -270,6 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_records([spec.row() for spec in all_specs()]))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "profile":
+        print(_cmd_profile(args))
     elif args.command == "table2":
         params = CostParams(n0=args.n0, theta=args.theta, nm=args.nm,
                             nr=args.nr, k=args.k, alpha=args.alpha, L=args.L)

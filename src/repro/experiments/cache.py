@@ -99,8 +99,16 @@ class ResultCache:
         key_params: Dict[str, Any],
         stop_when_complete: bool,
         max_rounds: int,
+        obs: str = "timeline",
     ) -> str:
-        """Content hash over everything that determines the run's outcome."""
+        """Content hash over everything that determines the run's outcome.
+
+        ``obs`` joins the key because it changes the *stored record's
+        content* (an ``obs="off"`` record carries no timeline) — replaying
+        one for a timeline-recording call would silently drop telemetry.
+        Profiled runs never reach the cache (wall times are not
+        deterministic), so ``"profile"`` never appears in a key.
+        """
         payload = {
             "format": _FORMAT,
             "version": _VERSION,
@@ -111,6 +119,7 @@ class ResultCache:
             "params": {k: _jsonable(v) for k, v in sorted(key_params.items())},
             "stop_when_complete": bool(stop_when_complete),
             "max_rounds": int(max_rounds),
+            "obs": obs,
         }
         return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 

@@ -86,6 +86,7 @@ def execute(
     stop_when_complete: Optional[bool] = None,
     record_trace: bool = False,
     record_knowledge: bool = False,
+    obs: str = "timeline",
     **overrides,
 ) -> RunRecord:
     """Run one registered algorithm on a scenario for its proven budget.
@@ -113,6 +114,12 @@ def execute(
         Override the spec's default omniscient-stop behaviour.
     record_trace / record_knowledge:
         Forwarded to the engine (forces the reference path).
+    obs:
+        Telemetry level (:mod:`repro.obs`): ``"timeline"`` (default)
+        attaches a :class:`~repro.obs.RunTimeline` to the result and it
+        rides through the cache; ``"profile"`` adds wall-clock section
+        timings and bypasses the cache (timings are not deterministic);
+        ``"off"`` records nothing.
     **overrides:
         Spec-specific knobs (``rounds=…``, ``strict=…``, ``A=…``,
         ``seed=…`` …); anything the spec does not declare raises
@@ -135,7 +142,12 @@ def execute(
     # unseeded runs of seeded algorithms are not reproducible, so replaying
     # one from the cache would silently freeze fresh entropy — never cache
     reproducible = not (spec.seeded and plan.key_params.get("seed") is None)
-    if store is not None and reproducible and not (record_trace or record_knowledge):
+    cacheable = (
+        reproducible
+        and not (record_trace or record_knowledge)
+        and obs != "profile"  # wall-clock sections are never deterministic
+    )
+    if store is not None and cacheable:
         key = store.key(
             spec,
             scenario,
@@ -143,6 +155,7 @@ def execute(
             key_params=plan.key_params,
             stop_when_complete=stop,
             max_rounds=plan.max_rounds,
+            obs=obs,
         )
         hit = store.get(key)
         if hit is not None:
@@ -157,6 +170,7 @@ def execute(
         record_trace=record_trace,
         record_knowledge=record_knowledge,
         engine=engine,
+        obs=obs,
     )
     if key is not None:
         store.put(key, record)
@@ -172,9 +186,13 @@ def _execute(
     record_trace: bool = False,
     record_knowledge: bool = False,
     engine: str = "fast",
+    obs: str = "timeline",
 ) -> RunRecord:
     sync = SynchronousEngine(
-        record_trace=record_trace, record_knowledge=record_knowledge, engine=engine
+        record_trace=record_trace,
+        record_knowledge=record_knowledge,
+        engine=engine,
+        obs=obs,
     )
     result = sync.run(
         scenario.trace,

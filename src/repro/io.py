@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from .graphs.trace import GraphTrace
+from .obs import RunTimeline
 from .roles import Role
 from .sim.metrics import Metrics
 from .sim.topology import Snapshot
@@ -47,6 +48,8 @@ __all__ = [
     "save_trace",
     "scenario_from_dict",
     "scenario_to_dict",
+    "timeline_from_dict",
+    "timeline_to_dict",
     "trace_from_dict",
     "trace_to_dict",
 ]
@@ -216,14 +219,61 @@ def metrics_from_dict(data: Dict[str, Any]) -> Metrics:
     return metrics
 
 
+def timeline_to_dict(timeline: RunTimeline) -> Dict[str, Any]:
+    """Encode a :class:`~repro.obs.RunTimeline` as a JSON-ready dict.
+
+    Everything round-trips, including the wall-clock ``profile`` sections
+    (which are informational only — they never join equality checks).
+    """
+    return {
+        "format": "repro-timeline",
+        "version": _VERSION,
+        "coverage": list(timeline.coverage),
+        "nodes_complete": list(timeline.nodes_complete),
+        "tokens": list(timeline.tokens),
+        "messages": list(timeline.messages),
+        "role_messages": {r: list(c) for r, c in timeline.role_messages.items()},
+        "role_tokens": {r: list(c) for r, c in timeline.role_tokens.items()},
+        "populations": {r: list(c) for r, c in timeline.populations.items()},
+        "profile": dict(timeline.profile),
+    }
+
+
+def timeline_from_dict(data: Dict[str, Any]) -> RunTimeline:
+    """Decode a timeline written by :func:`timeline_to_dict`."""
+    if data.get("format") != "repro-timeline":
+        raise ValueError(
+            f"not a repro-timeline document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    return RunTimeline(
+        coverage=[int(v) for v in data["coverage"]],
+        nodes_complete=[int(v) for v in data["nodes_complete"]],
+        tokens=[int(v) for v in data["tokens"]],
+        messages=[int(v) for v in data["messages"]],
+        role_messages={
+            r: [int(v) for v in c] for r, c in data.get("role_messages", {}).items()
+        },
+        role_tokens={
+            r: [int(v) for v in c] for r, c in data.get("role_tokens", {}).items()
+        },
+        populations={
+            r: [int(v) for v in c] for r, c in data.get("populations", {}).items()
+        },
+        profile={s: float(v) for s, v in data.get("profile", {}).items()},
+    )
+
+
 def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
     """Encode a :class:`~repro.sim.engine.RunResult` as a JSON-ready dict.
 
     The execution trace and the per-node algorithm objects are *not*
     serialized (they hold arbitrary Python state); everything the result
-    tables and the cost analyses consume round-trips exactly.
+    tables and the cost analyses consume — including the telemetry
+    timeline, when one was recorded — round-trips exactly.
     """
-    return {
+    out = {
         "format": "repro-result",
         "version": _VERSION,
         "n": result.n,
@@ -232,6 +282,10 @@ def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
         "outputs": {str(v): sorted(toks) for v, toks in result.outputs.items()},
         "metrics": metrics_to_dict(result.metrics, include_series=include_series),
     }
+    timeline = getattr(result, "timeline", None)
+    if timeline is not None:
+        out["timeline"] = timeline_to_dict(timeline)
+    return out
 
 
 def run_result_from_dict(data: Dict[str, Any]):
@@ -253,6 +307,9 @@ def run_result_from_dict(data: Dict[str, Any]):
             for v, toks in data["outputs"].items()
         },
         complete=bool(data["complete"]),
+        timeline=(
+            timeline_from_dict(data["timeline"]) if "timeline" in data else None
+        ),
     )
 
 

@@ -1,0 +1,292 @@
+"""Run telemetry: per-round progress timelines and wall-clock phase profiling.
+
+The paper's headline claims are *trajectories* — Algorithm 1 completes in
+``⌈θ/α⌉ + 1`` phases of ``T = k + α·L`` rounds while KLO needs ``O(n·k)``
+rounds — but :class:`~repro.sim.metrics.Metrics` mostly records end-of-run
+totals, and the only per-round view used to be the O(n·k)
+:class:`~repro.sim.trace.SimTrace`.  This module adds an always-on middle
+layer: a :class:`RunTimeline` of O(1)-per-round counters that both engines
+(:mod:`repro.sim.engine` and :mod:`repro.sim.fastpath`) feed identically,
+so dissemination-progress curves, per-role message breakdowns per phase,
+and hierarchy population dynamics are available on every run without
+re-execution.
+
+Observability levels (the engines' ``obs`` parameter):
+
+``"off"``
+    Record nothing; ``RunResult.timeline`` is ``None``.  The escape hatch
+    for micro-benchmarks that must not pay even cheap counters.
+``"timeline"`` (default)
+    Record the counter timeline.  Cost is a handful of integer adds per
+    round — invisible next to the round loop itself.
+``"profile"``
+    Timeline plus wall-clock section timings (:class:`Profiler`):
+    topology decode vs. send vs. deliver vs. receive vs. bookkeeping.
+    Wall times are non-deterministic, so profiled runs bypass the result
+    cache; :attr:`RunTimeline.profile` is excluded from equality so the
+    fastpath⇄reference timeline-equivalence guarantees still hold.
+
+Timelines serialize through :func:`repro.io.timeline_to_dict` (they ride
+along inside ``RunResult`` archives and the on-disk result cache) and
+export as JSONL structured events via :func:`write_events` — one JSON
+object per line: a ``run`` header, one ``round`` event per round, and a
+closing ``summary`` carrying the run's metric totals (the CLI's
+``repro run … --events out.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+__all__ = [
+    "OBS_LEVELS",
+    "Profiler",
+    "RunTimeline",
+    "validate_obs",
+    "write_events",
+]
+
+#: Recognised observability levels, cheapest first.
+OBS_LEVELS = ("off", "timeline", "profile")
+
+
+def validate_obs(obs: str) -> str:
+    """Normalise an ``obs`` level, raising ``ValueError`` on anything unknown."""
+    if obs not in OBS_LEVELS:
+        raise ValueError(
+            f"obs must be one of {', '.join(map(repr, OBS_LEVELS))}, got {obs!r}"
+        )
+    return obs
+
+
+class Profiler:
+    """Accumulates wall-clock seconds into named sections.
+
+    Sections nest freely and repeat cheaply (one ``perf_counter`` pair per
+    entry); engines call :meth:`add` inline on their hot path, scripts and
+    the ``repro profile`` command use the :meth:`section` context manager
+    around coarser stages (scenario build, property checks).
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    def add(self, name: str, dt: float) -> None:
+        """Credit ``dt`` seconds to section ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + dt
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a ``with`` block into section ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+
+def _bump(series: Dict[str, List[int]], key: str, value: int, rounds: int) -> None:
+    """Add ``value`` to ``key``'s current-round cell, backfilling zeros for
+    rounds before the key first appeared."""
+    column = series.get(key)
+    if column is None:
+        column = [0] * rounds
+        series[key] = column
+    column[-1] += value
+
+
+@dataclass
+class RunTimeline:
+    """Per-round progress counters for one engine run.
+
+    Every list holds one entry per executed round; the role-keyed dicts
+    hold equal-length columns (zero-backfilled from the round a role first
+    appears).  Both engines feed the same counters, so for supported
+    algorithms the fast path's timeline is identical to the reference
+    engine's — asserted by the equivalence suites.
+
+    Attributes
+    ----------
+    coverage:
+        Global (node, token) pairs known at the end of each round — the
+        dissemination progress curve behind the Fig. 5/6 comparisons.
+    nodes_complete:
+        Nodes holding all ``k`` tokens at the end of each round.
+    tokens:
+        Communication cost (tokens transmitted) per round.
+    messages:
+        Transmissions per round (a broadcast counts once).
+    role_messages, role_tokens:
+        Per-round transmission/token counts keyed by sender role
+        (``"head"`` / ``"gateway"`` / ``"member"``, or ``"flat"`` for
+        role-less algorithms).
+    populations:
+        Per-round count of nodes holding each role; empty for flat runs.
+    profile:
+        Wall-clock seconds by section (``obs="profile"`` only).  Excluded
+        from equality — timings never participate in equivalence checks.
+    """
+
+    coverage: List[int] = field(default_factory=list)
+    nodes_complete: List[int] = field(default_factory=list)
+    tokens: List[int] = field(default_factory=list)
+    messages: List[int] = field(default_factory=list)
+    role_messages: Dict[str, List[int]] = field(default_factory=dict)
+    role_tokens: Dict[str, List[int]] = field(default_factory=dict)
+    populations: Dict[str, List[int]] = field(default_factory=dict)
+    profile: Dict[str, float] = field(default_factory=dict, compare=False)
+
+    # -- recording (engine-facing) ----------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """Rounds recorded so far."""
+        return len(self.coverage)
+
+    def begin_round(self) -> None:
+        """Open counters for a new round."""
+        self.tokens.append(0)
+        self.messages.append(0)
+        for column in self.role_messages.values():
+            column.append(0)
+        for column in self.role_tokens.values():
+            column.append(0)
+        for column in self.populations.values():
+            column.append(0)
+
+    def record_sends(self, role: str, messages: int, tokens: int) -> None:
+        """Account ``messages`` transmissions totalling ``tokens`` sent by
+        ``role`` this round (the reference engine calls this per message,
+        the fast path once per role per round)."""
+        if messages == 0:
+            return
+        self.messages[-1] += messages
+        self.tokens[-1] += tokens
+        open_rounds = len(self.tokens)
+        _bump(self.role_messages, role, messages, open_rounds)
+        _bump(self.role_tokens, role, tokens, open_rounds)
+
+    def record_populations(self, counts: Mapping[str, int]) -> None:
+        """Record this round's hierarchy population (role → node count)."""
+        open_rounds = len(self.tokens)
+        for role, count in counts.items():
+            _bump(self.populations, role, count, open_rounds)
+
+    def end_round(self, coverage: int, nodes_complete: int) -> None:
+        """Close the round with its end-of-round knowledge state."""
+        self.coverage.append(coverage)
+        self.nodes_complete.append(nodes_complete)
+
+    # -- derived views ----------------------------------------------------
+
+    def phases(self, T: int) -> List[Dict[str, object]]:
+        """Aggregate the timeline into phases of ``T`` rounds.
+
+        Returns one row per phase (the paper's unit of analysis) with the
+        round span, message/token totals, and per-role message counts —
+        the "per-role breakdown per phase" view of Tables 2/3.
+        """
+        if T < 1:
+            raise ValueError(f"phase length T must be >= 1, got {T}")
+        rows: List[Dict[str, object]] = []
+        for start in range(0, self.rounds, T):
+            stop = min(start + T, self.rounds)
+            row: Dict[str, object] = {
+                "phase": start // T,
+                "rounds": f"{start}..{stop - 1}",
+                "messages": sum(self.messages[start:stop]),
+                "tokens": sum(self.tokens[start:stop]),
+                "coverage_end": self.coverage[stop - 1],
+                "nodes_complete_end": self.nodes_complete[stop - 1],
+            }
+            for role in sorted(self.role_messages):
+                row[f"{role}_msgs"] = sum(self.role_messages[role][start:stop])
+            rows.append(row)
+        return rows
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Yield one JSON-ready ``round`` event per recorded round."""
+        for r in range(self.rounds):
+            event: Dict[str, Any] = {
+                "type": "round",
+                "round": r,
+                "coverage": self.coverage[r],
+                "nodes_complete": self.nodes_complete[r],
+                "messages": self.messages[r],
+                "tokens": self.tokens[r],
+            }
+            if self.role_messages:
+                event["by_role"] = {
+                    role: {
+                        "messages": self.role_messages[role][r],
+                        "tokens": self.role_tokens.get(role, [0] * self.rounds)[r],
+                    }
+                    for role in sorted(self.role_messages)
+                }
+            if self.populations:
+                event["populations"] = {
+                    role: column[r]
+                    for role, column in sorted(self.populations.items())
+                }
+            yield event
+
+    def profile_rows(self) -> List[Dict[str, object]]:
+        """Profile sections as table rows (ms and share), largest first."""
+        total = sum(self.profile.values())
+        rows = []
+        for name, seconds in sorted(
+            self.profile.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            rows.append({
+                "section": name,
+                "ms": round(seconds * 1000.0, 3),
+                "share": f"{seconds / total:.1%}" if total > 0 else "-",
+            })
+        return rows
+
+
+def write_events(
+    path: Union[str, Path],
+    timeline: RunTimeline,
+    *,
+    run_info: Optional[Mapping[str, Any]] = None,
+    summary: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write a timeline as JSONL structured events; returns the line count.
+
+    Layout: a ``run`` header (``run_info`` merged in), one ``round`` event
+    per round (see :meth:`RunTimeline.events`), and a ``summary`` footer
+    (``summary`` — typically ``Metrics.summary()`` — merged in) so stream
+    consumers can cross-check the per-round counters against the run's
+    totals without re-aggregating.
+    """
+    lines: List[str] = []
+    header: Dict[str, Any] = {"type": "run", "rounds": timeline.rounds}
+    if run_info:
+        header.update(run_info)
+    lines.append(json.dumps(header, sort_keys=True))
+    for event in timeline.events():
+        lines.append(json.dumps(event, sort_keys=True))
+    footer: Dict[str, Any] = {
+        "type": "summary",
+        "rounds": timeline.rounds,
+        "messages": sum(timeline.messages),
+        "tokens": sum(timeline.tokens),
+    }
+    if summary:
+        footer.update(summary)
+    if timeline.profile:
+        footer["profile_ms"] = {
+            name: round(seconds * 1000.0, 3)
+            for name, seconds in sorted(timeline.profile.items())
+        }
+    lines.append(json.dumps(footer, sort_keys=True))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)

@@ -38,9 +38,12 @@ engine bookkeeping).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Protocol, Tuple
 
+from ..obs import Profiler, RunTimeline, validate_obs
+from ..roles import Role
 from .messages import Delivery, Message
 from .metrics import Metrics
 from .node import AlgorithmFactory, NodeAlgorithm, RoundContext
@@ -96,6 +99,10 @@ class RunResult:
         Whether every node ended holding all ``k`` tokens.
     trace:
         The execution trace, if recording was requested.
+    timeline:
+        Cheap per-round progress counters (:class:`~repro.obs.RunTimeline`),
+        recorded by default; ``None`` when the engine ran with
+        ``obs="off"``.
     algorithms:
         The per-node algorithm objects in their final state (for
         protocols whose result is not a token set, e.g. push-sum
@@ -108,6 +115,7 @@ class RunResult:
     outputs: Dict[int, FrozenSet[int]]
     complete: bool
     trace: Optional[SimTrace] = None
+    timeline: Optional[RunTimeline] = None
     algorithms: Optional[Dict[int, NodeAlgorithm]] = field(default=None, repr=False)
 
     def missing(self) -> Dict[int, FrozenSet[int]]:
@@ -168,6 +176,12 @@ class ActiveRun:
             if engine.record_trace
             else None
         )
+        self.timeline: Optional[RunTimeline] = (
+            RunTimeline() if engine.obs != "off" else None
+        )
+        self.profiler: Optional[Profiler] = (
+            Profiler() if engine.obs == "profile" else None
+        )
         self.round = 0
         self.stopped = False
         self._adaptive = getattr(network, "adaptive_snapshot", None)
@@ -200,6 +214,8 @@ class ActiveRun:
 
         r = self.round
         n = self.n
+        prof = self.profiler
+        t0 = time.perf_counter() if prof is not None else 0.0
         if self._adaptive is not None:
             # adaptive adversary: commits to G_r after inspecting state
             snap = self._adaptive(
@@ -211,7 +227,18 @@ class ActiveRun:
             raise ValueError(
                 f"snapshot for round {r} has {snap.n} nodes, expected {n}"
             )
+        if prof is not None:
+            prof.add("topology", time.perf_counter() - t0)
         self.metrics.begin_round()
+        timeline = self.timeline
+        if timeline is not None:
+            timeline.begin_round()
+            if snap.roles is not None:
+                timeline.record_populations({
+                    "head": snap.roles.count(Role.HEAD),
+                    "gateway": snap.roles.count(Role.GATEWAY),
+                    "member": snap.roles.count(Role.MEMBER),
+                })
         round_trace = self.trace.begin_round(r) if self.trace is not None else None
 
         contexts = [
@@ -226,6 +253,8 @@ class ActiveRun:
         ]
 
         # --- send phase ---------------------------------------------------
+        if prof is not None:
+            t0 = time.perf_counter()
         due = r + self.engine.latency - 1
         for v in range(n):
             ctx = contexts[v]
@@ -238,6 +267,8 @@ class ActiveRun:
                 if msg.cost == 0:
                     continue  # empty transmissions are skipped and free
                 self.metrics.record_send(msg, role=role_name)
+                if timeline is not None:
+                    timeline.record_sends(role_name, 1, msg.cost)
                 if round_trace is not None:
                     round_trace.sends.append((msg, role_name))
                 if msg.delivery is Delivery.BROADCAST:
@@ -251,6 +282,10 @@ class ActiveRun:
                         self._in_flight.setdefault(due, []).append((msg.dest, msg))
 
         # --- delivery of everything due this round --------------------------
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("send", now - t0)
+            t0 = now
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         for receiver, msg in self._in_flight.pop(r, ()):
             inboxes[receiver].append(msg)
@@ -258,12 +293,29 @@ class ActiveRun:
                 round_trace.deliveries.append(DeliveryEvent(receiver, msg))
 
         # --- receive phase ----------------------------------------------------
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("deliver", now - t0)
+            t0 = now
         for v in range(n):
             self.algorithms[v].receive(contexts[v], inboxes[v])
 
         # --- bookkeeping ----------------------------------------------------
-        coverage = sum(len(a.TA) for a in self.algorithms.values())
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("receive", now - t0)
+            t0 = now
+        coverage = 0
+        nodes_complete = 0
+        k = self.k
+        for a in self.algorithms.values():
+            held = len(a.TA)
+            coverage += held
+            if held == k:
+                nodes_complete += 1
         self.metrics.end_round(coverage)
+        if timeline is not None:
+            timeline.end_round(coverage, nodes_complete)
         if round_trace is not None and self.engine.record_knowledge:
             round_trace.knowledge = {
                 v: frozenset(self.algorithms[v].TA) for v in range(n)
@@ -283,6 +335,8 @@ class ActiveRun:
             self.stopped = True
         if self.round >= self.max_rounds:
             self.stopped = True
+        if prof is not None:
+            prof.add("bookkeeping", time.perf_counter() - t0)
         return not self.stopped
 
     def run_to_completion(self) -> None:
@@ -295,6 +349,8 @@ class ActiveRun:
         outputs = {
             v: frozenset(self.algorithms[v].TA) for v in range(self.n)
         }
+        if self.timeline is not None and self.profiler is not None:
+            self.timeline.profile.update(self.profiler.seconds)
         return RunResult(
             n=self.n,
             k=self.k,
@@ -302,6 +358,7 @@ class ActiveRun:
             outputs=outputs,
             complete=all(len(t) == self.k for t in outputs.values()),
             trace=self.trace,
+            timeline=self.timeline,
             algorithms=self.algorithms,
         )
 
@@ -339,6 +396,13 @@ class SynchronousEngine:
         docs/performance.md), silently falling back to the reference path
         otherwise.  :meth:`start` always steps the reference engine — the
         fast path has no per-round inspection surface.
+    obs:
+        Telemetry level (see :mod:`repro.obs`): ``"timeline"`` (default)
+        records cheap per-round progress counters into
+        ``RunResult.timeline``, ``"profile"`` additionally times the round
+        loop's sections, ``"off"`` records nothing.  Both execution paths
+        feed the same counters, so timelines join the fast-path
+        equivalence guarantee.
     """
 
     def __init__(
@@ -349,6 +413,7 @@ class SynchronousEngine:
         loss_seed=None,
         latency: int = 1,
         engine: str = "reference",
+        obs: str = "timeline",
     ) -> None:
         self.record_trace = record_trace or record_knowledge
         self.record_knowledge = record_knowledge
@@ -362,6 +427,7 @@ class SynchronousEngine:
         self.loss_seed = loss_seed
         self.latency = latency
         self.engine_mode = engine
+        self.obs = validate_obs(obs)
 
     def start(
         self,
@@ -454,8 +520,9 @@ def run(
     """One-shot convenience wrapper around :class:`SynchronousEngine`.
 
     Keyword arguments ``record_trace`` / ``record_knowledge`` /
-    ``loss_p`` / ``loss_seed`` / ``latency`` / ``engine`` configure the
-    engine; everything else is forwarded to :meth:`SynchronousEngine.run`.
+    ``loss_p`` / ``loss_seed`` / ``latency`` / ``engine`` / ``obs``
+    configure the engine; everything else is forwarded to
+    :meth:`SynchronousEngine.run`.
     """
     engine = SynchronousEngine(
         record_trace=kwargs.pop("record_trace", False),
@@ -464,5 +531,6 @@ def run(
         loss_seed=kwargs.pop("loss_seed", None),
         latency=kwargs.pop("latency", 1),
         engine=kwargs.pop("engine", "reference"),
+        obs=kwargs.pop("obs", "timeline"),
     )
     return engine.run(network, factory, k, initial, max_rounds, **kwargs)

@@ -18,11 +18,13 @@ baselines, and the two flooding baselines) as vectorised kernels:
 reproduces the reference engine exactly: the same :class:`RunResult`
 outputs, the same :class:`~repro.sim.metrics.Metrics` (token/message
 counts, per-role breakdown, per-round series, completion round), the same
-drop/loss accounting, and — because fault injection consumes the loss RNG
-in the reference engine's exact delivery order — the same behaviour under
-``loss_p > 0`` and ``latency > 1``.  The equivalence suite in
-``tests/test_fastpath.py`` asserts this across algorithms, generators and
-seeds.
+:class:`~repro.obs.RunTimeline` telemetry (coverage timeline, per-role
+per-round counters, hierarchy populations), the same drop/loss
+accounting, and — because fault injection consumes the loss RNG in the
+reference engine's exact delivery order — the same behaviour under
+``loss_p > 0`` and ``latency > 1``.  The equivalence suites in
+``tests/test_fastpath.py`` and ``tests/test_obs.py`` assert this across
+algorithms, generators and seeds.
 
 **Dispatch.**  Factories built by the ``make_*_factory`` helpers carry a
 ``factory.fastpath = (kind, params)`` tag.  :func:`try_run` executes the
@@ -35,10 +37,12 @@ adversary hook needs per-node Python state).  ``RunResult.algorithms`` is
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..obs import Profiler, RunTimeline
 from .engine import RunResult, SynchronousEngine, validate_run_args
 from .metrics import Metrics, RoleCost
 from .topology import Snapshot, SnapshotArrays
@@ -432,7 +436,12 @@ def supported_kinds() -> Tuple[str, ...]:
 # accounting and delivery
 # ---------------------------------------------------------------------------
 
-def _account(metrics: Metrics, batch: _SendBatch, arrs: SnapshotArrays) -> None:
+def _account(
+    metrics: Metrics,
+    batch: _SendBatch,
+    arrs: SnapshotArrays,
+    timeline: Optional[RunTimeline] = None,
+) -> None:
     """Record one round's transmissions exactly as the reference engine does."""
     b = len(batch.bc_senders)
     u = len(batch.uc_senders)
@@ -451,6 +460,8 @@ def _account(metrics: Metrics, batch: _SendBatch, arrs: SnapshotArrays) -> None:
         cost = metrics.by_role.setdefault("flat", RoleCost())
         cost.tokens += tokens
         cost.messages += b + u
+        if timeline is not None:
+            timeline.record_sends("flat", b + u, tokens)
         return
     senders = np.concatenate((batch.bc_senders, batch.uc_senders))
     costs = np.concatenate((batch.bc_costs, batch.uc_costs))
@@ -462,6 +473,10 @@ def _account(metrics: Metrics, batch: _SendBatch, arrs: SnapshotArrays) -> None:
             cost = metrics.by_role.setdefault(name, RoleCost())
             cost.tokens += int(tok_counts[code])
             cost.messages += int(msg_counts[code])
+            if timeline is not None:
+                timeline.record_sends(
+                    name, int(msg_counts[code]), int(tok_counts[code])
+                )
 
 
 def _deliveries(
@@ -592,6 +607,8 @@ def try_run(
     kernel = make_kernel(n, k, W, TA, **params)
 
     metrics = Metrics()
+    timeline = RunTimeline() if engine.obs != "off" else None
+    prof = Profiler() if engine.obs == "profile" else None
     loss_rng = None
     if engine.loss_p > 0:
         from .rng import make_rng
@@ -602,17 +619,29 @@ def try_run(
     in_flight: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
 
     for r in range(max_rounds):
+        t0 = time.perf_counter() if prof is not None else 0.0
         snap = network.snapshot(r)
         if snap.n != n:
             raise ValueError(
                 f"snapshot for round {r} has {snap.n} nodes, expected {n}"
             )
         arrs = snap.arrays()
+        if prof is not None:
+            prof.add("topology", time.perf_counter() - t0)
         metrics.begin_round()
+        if timeline is not None:
+            timeline.begin_round()
+            if arrs.roles is not None:
+                pops = np.bincount(arrs.roles, minlength=3)
+                timeline.record_populations({
+                    name: int(pops[code]) for code, name in _ROLE_NAMES
+                })
 
+        if prof is not None:
+            t0 = time.perf_counter()
         batch = kernel.send(r, arrs)
         if batch is not None and batch.messages:
-            _account(metrics, batch, arrs)
+            _account(metrics, batch, arrs, timeline)
             if loss_rng is None:
                 flat = _deliveries(batch, arrs)
             else:
@@ -622,6 +651,10 @@ def try_run(
             if flat is not None:
                 in_flight.setdefault(r + latency - 1, []).append(flat)
 
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("send", now - t0)
+            t0 = now
         pending = in_flight.pop(r, None)
         if pending:
             if len(pending) == 1:
@@ -632,8 +665,17 @@ def try_run(
                 payload = np.concatenate([p[2] for p in pending])
             kernel.receive(r, arrs, rec, snd, payload)
 
-        coverage = int(np.bitwise_count(kernel.TA).sum())
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("receive", now - t0)
+            t0 = now
+        per_node = np.bitwise_count(kernel.TA).sum(axis=1, dtype=np.int64)
+        coverage = int(per_node.sum())
         metrics.end_round(coverage)
+        if timeline is not None:
+            timeline.end_round(coverage, int((per_node == k).sum()))
+        if prof is not None:
+            prof.add("bookkeeping", time.perf_counter() - t0)
         if coverage == target:
             metrics.mark_complete()
             if stop_when_complete:
@@ -641,6 +683,8 @@ def try_run(
         if stop_when_finished and not in_flight and kernel.finished(r):
             break
 
+    if timeline is not None and prof is not None:
+        timeline.profile.update(prof.seconds)
     token_sets = _rows_to_frozensets(kernel.TA)
     outputs = {v: token_sets[v] for v in range(n)}
     return RunResult(
@@ -650,5 +694,6 @@ def try_run(
         outputs=outputs,
         complete=all(len(t) == k for t in outputs.values()),
         trace=None,
+        timeline=timeline,
         algorithms=None,
     )

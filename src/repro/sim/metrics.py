@@ -133,6 +133,11 @@ class Metrics:
         cost = self.by_role.get(role)
         return cost.tokens if cost else 0
 
+    def role_messages(self, role: str) -> int:
+        """Transmissions by nodes holding ``role`` (0 if the role never sent)."""
+        cost = self.by_role.get(role)
+        return cost.messages if cost else 0
+
     def summary(self) -> Dict[str, object]:
         """Flat dict of headline numbers, convenient for result tables."""
         return {

@@ -136,6 +136,45 @@ class TestRegistryCommands:
         assert main(argv) == 0
         assert capsys.readouterr().out == first
 
+    def test_run_events_jsonl_cross_checks(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                     "--events", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"events to {path}" in out
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["type"] == "run" and rows[0]["algorithm"]
+        assert rows[-1]["type"] == "summary"
+        rounds = [r for r in rows if r["type"] == "round"]
+        assert len(rounds) == rows[-1]["rounds"]
+        # final timeline rows must match the run's Metrics totals
+        assert sum(r["tokens"] for r in rounds) == rows[-1]["tokens_sent"]
+        assert sum(r["messages"] for r in rounds) == rows[-1]["messages_sent"]
+
+    def test_run_events_with_obs_off_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="obs off"):
+            main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                  "--obs", "off", "--events", str(tmp_path / "e.jsonl")])
+
+    def test_profile_prints_sections_and_phases(self, capsys):
+        assert main(["profile", "algorithm1", "--n0", "24", "--theta", "7",
+                     "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        for section in ("scenario_build", "property_checks", "round_loop",
+                        "send", "topology"):
+            assert section in out, section
+        assert "per-phase breakdown" in out
+        assert "head_msgs" in out and "gateway_msgs" in out
+
+    def test_profile_reference_engine(self, capsys):
+        assert main(["profile", "flood-all", "--scenario", "one-interval",
+                     "--n0", "16", "--k", "3", "--engine", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "deliver" in out  # reference-only section
+        assert "flat_msgs" in out
+
     def test_sweep_accepts_cache_flag(self, capsys, tmp_path):
         assert main(["sweep-nr", "--ps", "0.0", "--n0", "20", "--theta", "6",
                      "--cache", str(tmp_path)]) == 0

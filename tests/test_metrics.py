@@ -42,6 +42,27 @@ class TestRecording:
         assert m.role_tokens("gateway") == 0
         assert m.by_role["head"].messages == 2
 
+    def test_by_role_all_three_roles(self):
+        m = Metrics()
+        m.begin_round()
+        m.record_send(_bcast([1, 2, 3]), role="head")
+        m.record_send(Message.unicast(4, 0, [1, 2]), role="gateway")
+        m.record_send(Message.unicast(5, 4, [9]), role="member")
+        m.record_send(_bcast([4]), role="gateway")
+        assert set(m.by_role) == {"head", "gateway", "member"}
+        assert m.role_tokens("head") == 3 and m.role_messages("head") == 1
+        assert m.role_tokens("gateway") == 3 and m.role_messages("gateway") == 2
+        assert m.role_tokens("member") == 1 and m.role_messages("member") == 1
+        assert sum(c.tokens for c in m.by_role.values()) == m.tokens_sent
+        assert sum(c.messages for c in m.by_role.values()) == m.messages_sent
+
+    def test_role_messages_unknown_role_is_zero(self):
+        m = Metrics()
+        m.begin_round()
+        m.record_send(_bcast([1]), role="head")
+        assert m.role_messages("gateway") == 0
+        assert m.role_messages("flat") == 0
+
     def test_drops_counted(self):
         m = Metrics()
         m.record_drop()

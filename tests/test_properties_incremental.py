@@ -3,6 +3,8 @@ naive per-window loops they replaced, on arbitrary traces — checked as
 hypothesis properties — and must do O(horizon) round operations instead
 of the naive O(horizon · T)."""
 
+import os
+
 import networkx as nx
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -19,6 +21,9 @@ from repro.graphs.properties import (
 from repro.graphs.trace import GraphTrace
 from repro.roles import Role
 from repro.sim.topology import Snapshot
+
+#: Nightly CI deepens every sweep (REPRO_HYPOTHESIS_SCALE=8); default 1.
+_SCALE = int(os.environ.get("REPRO_HYPOTHESIS_SCALE", "1"))
 
 
 # ---------------------------------------------------------------------------
@@ -119,35 +124,35 @@ Ts = st.integers(min_value=1, max_value=12)
 # ---------------------------------------------------------------------------
 
 class TestIncrementalAgreesWithNaive:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60 * _SCALE, deadline=None)
     @given(trace=flat_traces(), T=Ts, windows=window_modes)
     def test_interval_connectivity(self, trace, T, windows):
         assert is_T_interval_connected(trace, T, windows) == (
             naive_interval_connected(trace, T, windows)
         )
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40 * _SCALE, deadline=None)
     @given(trace=flat_traces(), windows=window_modes)
     def test_max_interval_connectivity(self, trace, windows):
         assert max_interval_connectivity(trace, windows) == (
             naive_max_interval(trace, windows)
         )
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40 * _SCALE, deadline=None)
     @given(trace=clustered_traces(), T=Ts, windows=window_modes)
     def test_head_set_stable(self, trace, T, windows):
         assert head_set_stable(trace, T, windows) == (
             naive_stable(trace, T, windows, lambda s: s.heads())
         )
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40 * _SCALE, deadline=None)
     @given(trace=clustered_traces(), T=Ts, windows=window_modes)
     def test_hierarchy_stable(self, trace, T, windows):
         assert hierarchy_stable(trace, T, windows) == (
             naive_stable(trace, T, windows, properties._hierarchy_key)
         )
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30 * _SCALE, deadline=None)
     @given(trace=clustered_traces(), T=Ts, windows=window_modes)
     def test_cluster_stable(self, trace, T, windows):
         clusters_ever = set()
@@ -158,7 +163,7 @@ class TestIncrementalAgreesWithNaive:
                 trace, T, windows, lambda s: s.cluster_members(c)
             )
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40 * _SCALE, deadline=None)
     @given(trace=flat_traces(), T=Ts)
     def test_sliding_implies_blocks(self, trace, T):
         # the documented lattice relation must survive the rewrite

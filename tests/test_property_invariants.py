@@ -6,6 +6,8 @@ arbitrary generated traces, window coverage, and cost-accounting
 identities.
 """
 
+import os
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -19,9 +21,12 @@ from repro.sim.engine import run
 from repro.sim.messages import initial_assignment
 from repro.viz import sparkline
 
+#: Nightly CI deepens every sweep (REPRO_HYPOTHESIS_SCALE=8); default 1.
+_SCALE = int(os.environ.get("REPRO_HYPOTHESIS_SCALE", "1"))
+
 
 class TestEngineConservation:
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2000), n=st.integers(2, 20), k=st.integers(1, 6))
     def test_coverage_monotone_and_token_conservation(self, seed, n, k):
         """For absorb-only algorithms: (1) coverage never decreases;
@@ -40,7 +45,7 @@ class TestEngineConservation:
             assert frozenset(init.get(v, frozenset())) <= out
         assert frozenset().union(*res.outputs.values()) <= all_inputs
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2000), n=st.integers(2, 16))
     def test_cost_identities(self, seed, n):
         """messages = broadcasts + unicasts; per-round tokens sum to total."""
@@ -56,7 +61,7 @@ class TestEngineConservation:
 
 
 class TestSerializationProperty:
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 1000), T=st.integers(1, 4),
            heads=st.integers(1, 4))
     def test_roundtrip_any_generated_hinet(self, seed, T, heads):

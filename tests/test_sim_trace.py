@@ -13,6 +13,15 @@ class TestRoundTrace:
         rt.sends.append((Message.unicast(1, 0, {3}), "member"))
         assert rt.tokens_sent() == 3
 
+    def test_tokens_sent_empty_round(self):
+        assert RoundTrace(round_index=0).tokens_sent() == 0
+
+    def test_tokens_sent_counts_set_sizes_not_messages(self):
+        rt = RoundTrace(round_index=0)
+        rt.sends.append((Message.broadcast(0, {1, 2, 3, 4}), "head"))
+        rt.sends.append((Message.broadcast(1, set()), "member"))
+        assert rt.tokens_sent() == 4
+
 
 class TestSimTrace:
     def _trace(self):
@@ -68,3 +77,39 @@ class TestSimTrace:
         text = trace.describe_round(0)
         assert "-> 7" in text
         assert "unicast" in text
+
+
+class TestEngineKnowledgeSnapshots:
+    def _run(self):
+        from repro.baselines.flooding import make_flood_all_factory
+        from repro.experiments.scenarios import one_interval_scenario
+        from repro.sim.engine import SynchronousEngine
+
+        scenario = one_interval_scenario(n0=10, k=3, seed=4, verify=False)
+        return scenario, SynchronousEngine(
+            record_trace=True, record_knowledge=True
+        ).run(
+            scenario.trace, make_flood_all_factory(), scenario.k,
+            scenario.initial, 9, stop_when_complete=True,
+        )
+
+    def test_snapshot_every_round_every_node(self):
+        scenario, res = self._run()
+        assert len(res.trace.rounds) == res.metrics.rounds
+        for rt in res.trace.rounds:
+            assert set(rt.knowledge) == set(range(scenario.n))
+
+    def test_knowledge_monotone_and_matches_outputs(self):
+        scenario, res = self._run()
+        for v in range(scenario.n):
+            prev = frozenset()
+            for rt in res.trace.rounds:
+                assert prev <= rt.knowledge[v]  # absorb-only: never forgets
+                prev = rt.knowledge[v]
+            assert prev == res.outputs[v]
+
+    def test_first_heard_consistent_with_snapshots(self):
+        scenario, res = self._run()
+        for v, tokens in scenario.initial.items():
+            for token in tokens:
+                assert res.trace.first_heard(v, token) == 0
