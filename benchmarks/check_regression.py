@@ -11,7 +11,11 @@ baseline:
   (outputs, metrics, and the telemetry timeline);
 * the fast/reference **speedup ratio** — measured fresh, both engines on
   the same machine in the same process — must stay within ``--threshold``
-  (default 25%) of the baseline's recorded ratio.
+  (default 25%) of the baseline's recorded ratio;
+* the **telemetry overhead budget** (``obs_overhead_trace_vs_off``, a
+  synthetic case needing no baseline entry): an ``obs="trace"`` run must
+  cost at most ``--obs-budget`` times the ``obs="off"`` run and must not
+  change the run's metrics.
 
 Absolute wall-clock numbers in the baseline (``*_median_ms``) are *not*
 compared: they were recorded on whatever machine last refreshed the file
@@ -57,27 +61,29 @@ def _row(check: str, baseline: object, measured: object, ok: bool) -> Row:
             "ok": "ok" if ok else "FAIL"}
 
 
-def check_algorithm1_full_run(
-    baseline: Dict[str, object],
-    threshold: float,
-    inject_slowdown_ms: float,
-    repeats: int,
-) -> CheckResult:
-    """Re-run the full-run engine case behind ``BENCH_engine.json``."""
+def _bench_instance():
+    """The shared benchmark instance: scenario + Algorithm-1 factory."""
     from repro.core.algorithm1 import make_algorithm1_factory
     from repro.experiments.scenarios import hinet_interval_scenario
-    from repro.sim.engine import run
 
     scenario = hinet_interval_scenario(
         n0=100, theta=30, k=8, alpha=5, L=2, seed=47, verify=False
     )
     T = int(scenario.params["T"])
-    factory = make_algorithm1_factory(T=T, M=7)
+    return scenario, make_algorithm1_factory(T=T, M=7), 7 * T
+
+
+def check_algorithm1_full_run(baseline: Dict[str, object], args) -> CheckResult:
+    """Re-run the full-run engine case behind ``BENCH_engine.json``."""
+    from repro.sim.engine import run
+
+    threshold = args.threshold
+    scenario, factory, max_rounds = _bench_instance()
 
     def go(engine: str):
         return run(
-            scenario.trace, factory, k=8, initial=scenario.initial,
-            max_rounds=7 * T, engine=engine,
+            scenario.trace, factory, k=scenario.k, initial=scenario.initial,
+            max_rounds=max_rounds, engine=engine,
         )
 
     failures: List[str] = []
@@ -107,15 +113,15 @@ def check_algorithm1_full_run(
     if not identical:
         failures.append("fast path diverged from the reference engine")
 
-    sleep_s = inject_slowdown_ms / 1000.0
+    sleep_s = args.inject_slowdown_ms / 1000.0
 
     def timed_fast():
         if sleep_s:
             time.sleep(sleep_s)
         return go("fast")
 
-    ref_stats = time_ms(lambda: go("reference"), repeats=repeats)
-    fast_stats = time_ms(timed_fast, repeats=repeats)
+    ref_stats = time_ms(lambda: go("reference"), repeats=args.repeats)
+    fast_stats = time_ms(timed_fast, repeats=args.repeats)
     speedup = ref_stats["median_ms"] / fast_stats["median_ms"]
     base_speedup = float(baseline.get("speedup", 0.0))
     floor = base_speedup * (1.0 - threshold)
@@ -136,10 +142,71 @@ def check_algorithm1_full_run(
     return failures, rows
 
 
+def check_obs_overhead(baseline: Dict[str, object], args) -> CheckResult:
+    """Telemetry overhead budget: ``obs="trace"`` vs ``obs="off"``.
+
+    Causal tracing must stay cheap enough to leave on by default in deep
+    inspection workflows: the traced fast-path run may take at most
+    ``--obs-budget`` times the untraced run (a machine-portable ratio,
+    measured fresh both ways in this process — no baseline entry needed).
+    A blowout here means trace recording regressed to per-round O(n·k)
+    work on rounds where nothing was learned.
+    """
+    from repro.sim.engine import run
+
+    scenario, factory, max_rounds = _bench_instance()
+
+    def go(obs: str):
+        return run(
+            scenario.trace, factory, k=scenario.k, initial=scenario.initial,
+            max_rounds=max_rounds, engine="fast", obs=obs,
+        )
+
+    sleep_s = args.inject_obs_overhead_ms / 1000.0
+
+    def timed_trace():
+        if sleep_s:
+            time.sleep(sleep_s)
+        return go("trace")
+
+    # correctness first: tracing must not change the run
+    off, traced = go("off"), go("trace")
+    same = off.metrics == traced.metrics
+    failures: List[str] = []
+    rows: List[Row] = [
+        _row("obs=trace metrics == obs=off metrics", True, same, same)
+    ]
+    if not same:
+        failures.append("obs='trace' changed the run's metrics")
+    covered = len(traced.causal_trace.events) == scenario.n * scenario.k
+    rows.append(_row("causal trace covers n*k pairs", True, covered, covered))
+    if not covered:
+        failures.append("causal trace is missing (node, token) events")
+
+    off_stats = time_ms(lambda: go("off"), repeats=args.repeats)
+    trace_stats = time_ms(timed_trace, repeats=args.repeats)
+    ratio = trace_stats["median_ms"] / off_stats["median_ms"]
+    ok = ratio <= args.obs_budget
+    rows.append(_row(f"obs overhead (budget {args.obs_budget:.1f}x)",
+                     f"<= {args.obs_budget:.1f}x", f"{ratio:.2f}x", ok))
+    if not ok:
+        failures.append(
+            f"obs='trace' overhead blew the budget: {ratio:.2f}x > "
+            f"{args.obs_budget:.1f}x the obs='off' run"
+        )
+    return failures, rows
+
+
 #: Baseline cases this gate knows how to re-run.  Cases absent here carry
 #: only absolute wall-clock stats and are skipped (not machine-portable).
 CHECKS = {
     "algorithm1_full_run_n100_r126": check_algorithm1_full_run,
+}
+
+#: Self-contained checks that need no baseline entry (both sides measured
+#: fresh in-process); always selectable by name and run by default.
+SYNTHETIC_CHECKS = {
+    "obs_overhead_trace_vs_off": check_obs_overhead,
 }
 
 
@@ -159,15 +226,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject-slowdown-ms", type=float, default=0.0,
                         help="testing hook: sleep this long inside the timed "
                         "fast-path callable")
+    parser.add_argument("--obs-budget", type=float, default=3.0,
+                        help="max allowed obs='trace' / obs='off' wall-clock "
+                        "ratio (default: 3.0)")
+    parser.add_argument("--inject-obs-overhead-ms", type=float, default=0.0,
+                        help="testing hook: sleep this long inside the timed "
+                        "obs='trace' callable")
     args = parser.parse_args(argv)
 
     data = json.loads(Path(args.baseline).read_text())
     cases: Dict[str, Dict[str, object]] = data.get("cases", {})
-    selected = args.cases if args.cases else sorted(cases)
+    selected = (args.cases if args.cases
+                else sorted(cases) + sorted(SYNTHETIC_CHECKS))
 
     failures: List[str] = []
     rows: List[Row] = []
     for name in selected:
+        if name in SYNTHETIC_CHECKS:
+            print(f"checking {name} ...")
+            case_failures, case_rows = SYNTHETIC_CHECKS[name]({}, args)
+            failures.extend(case_failures)
+            rows.extend(case_rows)
+            continue
         if name not in cases:
             failures.append(f"baseline has no case {name!r}")
             continue
@@ -177,9 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "machine-portable)")
             continue
         print(f"checking {name} ...")
-        case_failures, case_rows = checker(
-            cases[name], args.threshold, args.inject_slowdown_ms, args.repeats
-        )
+        case_failures, case_rows = checker(cases[name], args)
         failures.extend(case_failures)
         rows.extend(case_rows)
 

@@ -13,8 +13,10 @@ algorithms at similar-or-better round counts.  This library provides:
 * :mod:`repro.clustering` — head election, gateways, LCC maintenance;
 * :mod:`repro.core` — Algorithms 1 and 2 plus the Table 2 cost model;
 * :mod:`repro.baselines` — KLO, flooding, gossip, network coding;
-* :mod:`repro.obs` — run telemetry: per-round progress timelines,
-  wall-clock phase profiling, JSONL event export;
+* :mod:`repro.obs` — observability: per-round progress timelines,
+  causal provenance tracing, runtime theorem-invariant monitors,
+  cross-run percentile aggregation, wall-clock phase profiling, and
+  JSONL event export;
 * :mod:`repro.experiments` — scenario builders, runners, and the
   table/figure reproduction harness.
 

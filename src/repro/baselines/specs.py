@@ -35,6 +35,9 @@ def _plan_klo_interval(scenario) -> RunPlan:
         factory=make_klo_interval_factory(T=T, M=M),
         max_rounds=M * T,
         key_params={"T": T, "M": M},
+        # KLO's per-phase progress is global, not per-head, so only the
+        # phase structure is declared (no progress_alpha).
+        phase_length=T,
     )
 
 

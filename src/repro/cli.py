@@ -8,6 +8,9 @@ without writing a script:
    $ python -m repro list-algorithms        # the algorithm registry
    $ python -m repro run algorithm1 --n0 40 # any registered algorithm
    $ python -m repro run algorithm1 --events out.jsonl  # + JSONL telemetry
+   $ python -m repro run algorithm1 --monitor  # live invariant monitors
+   $ python -m repro explain algorithm1 --token 2  # causal provenance chain
+   $ python -m repro report algorithm1 --replications 20  # progress bands
    $ python -m repro profile algorithm1     # wall-clock phase profiling
    $ python -m repro table3                 # analytic Table 3 + deviations
    $ python -m repro table3 --simulate      # measured counterpart
@@ -95,10 +98,42 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--events", default=None, metavar="PATH",
                     help="write the run's telemetry timeline as JSONL "
                     "structured events (one object per line)")
-    rn.add_argument("--obs", choices=["timeline", "profile", "off"],
+    rn.add_argument("--obs", choices=["timeline", "trace", "profile", "off"],
                     default="timeline",
-                    help="telemetry level (default: timeline counters)")
+                    help="telemetry level (default: timeline counters; "
+                    "'trace' adds the causal first-learn trace)")
+    rn.add_argument("--monitor", action="store_true",
+                    help="attach the spec's runtime invariant monitors and "
+                    "report any violations (coverage monotonicity, phase "
+                    "progress, round budget, (T,L) stability)")
     _add_cache_flag(rn)
+
+    ex = sub.add_parser(
+        "explain",
+        help="causal provenance: how a token reached a node — per-hop "
+        "senders, roles and phases, plus critical path vs the α·L bound",
+    )
+    _add_run_scenario_flags(ex)
+    ex.add_argument("--token", type=int, default=0,
+                    help="token id to explain (default: 0)")
+    ex.add_argument("--node", type=int, default=None,
+                    help="destination node (default: the last node to learn "
+                    "the token — the longest wait)")
+    _add_cache_flag(ex)
+
+    rp = sub.add_parser(
+        "report",
+        help="cross-run dashboard: replicate one algorithm across seeds and "
+        "render percentile progress bands + per-role message totals",
+    )
+    _add_run_scenario_flags(rp)
+    rp.add_argument("--replications", type=int, default=10,
+                    help="independent seeded scenarios to aggregate")
+    rp.add_argument("--processes", type=int, default=1,
+                    help="worker processes (1 = serial)")
+    rp.add_argument("--markdown", action="store_true",
+                    help="emit GitHub-flavoured markdown instead of plain text")
+    _add_cache_flag(rp)
 
     pf = sub.add_parser(
         "profile",
@@ -271,8 +306,16 @@ def _cmd_run(args) -> str:
     spec = _resolve_spec(args.algorithm)
     scenario = _build_scenario(args, spec)
     record = execute(spec, scenario, engine=args.engine, cache=args.cache,
-                     obs=args.obs, **_spec_overrides(args, spec))
+                     obs=args.obs, monitor=args.monitor,
+                     **_spec_overrides(args, spec))
     out = f"scenario: {scenario.name}\n\n" + format_records([record.row()])
+    if args.monitor:
+        violations = record.result.violations or []
+        if violations:
+            out += f"\n\nmonitor violations ({len(violations)}):\n"
+            out += "\n".join(f"  {v}" for v in violations)
+        else:
+            out += "\n\nmonitors: no invariant violations"
     if args.events:
         from .obs import write_events
 
@@ -290,9 +333,133 @@ def _cmd_run(args) -> str:
                 "engine": args.engine,
             },
             summary=record.result.metrics.summary(),
+            causal=record.result.causal_trace,
         )
         out += f"\n\nwrote {lines} events to {args.events}"
     return out
+
+
+def _format_chain(causal, chain) -> List[str]:
+    """Render a provenance chain, one line per hop, origin first."""
+    lines = []
+    for event in chain:
+        phase = causal.phase_of(event.round)
+        tag = f"  [phase {phase}]" if phase is not None else ""
+        if event.is_origin:
+            lines.append(f"  origin    node {event.node} held token "
+                         f"{event.token} initially")
+        else:
+            lines.append(
+                f"  round {event.round:<3} node {event.sender} "
+                f"({event.sender_role}) -> node {event.node}{tag}"
+            )
+    return lines
+
+
+def _cmd_explain(args) -> str:
+    from .experiments.runner import execute
+
+    spec = _resolve_spec(args.algorithm)
+    scenario = _build_scenario(args, spec)
+    record = execute(spec, scenario, engine=args.engine, cache=args.cache,
+                     obs="trace", **_spec_overrides(args, spec))
+    causal = record.result.causal_trace
+    token = args.token
+    if not 0 <= token < record.k:
+        raise SystemExit(f"token must be in 0..{record.k - 1}")
+    events = causal.token_events(token)
+    if not events:
+        raise SystemExit(f"token {token} was never observed (no origin?)")
+
+    node = args.node
+    if node is None:
+        learns = [e for e in events if not e.is_origin]
+        node = learns[-1].node if learns else events[-1].node
+    chain = causal.provenance(node, token)
+    if not chain:
+        raise SystemExit(f"node {node} never learned token {token} "
+                         f"within the budget")
+
+    hops, last_round = causal.critical_path(token)
+    alpha = scenario.params.get("alpha")
+    L = scenario.params.get("L")
+    parts = [
+        f"scenario: {scenario.name}",
+        f"algorithm: {record.algorithm}  engine: {args.engine}  "
+        f"rounds: {record.rounds}",
+        "",
+        f"provenance of token {token} at node {node} "
+        f"({max(len(chain) - 1, 0)} hops):",
+        *_format_chain(causal, chain),
+        "",
+        f"token {token} overall: reached {len(events)}/{record.n} nodes, "
+        f"critical path {hops} hops"
+        + (f", last first-learn at round {last_round}" if last_round is not None
+           else " (never left its origins)"),
+    ]
+    if alpha is not None and L is not None:
+        bound = int(alpha) * int(L)
+        verdict = "within" if hops <= bound else "EXCEEDS"
+        parts.append(
+            f"backbone-hop budget α·L = {alpha}·{L} = {bound}: "
+            f"critical path {verdict} the per-phase bound"
+        )
+    if causal.phase_length:
+        parts.append(f"phase structure: T = {causal.phase_length} rounds")
+    hop_hist = " ".join(f"{d}:{c}" for d, c in causal.hop_histogram().items())
+    lat_hist = " ".join(f"{r}:{c}" for r, c in causal.latency_histogram().items())
+    parts += [
+        "",
+        f"hop histogram (chain length -> pairs): {hop_hist}",
+        f"latency histogram (first-learn round -> events): {lat_hist or '(all origins)'}",
+    ]
+    return "\n".join(parts)
+
+
+def _report_builder(kind: str, args):
+    """Scenario builder + kwargs for one ``repro report`` replication cell.
+
+    Builders are module-level functions and the kwargs are plain dicts,
+    so cells stay picklable for ``--processes N``.
+    """
+    from .experiments import scenarios as sc
+
+    theta = max(args.n0 * 3 // 10, args.alpha) if args.theta is None else args.theta
+    if kind == "hinet-interval":
+        return sc.hinet_interval_scenario, dict(
+            n0=args.n0, theta=theta, k=args.k, alpha=args.alpha, L=args.L,
+            verify=False)
+    if kind == "hinet-one":
+        return sc.hinet_one_scenario, dict(
+            n0=args.n0, theta=theta, k=args.k, L=args.L, verify=False)
+    if kind == "klo-interval":
+        return sc.klo_interval_scenario, dict(
+            n0=args.n0, k=args.k, alpha=args.alpha, L=args.L, verify=False)
+    if kind == "dhop":
+        return sc.dhop_scenario, dict(n0=args.n0, k=args.k, L=args.L)
+    return sc.one_interval_scenario, dict(n0=args.n0, k=args.k, verify=False)
+
+
+def _cmd_report(args) -> str:
+    from .experiments.replication import replicate_records
+    from .obs import merge_timelines, render_dashboard
+
+    spec = _resolve_spec(args.algorithm)
+    kind = _default_scenario(spec) if args.scenario == "auto" else args.scenario
+    builder, kwargs = _report_builder(kind, args)
+    records = replicate_records(
+        spec.name, builder,
+        replications=args.replications,
+        base_seed=args.seed,
+        processes=args.processes,
+        cache=args.cache,
+        scenario_kwargs=kwargs,
+        **_spec_overrides(args, spec),
+    )
+    bands = merge_timelines([r.result.timeline for r in records])
+    title = (f"{spec.display_name} on {kind} "
+             f"(n0={args.n0}, k={args.k}, {args.replications} seeds)")
+    return render_dashboard(bands, title=title, markdown=args.markdown)
 
 
 def _cmd_profile(args) -> str:
@@ -385,6 +552,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_records([spec.row() for spec in all_specs()]))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "explain":
+        print(_cmd_explain(args))
+    elif args.command == "report":
+        print(_cmd_report(args))
     elif args.command == "profile":
         print(_cmd_profile(args))
     elif args.command == "table2":

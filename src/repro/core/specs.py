@@ -29,6 +29,8 @@ def _plan_algorithm1(scenario, strict: bool = False) -> RunPlan:
         factory=make_algorithm1_factory(T=T, M=M, strict=strict),
         max_rounds=M * T,
         key_params={"T": T, "M": M, "strict": strict},
+        phase_length=T,
+        progress_alpha=alpha,
     )
 
 
@@ -57,6 +59,8 @@ def _plan_algorithm1_stable(scenario) -> RunPlan:
         factory=make_algorithm1_stable_factory(T=T, M=M),
         max_rounds=M * T,
         key_params={"T": T, "M": M},
+        phase_length=T,
+        progress_alpha=alpha,
     )
 
 

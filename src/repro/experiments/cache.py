@@ -25,6 +25,28 @@ Cache location: pass an explicit directory (``cache="…"``), or set the
 ``REPRO_RESULT_CACHE`` environment variable to give every uncached
 ``execute`` call a default. Invalidation is by construction (key
 changes); to reclaim disk space simply delete the directory.
+
+Per-obs-level cache policy
+--------------------------
+The observability level changes what a stored record *contains*, so it is
+part of the key — and one level is inherently non-deterministic:
+
+=============  =========  ====================================================
+obs level      cacheable  rationale
+=============  =========  ====================================================
+``off``        yes        record carries no telemetry; keyed as ``obs=off``
+``timeline``   yes        counters are deterministic; keyed as ``obs=timeline``
+``trace``      yes        causal first-learn events are deterministic and
+                          engine-identical; keyed as ``obs=trace``
+``profile``    no         wall-clock sections differ run to run — a cached
+                          replay would freeze meaningless timings
+=============  =========  ====================================================
+
+Orthogonally, :func:`repro.experiments.runner.execute` bypasses the cache
+for ``record_trace`` / ``record_knowledge`` runs (``SimTrace`` holds
+arbitrary Python state and is not serialized), for ``monitor=True`` runs
+(violations are live diagnostics, not archived artifacts), and for
+unseeded runs of seeded algorithms (not reproducible).
 """
 
 from __future__ import annotations

@@ -16,7 +16,13 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..sim.rng import SeedLike, derive_seed
 
-__all__ = ["MetricSummary", "replicate", "replicate_algorithm", "summarize"]
+__all__ = [
+    "MetricSummary",
+    "replicate",
+    "replicate_algorithm",
+    "replicate_records",
+    "summarize",
+]
 
 #: t-distribution 97.5 % quantiles for small sample sizes (df 1..30);
 #: beyond 30 the normal 1.96 is close enough.  Hard-coded so the module
@@ -122,6 +128,63 @@ def _algorithm_replication_cell(
     # summarize() skips booleans; expose completion as a rate instead.
     row["complete_rate"] = float(record.complete)
     return row
+
+
+def _algorithm_record_cell(
+    algorithm: str,
+    scenario_builder: Callable[..., Any],
+    scenario_kwargs: Dict[str, Any],
+    cache: Any,
+    overrides: Dict[str, Any],
+    seed: SeedLike,
+) -> Any:
+    """Module-level (picklable) cell: fresh seeded scenario → full RunRecord."""
+    from .runner import execute
+
+    scenario = scenario_builder(seed=seed, **scenario_kwargs)
+    return execute(algorithm, scenario, cache=cache, **overrides)
+
+
+def replicate_records(
+    algorithm,
+    scenario_builder: Callable[..., Any],
+    *,
+    replications: int = 10,
+    seeds: Optional[Sequence[SeedLike]] = None,
+    base_seed: SeedLike = 0,
+    processes: Optional[int] = 1,
+    cache=None,
+    scenario_kwargs: Optional[Mapping[str, Any]] = None,
+    **overrides,
+) -> List[Any]:
+    """Replicate one registered algorithm, keeping the full records.
+
+    The telemetry-preserving sibling of :func:`replicate_algorithm`:
+    where that folds each run into scalar metric summaries, this returns
+    the :class:`~repro.experiments.runner.RunRecord` per seed, timelines
+    attached — the feed for cross-run aggregation
+    (:func:`repro.obs.merge_timelines` and the ``repro report``
+    dashboard).  Seeding, caching and parallelism behave exactly as in
+    :func:`replicate`; records come back in seed order regardless of
+    ``processes``.
+    """
+    name = algorithm if isinstance(algorithm, str) else algorithm.name
+    if seeds is None:
+        seeds = [derive_seed(base_seed, "rep", i) for i in range(replications)]
+    if not seeds:
+        raise ValueError("need at least one seed")
+    # local import: parallel.py imports summarize from this module
+    from .parallel import parallel_map
+
+    cell = partial(
+        _algorithm_record_cell,
+        name,
+        scenario_builder,
+        dict(scenario_kwargs or {}),
+        cache,
+        dict(overrides),
+    )
+    return parallel_map(cell, list(seeds), processes=processes)
 
 
 def replicate_algorithm(

@@ -87,6 +87,7 @@ def execute(
     record_trace: bool = False,
     record_knowledge: bool = False,
     obs: str = "timeline",
+    monitor: bool = False,
     **overrides,
 ) -> RunRecord:
     """Run one registered algorithm on a scenario for its proven budget.
@@ -108,8 +109,9 @@ def execute(
         variable), a directory path, or a
         :class:`~repro.experiments.cache.ResultCache`.  On a hit the
         cached record is returned without executing; on a miss the fresh
-        record is stored.  Trace-recording runs bypass the cache (traces
-        are not serialized).
+        record is stored.  ``SimTrace``-recording and monitored runs
+        bypass the cache (see the per-obs-level policy table in
+        :mod:`repro.experiments.cache`).
     stop_when_complete:
         Override the spec's default omniscient-stop behaviour.
     record_trace / record_knowledge:
@@ -117,9 +119,17 @@ def execute(
     obs:
         Telemetry level (:mod:`repro.obs`): ``"timeline"`` (default)
         attaches a :class:`~repro.obs.RunTimeline` to the result and it
-        rides through the cache; ``"profile"`` adds wall-clock section
-        timings and bypasses the cache (timings are not deterministic);
-        ``"off"`` records nothing.
+        rides through the cache; ``"trace"`` additionally records the
+        causal first-learn trace (deterministic, so it also rides the
+        cache, keyed separately by obs level); ``"profile"`` adds
+        wall-clock section timings and bypasses the cache (timings are
+        not deterministic); ``"off"`` records nothing.
+    monitor:
+        Attach the spec's default runtime invariant monitors
+        (:func:`repro.obs.default_monitors`) and collect their
+        violations into ``record.result.violations``.  Monitored runs
+        bypass the cache: violations are live diagnostics and are not
+        archived, so replaying a cached record would silently drop them.
     **overrides:
         Spec-specific knobs (``rounds=…``, ``strict=…``, ``A=…``,
         ``seed=…`` …); anything the spec does not declare raises
@@ -146,6 +156,7 @@ def execute(
         reproducible
         and not (record_trace or record_knowledge)
         and obs != "profile"  # wall-clock sections are never deterministic
+        and not monitor  # violations are live diagnostics, never archived
     )
     if store is not None and cacheable:
         key = store.key(
@@ -161,6 +172,11 @@ def execute(
         if hit is not None:
             return hit
 
+    monitors = None
+    if monitor:
+        from ..obs import default_monitors
+
+        monitors = default_monitors(spec=spec, plan=plan, scenario=scenario)
     record = _execute(
         plan.label or spec.display_name,
         scenario,
@@ -171,7 +187,16 @@ def execute(
         record_knowledge=record_knowledge,
         engine=engine,
         obs=obs,
+        monitors=monitors,
     )
+    causal = record.result.causal_trace
+    if causal is not None and causal.phase_length is None:
+        # stamp the phase structure so provenance queries are phase-aware
+        phase_length = plan.phase_length
+        if phase_length is None:
+            T = scenario.params.get("T")
+            phase_length = int(T) if isinstance(T, (int, float)) and T else None
+        causal.phase_length = phase_length
     if key is not None:
         store.put(key, record)
     return record
@@ -187,6 +212,7 @@ def _execute(
     record_knowledge: bool = False,
     engine: str = "fast",
     obs: str = "timeline",
+    monitors=None,
 ) -> RunRecord:
     sync = SynchronousEngine(
         record_trace=record_trace,
@@ -201,6 +227,7 @@ def _execute(
         initial=scenario.initial,
         max_rounds=max_rounds,
         stop_when_complete=stop_when_complete,
+        monitors=monitors,
     )
     return RunRecord(
         algorithm=name,

@@ -30,12 +30,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from .graphs.trace import GraphTrace
-from .obs import RunTimeline
+from .obs import CausalTrace, RunTimeline
 from .roles import Role
 from .sim.metrics import Metrics
 from .sim.topology import Snapshot
 
 __all__ = [
+    "causal_trace_from_dict",
+    "causal_trace_to_dict",
     "load_scenario",
     "load_trace",
     "metrics_from_dict",
@@ -265,13 +267,57 @@ def timeline_from_dict(data: Dict[str, Any]) -> RunTimeline:
     )
 
 
+def causal_trace_to_dict(causal: CausalTrace) -> Dict[str, Any]:
+    """Encode a :class:`~repro.obs.CausalTrace` as a JSON-ready dict.
+
+    Events are stored as sorted ``[node, token, round, sender, role]``
+    rows — deterministic output, so two bit-identical traces serialize to
+    byte-identical JSON (the property the result cache and the engine
+    equivalence suites rely on).
+    """
+    return {
+        "format": "repro-causal-trace",
+        "version": _VERSION,
+        "n": causal.n,
+        "k": causal.k,
+        "phase_length": causal.phase_length,
+        "events": [
+            [node, token, r, sender, role]
+            for (node, token), (r, sender, role) in sorted(causal.events.items())
+        ],
+    }
+
+
+def causal_trace_from_dict(data: Dict[str, Any]) -> CausalTrace:
+    """Decode a causal trace written by :func:`causal_trace_to_dict`."""
+    if data.get("format") != "repro-causal-trace":
+        raise ValueError(
+            f"not a repro-causal-trace document: format={data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    return CausalTrace(
+        n=None if data.get("n") is None else int(data["n"]),
+        k=None if data.get("k") is None else int(data["k"]),
+        phase_length=(
+            None if data.get("phase_length") is None else int(data["phase_length"])
+        ),
+        events={
+            (int(node), int(token)): (int(r), int(sender), str(role))
+            for node, token, r, sender, role in data["events"]
+        },
+    )
+
+
 def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
     """Encode a :class:`~repro.sim.engine.RunResult` as a JSON-ready dict.
 
     The execution trace and the per-node algorithm objects are *not*
     serialized (they hold arbitrary Python state); everything the result
     tables and the cost analyses consume — including the telemetry
-    timeline, when one was recorded — round-trips exactly.
+    timeline and the causal trace, when recorded — round-trips exactly.
+    (Monitor violations are diagnostics of a *live* run and are not
+    archived; re-run with ``monitor=True`` to reproduce them.)
     """
     out = {
         "format": "repro-result",
@@ -285,6 +331,9 @@ def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
     timeline = getattr(result, "timeline", None)
     if timeline is not None:
         out["timeline"] = timeline_to_dict(timeline)
+    causal = getattr(result, "causal_trace", None)
+    if causal is not None:
+        out["causal_trace"] = causal_trace_to_dict(causal)
     return out
 
 
@@ -309,6 +358,11 @@ def run_result_from_dict(data: Dict[str, Any]):
         complete=bool(data["complete"]),
         timeline=(
             timeline_from_dict(data["timeline"]) if "timeline" in data else None
+        ),
+        causal_trace=(
+            causal_trace_from_dict(data["causal_trace"])
+            if "causal_trace" in data
+            else None
         ),
     )
 

@@ -66,6 +66,9 @@ def _plan_dhop_algorithm1(scenario) -> RunPlan:
         max_rounds=M * T,
         key_params={"T": T, "M": M, "d": dhop.params.d,
                     "assignments": _assignment_digest(dhop)},
+        # Phase-structured, but the d-hop relay depth weakens the
+        # per-phase per-head progress claim — no progress_alpha.
+        phase_length=T,
     )
 
 

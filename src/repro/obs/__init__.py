@@ -1,0 +1,55 @@
+"""Observability: timelines, causal traces, runtime monitors, aggregation.
+
+Layered by cost, selected with the engines' ``obs`` parameter
+(:data:`OBS_LEVELS` — ``"off"``, ``"timeline"``, ``"trace"``,
+``"profile"``):
+
+* :mod:`repro.obs.timeline` — O(1)-per-round progress counters
+  (:class:`RunTimeline`), wall-clock section profiling
+  (:class:`Profiler`), and the JSONL structured-event export
+  (:func:`write_events`);
+* :mod:`repro.obs.trace` — causal provenance at ``obs="trace"``: one
+  first-learn event per (node, token) (:class:`CausalTrace`), recorded
+  natively and bit-identically by both engines;
+* :mod:`repro.obs.monitors` — live theorem-invariant checks
+  (:class:`Monitor` / :func:`default_monitors`) emitting structured
+  :class:`Violation` diagnostics, surfaced by ``repro run --monitor``;
+* :mod:`repro.obs.aggregate` — cross-run percentile progress bands
+  (:func:`merge_timelines`) behind the ``repro report`` dashboard.
+"""
+
+from .aggregate import ProgressBands, merge_timelines, render_dashboard
+from .monitors import (
+    BudgetMonitor,
+    CoverageMonotonicityMonitor,
+    HeadProgressMonitor,
+    Monitor,
+    RoundView,
+    StabilityMonitor,
+    Violation,
+    default_monitors,
+)
+from .timeline import OBS_LEVELS, Profiler, RunTimeline, validate_obs, write_events
+from .trace import ORIGIN_ROLE, CausalTrace, LearnEvent
+
+__all__ = [
+    "OBS_LEVELS",
+    "ORIGIN_ROLE",
+    "BudgetMonitor",
+    "CausalTrace",
+    "CoverageMonotonicityMonitor",
+    "HeadProgressMonitor",
+    "LearnEvent",
+    "Monitor",
+    "ProgressBands",
+    "Profiler",
+    "RoundView",
+    "RunTimeline",
+    "StabilityMonitor",
+    "Violation",
+    "default_monitors",
+    "merge_timelines",
+    "render_dashboard",
+    "validate_obs",
+    "write_events",
+]

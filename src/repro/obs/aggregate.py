@@ -1,0 +1,182 @@
+"""Cross-run telemetry aggregation: percentile progress bands.
+
+A 100-seed replication produces 100 :class:`~repro.obs.timeline.RunTimeline`
+objects; the question the paper's figures actually answer is distributional
+— "how does coverage progress for the *median* seed, and how wide is the
+spread?".  :func:`merge_timelines` folds any number of timelines into
+:class:`ProgressBands`: per-round coverage/completion percentiles
+(nearest-rank, so every reported value is one that actually occurred),
+completion-round statistics, and per-role message totals.
+
+Runs of different lengths merge naturally: a run that completed at round
+40 holds its final coverage for rounds 41+, matching the semantics of a
+finished dissemination (the state simply persists).
+
+:func:`render_dashboard` turns bands into the ``repro report`` dashboard —
+plain-text tables by default, GitHub-flavoured markdown with
+``markdown=True``.  Feeders: ``experiments/replication.py`` (seed
+replications) and ``experiments/sweeps.py`` (parameter sweeps), both of
+which can return full :class:`~repro.sim.engine.RunRecord` rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .timeline import RunTimeline
+
+__all__ = ["ProgressBands", "merge_timelines", "render_dashboard"]
+
+
+def _percentile(sorted_values: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of pre-sorted values (q in [0, 1])."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _padded(column: Sequence[int], rounds: int) -> List[int]:
+    """Extend a per-round series to ``rounds`` by holding its final value."""
+    if not column:
+        return [0] * rounds
+    return list(column) + [column[-1]] * (rounds - len(column))
+
+
+@dataclass
+class ProgressBands:
+    """Percentile bands over a set of run timelines.
+
+    ``coverage_p10/p50/p90`` and ``complete_p50`` hold one value per round
+    (up to the longest run, shorter runs padded with their final state);
+    ``completion_rounds`` is each run's recorded length; ``role_messages``
+    maps sender role to the total messages across all runs.
+    """
+
+    runs: int = 0
+    rounds: int = 0
+    coverage_p10: List[int] = field(default_factory=list)
+    coverage_p50: List[int] = field(default_factory=list)
+    coverage_p90: List[int] = field(default_factory=list)
+    complete_p50: List[int] = field(default_factory=list)
+    completion_rounds: List[int] = field(default_factory=list)
+    role_messages: Dict[str, int] = field(default_factory=dict)
+    role_tokens: Dict[str, int] = field(default_factory=dict)
+
+    def completion_summary(self) -> Dict[str, float]:
+        """min/median/max of run length in rounds."""
+        rs = sorted(self.completion_rounds)
+        return {
+            "min": rs[0],
+            "p50": _percentile(rs, 0.5),
+            "max": rs[-1],
+        }
+
+
+def merge_timelines(timelines: Sequence[RunTimeline]) -> ProgressBands:
+    """Fold timelines into per-round percentile bands and role totals."""
+    timelines = [tl for tl in timelines if tl is not None]
+    if not timelines:
+        raise ValueError("merge_timelines needs at least one timeline")
+    rounds = max(tl.rounds for tl in timelines)
+    coverage = [_padded(tl.coverage, rounds) for tl in timelines]
+    complete = [_padded(tl.nodes_complete, rounds) for tl in timelines]
+    bands = ProgressBands(runs=len(timelines), rounds=rounds)
+    for r in range(rounds):
+        cov = sorted(col[r] for col in coverage)
+        bands.coverage_p10.append(_percentile(cov, 0.10))
+        bands.coverage_p50.append(_percentile(cov, 0.50))
+        bands.coverage_p90.append(_percentile(cov, 0.90))
+        com = sorted(col[r] for col in complete)
+        bands.complete_p50.append(_percentile(com, 0.50))
+    bands.completion_rounds = [tl.rounds for tl in timelines]
+    for tl in timelines:
+        for role, column in tl.role_messages.items():
+            bands.role_messages[role] = bands.role_messages.get(role, 0) + sum(column)
+        for role, column in tl.role_tokens.items():
+            bands.role_tokens[role] = bands.role_tokens.get(role, 0) + sum(column)
+    return bands
+
+
+def _sample_rounds(rounds: int, points: int) -> List[int]:
+    """Pick ≤ ``points`` representative round indices, always including
+    the first and last round."""
+    if rounds <= points:
+        return list(range(rounds))
+    step = (rounds - 1) / (points - 1)
+    picked = sorted({round(i * step) for i in range(points)})
+    return [min(r, rounds - 1) for r in picked]
+
+
+def _bar(value: int, peak: int, width: int = 24) -> str:
+    filled = 0 if peak <= 0 else round(width * value / peak)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(
+    bands: ProgressBands,
+    *,
+    title: Optional[str] = None,
+    markdown: bool = False,
+    points: int = 12,
+) -> str:
+    """Render bands as the ``repro report`` dashboard.
+
+    Plain text: a progress table with a median-coverage bar chart.
+    Markdown: the same tables in GitHub-flavoured pipe syntax.
+    """
+    out: List[str] = []
+    heading = title or f"{bands.runs} runs, {bands.rounds} rounds"
+    comp = bands.completion_summary()
+    sampled = _sample_rounds(bands.rounds, points)
+    peak = bands.coverage_p90[-1] if bands.coverage_p90 else 0
+
+    if markdown:
+        out.append(f"## {heading}")
+        out.append("")
+        out.append(
+            f"Completion (rounds): min {comp['min']}, "
+            f"median {comp['p50']}, max {comp['max']}."
+        )
+        out.append("")
+        out.append("| round | coverage p10 | p50 | p90 | complete p50 |")
+        out.append("| ---: | ---: | ---: | ---: | ---: |")
+        for r in sampled:
+            out.append(
+                f"| {r} | {bands.coverage_p10[r]} | {bands.coverage_p50[r]} "
+                f"| {bands.coverage_p90[r]} | {bands.complete_p50[r]} |"
+            )
+        if bands.role_messages:
+            out.append("")
+            out.append("| sender role | messages | tokens |")
+            out.append("| --- | ---: | ---: |")
+            for role in sorted(bands.role_messages):
+                out.append(
+                    f"| {role} | {bands.role_messages[role]} "
+                    f"| {bands.role_tokens.get(role, 0)} |"
+                )
+    else:
+        out.append(heading)
+        out.append("=" * len(heading))
+        out.append(
+            f"completion rounds: min {comp['min']}  "
+            f"median {comp['p50']}  max {comp['max']}"
+        )
+        out.append("")
+        out.append(f"{'round':>6} {'p10':>8} {'p50':>8} {'p90':>8}  coverage (p50)")
+        for r in sampled:
+            out.append(
+                f"{r:>6} {bands.coverage_p10[r]:>8} {bands.coverage_p50[r]:>8} "
+                f"{bands.coverage_p90[r]:>8}  |{_bar(bands.coverage_p50[r], peak)}|"
+            )
+        if bands.role_messages:
+            out.append("")
+            out.append(f"{'sender role':>12} {'messages':>10} {'tokens':>10}")
+            for role in sorted(bands.role_messages):
+                out.append(
+                    f"{role:>12} {bands.role_messages[role]:>10} "
+                    f"{bands.role_tokens.get(role, 0):>10}"
+                )
+    return "\n".join(out)

@@ -1,10 +1,10 @@
-"""Run telemetry: per-round progress timelines and wall-clock phase profiling.
+"""Per-round progress timelines, observability levels and JSONL export.
 
 The paper's headline claims are *trajectories* — Algorithm 1 completes in
 ``⌈θ/α⌉ + 1`` phases of ``T = k + α·L`` rounds while KLO needs ``O(n·k)``
 rounds — but :class:`~repro.sim.metrics.Metrics` mostly records end-of-run
 totals, and the only per-round view used to be the O(n·k)
-:class:`~repro.sim.trace.SimTrace`.  This module adds an always-on middle
+:class:`~repro.sim.trace.SimTrace`.  This module is the always-on middle
 layer: a :class:`RunTimeline` of O(1)-per-round counters that both engines
 (:mod:`repro.sim.engine` and :mod:`repro.sim.fastpath`) feed identically,
 so dissemination-progress curves, per-role message breakdowns per phase,
@@ -19,6 +19,12 @@ Observability levels (the engines' ``obs`` parameter):
 ``"timeline"`` (default)
     Record the counter timeline.  Cost is a handful of integer adds per
     round — invisible next to the round loop itself.
+``"trace"``
+    Timeline plus a :class:`~repro.obs.trace.CausalTrace`: one compact
+    first-learn event per (node, token) pair, recorded natively by *both*
+    engines (the fast path does not fall back), so provenance chains and
+    hop histograms cost O(n·k) total instead of O(n·k) *per round* like
+    the legacy ``SimTrace`` knowledge snapshots.
 ``"profile"``
     Timeline plus wall-clock section timings (:class:`Profiler`):
     topology decode vs. send vs. deliver vs. receive vs. bookkeeping.
@@ -29,8 +35,9 @@ Observability levels (the engines' ``obs`` parameter):
 Timelines serialize through :func:`repro.io.timeline_to_dict` (they ride
 along inside ``RunResult`` archives and the on-disk result cache) and
 export as JSONL structured events via :func:`write_events` — one JSON
-object per line: a ``run`` header, one ``round`` event per round, and a
-closing ``summary`` carrying the run's metric totals (the CLI's
+object per line: a ``run`` header, one ``round`` event per round,
+optionally one ``learn`` event per causal first-learn, and a closing
+``summary`` carrying the run's metric totals (the CLI's
 ``repro run … --events out.jsonl``).
 """
 
@@ -52,7 +59,7 @@ __all__ = [
 ]
 
 #: Recognised observability levels, cheapest first.
-OBS_LEVELS = ("off", "timeline", "profile")
+OBS_LEVELS = ("off", "timeline", "trace", "profile")
 
 
 def validate_obs(obs: str) -> str:
@@ -258,14 +265,18 @@ def write_events(
     *,
     run_info: Optional[Mapping[str, Any]] = None,
     summary: Optional[Mapping[str, Any]] = None,
+    causal=None,
 ) -> int:
     """Write a timeline as JSONL structured events; returns the line count.
 
     Layout: a ``run`` header (``run_info`` merged in), one ``round`` event
-    per round (see :meth:`RunTimeline.events`), and a ``summary`` footer
-    (``summary`` — typically ``Metrics.summary()`` — merged in) so stream
-    consumers can cross-check the per-round counters against the run's
-    totals without re-aggregating.
+    per round (see :meth:`RunTimeline.events`), optionally one ``learn``
+    event per causal first-learn (``causal`` — a
+    :class:`~repro.obs.trace.CausalTrace` recorded at ``obs="trace"``),
+    and a ``summary`` footer (``summary`` — typically
+    ``Metrics.summary()`` — merged in) so stream consumers can cross-check
+    the per-round counters against the run's totals without
+    re-aggregating.
     """
     lines: List[str] = []
     header: Dict[str, Any] = {"type": "run", "rounds": timeline.rounds}
@@ -274,6 +285,9 @@ def write_events(
     lines.append(json.dumps(header, sort_keys=True))
     for event in timeline.events():
         lines.append(json.dumps(event, sort_keys=True))
+    if causal is not None:
+        for event in causal.events_jsonl():
+            lines.append(json.dumps(event, sort_keys=True))
     footer: Dict[str, Any] = {
         "type": "summary",
         "rounds": timeline.rounds,

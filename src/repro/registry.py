@@ -59,6 +59,17 @@ class RunPlan:
     label:
         Row label for this concrete parameterisation (e.g. ``"3-active
         flood"``); defaults to the spec's display name.
+    phase_length:
+        The algorithm's phase length ``T`` in rounds, when it runs in
+        phases (``None`` otherwise).  Consumed by the observability
+        layer: phase-aware provenance queries
+        (:meth:`repro.obs.CausalTrace.phase_of`) and the per-phase
+        head-progress monitor.
+    progress_alpha:
+        The per-phase progress parameter α the algorithm's guarantee
+        promises each stable head (Theorem 1); ``None`` when the
+        algorithm makes no such claim.  Together with ``phase_length``
+        this arms :class:`repro.obs.HeadProgressMonitor`.
     """
 
     factory: Callable
@@ -66,6 +77,8 @@ class RunPlan:
     key_params: Dict[str, object] = field(default_factory=dict)
     stop_when_complete: bool = False
     label: Optional[str] = None
+    phase_length: Optional[int] = None
+    progress_alpha: Optional[int] = None
 
 
 @dataclass(frozen=True)

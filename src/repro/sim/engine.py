@@ -42,7 +42,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Protocol, Tuple
 
-from ..obs import Profiler, RunTimeline, validate_obs
+from ..obs import CausalTrace, Profiler, RoundView, RunTimeline, validate_obs
+from ..obs.monitors import Monitor, Violation
 from ..roles import Role
 from .messages import Delivery, Message
 from .metrics import Metrics
@@ -103,6 +104,13 @@ class RunResult:
         Cheap per-round progress counters (:class:`~repro.obs.RunTimeline`),
         recorded by default; ``None`` when the engine ran with
         ``obs="off"``.
+    causal_trace:
+        First-learn provenance events (:class:`~repro.obs.CausalTrace`),
+        recorded at ``obs="trace"`` — identically by both engines.
+    violations:
+        Structured invariant diagnostics collected by the run's monitors
+        (``None`` when no monitors were attached; an empty list means
+        every monitored invariant held).
     algorithms:
         The per-node algorithm objects in their final state (for
         protocols whose result is not a token set, e.g. push-sum
@@ -116,6 +124,8 @@ class RunResult:
     complete: bool
     trace: Optional[SimTrace] = None
     timeline: Optional[RunTimeline] = None
+    causal_trace: Optional[CausalTrace] = None
+    violations: Optional[List[Violation]] = None
     algorithms: Optional[Dict[int, NodeAlgorithm]] = field(default=None, repr=False)
 
     def missing(self) -> Dict[int, FrozenSet[int]]:
@@ -154,6 +164,7 @@ class ActiveRun:
         max_rounds: int,
         stop_when_complete: bool,
         stop_when_finished: bool,
+        monitors: Optional[List[Monitor]] = None,
     ) -> None:
         n = network.n
         validate_run_args(n, k, initial, max_rounds)
@@ -182,6 +193,16 @@ class ActiveRun:
         self.profiler: Optional[Profiler] = (
             Profiler() if engine.obs == "profile" else None
         )
+        self.monitors: List[Monitor] = list(monitors) if monitors else []
+        self.causal: Optional[CausalTrace] = (
+            CausalTrace(n=n, k=k) if engine.obs == "trace" else None
+        )
+        self._known: Optional[List[set]] = None
+        if self.causal is not None:
+            for v in range(n):
+                for t in sorted(self.algorithms[v].TA):
+                    self.causal.record_origin(v, t)
+            self._known = [set(self.algorithms[v].TA) for v in range(n)]
         self.round = 0
         self.stopped = False
         self._adaptive = getattr(network, "adaptive_snapshot", None)
@@ -203,6 +224,38 @@ class ActiveRun:
             self.metrics.record_loss()
             return False
         return True
+
+    def _record_causal(
+        self, r: int, snap: Snapshot, inboxes: List[List[Message]]
+    ) -> None:
+        """Record first-learn events for tokens gained this round.
+
+        Applies the canonical attribution rule (:mod:`repro.obs.trace`):
+        the minimum sender id among this round's deliverers carrying the
+        token, falling back to the minimum deliverer (then −1), with the
+        sender's role read from this round's snapshot.  Min-based, so the
+        result is independent of inbox iteration order — the fast path
+        computes the same events from its flat delivery arrays.
+        """
+        causal = self.causal
+        known = self._known
+        roles = snap.roles
+        for v in range(self.n):
+            fresh = [t for t in self.algorithms[v].TA if t not in known[v]]
+            if not fresh:
+                continue
+            inbox = inboxes[v]
+            fallback = min((m.sender for m in inbox), default=-1)
+            for t in sorted(fresh):
+                sender = min(
+                    (m.sender for m in inbox if t in m.tokens), default=fallback
+                )
+                if sender >= 0 and roles is not None:
+                    role = roles[sender].name.lower()
+                else:
+                    role = "flat"
+                causal.record_learn(v, t, r, sender, role)
+            known[v].update(fresh)
 
     # -- stepping ------------------------------------------------------------
 
@@ -305,6 +358,8 @@ class ActiveRun:
             now = time.perf_counter()
             prof.add("receive", now - t0)
             t0 = now
+        if self.causal is not None:
+            self._record_causal(r, snap, inboxes)
         coverage = 0
         nodes_complete = 0
         k = self.k
@@ -316,6 +371,18 @@ class ActiveRun:
         self.metrics.end_round(coverage)
         if timeline is not None:
             timeline.end_round(coverage, nodes_complete)
+        if self.monitors:
+            view = RoundView(
+                round_index=r,
+                snap=snap,
+                coverage=coverage,
+                nodes_complete=nodes_complete,
+                per_node=[len(self.algorithms[v].TA) for v in range(n)],
+                n=n,
+                k=k,
+            )
+            for monitor in self.monitors:
+                monitor.observe(view)
         if round_trace is not None and self.engine.record_knowledge:
             round_trace.knowledge = {
                 v: frozenset(self.algorithms[v].TA) for v in range(n)
@@ -351,14 +418,22 @@ class ActiveRun:
         }
         if self.timeline is not None and self.profiler is not None:
             self.timeline.profile.update(self.profiler.seconds)
+        complete = all(len(t) == self.k for t in outputs.values())
+        violations: Optional[List[Violation]] = None
+        if self.monitors:
+            for monitor in self.monitors:
+                monitor.finish(self.round, complete)
+            violations = [v for m in self.monitors for v in m.violations]
         return RunResult(
             n=self.n,
             k=self.k,
             metrics=self.metrics,
             outputs=outputs,
-            complete=all(len(t) == self.k for t in outputs.values()),
+            complete=complete,
             trace=self.trace,
             timeline=self.timeline,
+            causal_trace=self.causal,
+            violations=violations,
             algorithms=self.algorithms,
         )
 
@@ -399,10 +474,12 @@ class SynchronousEngine:
     obs:
         Telemetry level (see :mod:`repro.obs`): ``"timeline"`` (default)
         records cheap per-round progress counters into
-        ``RunResult.timeline``, ``"profile"`` additionally times the round
-        loop's sections, ``"off"`` records nothing.  Both execution paths
-        feed the same counters, so timelines join the fast-path
-        equivalence guarantee.
+        ``RunResult.timeline``, ``"trace"`` additionally records one
+        causal first-learn event per (node, token) into
+        ``RunResult.causal_trace``, ``"profile"`` times the round loop's
+        sections, ``"off"`` records nothing.  Both execution paths feed
+        the same counters and trace events, so timelines *and* causal
+        traces join the fast-path equivalence guarantee.
     """
 
     def __init__(
@@ -438,6 +515,7 @@ class SynchronousEngine:
         max_rounds: int,
         stop_when_complete: bool = False,
         stop_when_finished: bool = True,
+        monitors: Optional[List[Monitor]] = None,
     ) -> ActiveRun:
         """Begin an execution and return it for round-by-round stepping."""
         return ActiveRun(
@@ -449,6 +527,7 @@ class SynchronousEngine:
             max_rounds,
             stop_when_complete,
             stop_when_finished,
+            monitors=monitors,
         )
 
     def run(
@@ -460,6 +539,7 @@ class SynchronousEngine:
         max_rounds: int,
         stop_when_complete: bool = False,
         stop_when_finished: bool = True,
+        monitors: Optional[List[Monitor]] = None,
     ) -> RunResult:
         """Execute up to ``max_rounds`` rounds and return the result.
 
@@ -484,6 +564,11 @@ class SynchronousEngine:
         stop_when_finished:
             Stop once every node reports local termination via
             :meth:`NodeAlgorithm.finished` (and nothing is in flight).
+        monitors:
+            Runtime invariant monitors (:mod:`repro.obs.monitors`) fed
+            one :class:`~repro.obs.RoundView` per executed round; their
+            violations land in :attr:`RunResult.violations`.  Both
+            execution paths build identical views.
         """
         if self.engine_mode == "fast":
             from . import fastpath
@@ -497,6 +582,7 @@ class SynchronousEngine:
                 max_rounds,
                 stop_when_complete=stop_when_complete,
                 stop_when_finished=stop_when_finished,
+                monitors=monitors,
             )
             if result is not None:
                 return result
@@ -504,6 +590,7 @@ class SynchronousEngine:
             network, factory, k, initial, max_rounds,
             stop_when_complete=stop_when_complete,
             stop_when_finished=stop_when_finished,
+            monitors=monitors,
         )
         active.run_to_completion()
         return active.finish()

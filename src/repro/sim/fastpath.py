@@ -19,20 +19,27 @@ reproduces the reference engine exactly: the same :class:`RunResult`
 outputs, the same :class:`~repro.sim.metrics.Metrics` (token/message
 counts, per-role breakdown, per-round series, completion round), the same
 :class:`~repro.obs.RunTimeline` telemetry (coverage timeline, per-role
-per-round counters, hierarchy populations), the same drop/loss
-accounting, and — because fault injection consumes the loss RNG in the
-reference engine's exact delivery order — the same behaviour under
-``loss_p > 0`` and ``latency > 1``.  The equivalence suites in
-``tests/test_fastpath.py`` and ``tests/test_obs.py`` assert this across
-algorithms, generators and seeds.
+per-round counters, hierarchy populations), the same
+:class:`~repro.obs.CausalTrace` first-learn events at ``obs="trace"``
+(recorded natively from the bitset diff ``TA & ~known`` with the same
+min-sender attribution rule — the fast path does *not* fall back for
+causal tracing), the same monitor :class:`~repro.obs.Violation` streams,
+the same drop/loss accounting, and — because fault injection consumes the
+loss RNG in the reference engine's exact delivery order — the same
+behaviour under ``loss_p > 0`` and ``latency > 1``.  The equivalence
+suites in ``tests/test_fastpath.py``, ``tests/test_obs.py`` and
+``tests/test_causal_trace.py`` assert this across algorithms, generators
+and seeds.
 
 **Dispatch.**  Factories built by the ``make_*_factory`` helpers carry a
 ``factory.fastpath = (kind, params)`` tag.  :func:`try_run` executes the
 matching kernel, or returns ``None`` — letting the engine fall back to the
 reference path — when the factory is untagged (custom algorithms), when a
-trace recording was requested, or when the network is adaptive (the
-adversary hook needs per-node Python state).  ``RunResult.algorithms`` is
-``None`` on the fast path: there are no per-node objects to hand back.
+:class:`~repro.sim.trace.SimTrace` recording was requested
+(``record_trace`` / ``record_knowledge``), or when the network is adaptive
+(the adversary hook needs per-node Python state).
+``RunResult.algorithms`` is ``None`` on the fast path: there are no
+per-node objects to hand back.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..obs import Profiler, RunTimeline
+from ..obs import CausalTrace, Profiler, RoundView, RunTimeline
 from .engine import RunResult, SynchronousEngine, validate_run_args
 from .metrics import Metrics, RoleCost
 from .topology import Snapshot, SnapshotArrays
@@ -52,6 +59,7 @@ __all__ = ["supported_kinds", "try_run"]
 _U1 = np.uint64(1)
 _ROLE_HEAD, _ROLE_GATEWAY, _ROLE_MEMBER = 0, 1, 2
 _ROLE_NAMES = ((0, "head"), (1, "gateway"), (2, "member"))
+_ROLE_NAME_BY_CODE = {code: name for code, name in _ROLE_NAMES}
 
 
 # ---------------------------------------------------------------------------
@@ -566,6 +574,72 @@ def _deliveries_with_loss(
 
 
 # ---------------------------------------------------------------------------
+# causal tracing
+# ---------------------------------------------------------------------------
+
+def _row_tokens(row: np.ndarray) -> List[int]:
+    """Decode one uint64 bitset row to its sorted token ids."""
+    out: List[int] = []
+    for w in range(row.shape[0]):
+        word = int(row[w])
+        base = w << 6
+        while word:
+            low = word & -word
+            out.append(base + low.bit_length() - 1)
+            word ^= low
+    return out
+
+
+def _record_causal_round(
+    causal: CausalTrace,
+    r: int,
+    roles: Optional[np.ndarray],
+    known: np.ndarray,
+    TA: np.ndarray,
+    rec: Optional[np.ndarray],
+    snd: Optional[np.ndarray],
+    payload: Optional[np.ndarray],
+) -> None:
+    """Record this round's first-learn events from the bitset diff.
+
+    Mirrors the reference engine's canonical attribution rule
+    (:meth:`repro.sim.engine.ActiveRun._record_causal`): for each token a
+    node gained this round, the sender is the minimum sender id among the
+    round's deliveries to that node whose payload carried the token,
+    falling back to the minimum deliverer (then −1); the sender's role is
+    read from this round's role codes.  Min-based on both paths, so the
+    event maps are bit-identical.
+    """
+    new = TA & ~known
+    changed = np.nonzero(new.any(axis=1))[0]
+    for v in changed:
+        v = int(v)
+        if rec is not None:
+            idx = np.nonzero(rec == v)[0]
+        else:
+            idx = _EMPTY_IDS
+        if idx.size:
+            senders_v = snd[idx]
+            fallback = int(senders_v.min())
+        else:
+            senders_v = _EMPTY_IDS
+            fallback = -1
+        for t in _row_tokens(new[v]):
+            if idx.size:
+                bit = _U1 << np.uint64(t & 63)
+                carrying = senders_v[(payload[idx, t >> 6] & bit) != 0]
+                sender = int(carrying.min()) if carrying.size else fallback
+            else:
+                sender = fallback
+            if sender >= 0 and roles is not None:
+                role = _ROLE_NAME_BY_CODE[int(roles[sender])]
+            else:
+                role = "flat"
+            causal.record_learn(v, t, r, sender, role)
+    known |= new
+
+
+# ---------------------------------------------------------------------------
 # the fast engine loop
 # ---------------------------------------------------------------------------
 
@@ -578,12 +652,16 @@ def try_run(
     max_rounds: int,
     stop_when_complete: bool = False,
     stop_when_finished: bool = True,
+    monitors=None,
 ) -> Optional[RunResult]:
     """Execute a run on the fast path, or return ``None`` if unsupported.
 
     Supported: factories tagged with a known ``factory.fastpath`` kind, on
-    non-adaptive networks, without trace recording.  Loss and latency are
-    fully supported (see module docstring).
+    non-adaptive networks, without ``SimTrace`` recording.  Loss, latency,
+    ``obs="trace"`` causal tracing, and runtime monitors are fully
+    supported (see module docstring).  ``None`` is only ever returned
+    *before* the first round executes, so monitor state is untouched when
+    the engine falls back to the reference path.
     """
     spec = getattr(factory, "fastpath", None)
     if spec is None:
@@ -609,6 +687,15 @@ def try_run(
     metrics = Metrics()
     timeline = RunTimeline() if engine.obs != "off" else None
     prof = Profiler() if engine.obs == "profile" else None
+    causal: Optional[CausalTrace] = None
+    known: Optional[np.ndarray] = None
+    if engine.obs == "trace":
+        causal = CausalTrace(n=n, k=k)
+        for node in range(n):
+            for t in _row_tokens(TA[node]):
+                causal.record_origin(node, t)
+        known = TA.copy()
+    monitors = list(monitors) if monitors else []
     loss_rng = None
     if engine.loss_p > 0:
         from .rng import make_rng
@@ -617,6 +704,7 @@ def try_run(
     latency = engine.latency
     target = n * k
     in_flight: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+    executed = 0
 
     for r in range(max_rounds):
         t0 = time.perf_counter() if prof is not None else 0.0
@@ -656,6 +744,7 @@ def try_run(
             prof.add("send", now - t0)
             t0 = now
         pending = in_flight.pop(r, None)
+        rec = snd = payload = None
         if pending:
             if len(pending) == 1:
                 rec, snd, payload = pending[0]
@@ -669,11 +758,29 @@ def try_run(
             now = time.perf_counter()
             prof.add("receive", now - t0)
             t0 = now
+        if causal is not None:
+            _record_causal_round(
+                causal, r, arrs.roles, known, kernel.TA, rec, snd, payload
+            )
         per_node = np.bitwise_count(kernel.TA).sum(axis=1, dtype=np.int64)
         coverage = int(per_node.sum())
+        nodes_complete = int((per_node == k).sum())
         metrics.end_round(coverage)
         if timeline is not None:
-            timeline.end_round(coverage, int((per_node == k).sum()))
+            timeline.end_round(coverage, nodes_complete)
+        if monitors:
+            view = RoundView(
+                round_index=r,
+                snap=snap,
+                coverage=coverage,
+                nodes_complete=nodes_complete,
+                per_node=per_node.tolist(),
+                n=n,
+                k=k,
+            )
+            for monitor in monitors:
+                monitor.observe(view)
+        executed = r + 1
         if prof is not None:
             prof.add("bookkeeping", time.perf_counter() - t0)
         if coverage == target:
@@ -687,13 +794,21 @@ def try_run(
         timeline.profile.update(prof.seconds)
     token_sets = _rows_to_frozensets(kernel.TA)
     outputs = {v: token_sets[v] for v in range(n)}
+    complete = all(len(t) == k for t in outputs.values())
+    violations = None
+    if monitors:
+        for monitor in monitors:
+            monitor.finish(executed, complete)
+        violations = [v for m in monitors for v in m.violations]
     return RunResult(
         n=n,
         k=k,
         metrics=metrics,
         outputs=outputs,
-        complete=all(len(t) == k for t in outputs.values()),
+        complete=complete,
         trace=None,
         timeline=timeline,
+        causal_trace=causal,
+        violations=violations,
         algorithms=None,
     )

@@ -6,6 +6,15 @@ power the Figure-3 walkthrough benchmark (showing a token hop
 member → head → gateway → head), debugging, and the example scripts'
 pretty-printed output.  Recording is opt-in because snapshotting knowledge
 every round is O(n·k) and the large sweeps don't need it.
+
+Provenance queries (*who first told node v about token t?*) are the job
+of :class:`~repro.obs.trace.CausalTrace` — the single source of truth,
+recorded directly by both engines at ``obs="trace"`` for a fraction of
+this module's cost.  :meth:`SimTrace.causal` converts an already-recorded
+knowledge trace into that representation, and :meth:`SimTrace.first_heard`
+delegates to it; prefer ``obs="trace"`` for new code and keep
+``SimTrace`` for what only it records: the full per-round transmission
+and delivery stream.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..obs.trace import CausalTrace
 from .messages import Message
 
 __all__ = ["DeliveryEvent", "RoundTrace", "SimTrace"]
@@ -55,6 +65,9 @@ class SimTrace:
 
     rounds: List[RoundTrace] = field(default_factory=list)
     record_knowledge: bool = False
+    _causal_cache: Optional[Tuple[int, CausalTrace]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def begin_round(self, round_index: int) -> RoundTrace:
         """Open and return the record for ``round_index``."""
@@ -69,24 +82,72 @@ class SimTrace:
             raise IndexError("no round open yet")
         return self.rounds[-1]
 
+    def causal(self, n: Optional[int] = None, k: Optional[int] = None) -> CausalTrace:
+        """Convert the knowledge snapshots into a :class:`CausalTrace`.
+
+        Requires knowledge recording.  Applies the same canonical
+        attribution rule the engines use at ``obs="trace"`` (minimum
+        sender id among the round's deliveries carrying the token, with
+        the sender's role from the round's send records); tokens known at
+        the end of the first recorded round without a matching delivery
+        are inferred to be origins.  Memoized per trace length, so
+        repeated provenance queries pay the conversion once.
+        """
+        if not self.record_knowledge:
+            raise ValueError("trace was recorded without knowledge snapshots")
+        if self._causal_cache is not None and self._causal_cache[0] == len(self.rounds):
+            return self._causal_cache[1]
+        causal = CausalTrace(n=n, k=k)
+        prev: Dict[int, FrozenSet[int]] = {}
+        for pos, rt in enumerate(self.rounds):
+            roles = {msg.sender: role for msg, role in rt.sends}
+            inbox: Dict[int, List[Message]] = {}
+            for ev in rt.deliveries:
+                inbox.setdefault(ev.receiver, []).append(ev.message)
+            for v in sorted(rt.knowledge):
+                fresh = rt.knowledge[v] - prev.get(v, frozenset())
+                if not fresh:
+                    continue
+                msgs = inbox.get(v, [])
+                fallback = min((m.sender for m in msgs), default=-1)
+                for t in sorted(fresh):
+                    carrying = [m.sender for m in msgs if t in m.tokens]
+                    if not carrying and pos == 0:
+                        causal.record_origin(v, t)
+                        continue
+                    sender = min(carrying) if carrying else fallback
+                    role = roles.get(sender, "flat") if sender >= 0 else "flat"
+                    causal.record_learn(v, t, rt.round_index, sender, role)
+            prev = rt.knowledge
+        self._causal_cache = (len(self.rounds), causal)
+        return causal
+
     def first_heard(self, node: int, token: int) -> Optional[int]:
         """First round index at whose end ``node`` knew ``token``.
 
         Requires knowledge recording; returns ``None`` if never observed.
+        Delegates to the :meth:`causal` conversion (the one provenance
+        source of truth); tokens held initially report the first recorded
+        round, preserving the historical contract.
         """
         if not self.record_knowledge:
             raise ValueError("trace was recorded without knowledge snapshots")
-        for rt in self.rounds:
-            if token in rt.knowledge.get(node, frozenset()):
-                return rt.round_index
-        return None
+        event = self.causal().first_learned(node, token)
+        if event is None:
+            return None
+        if event.is_origin:
+            return self.rounds[0].round_index if self.rounds else None
+        return event.round
 
     def token_path(self, token: int) -> List[Tuple[int, int, int]]:
         """Transmission hops that carried ``token``: (round, sender, receiver).
 
         A broadcast delivered to three neighbours yields three hops.  The
         result lets examples render the member → head → gateway → head
-        journey of Figure 3.
+        journey of Figure 3.  Note this is the *raw delivery stream* —
+        every hop, including redundant re-deliveries to nodes that
+        already held the token; for the first-learn chain alone, use
+        :meth:`causal` and :meth:`CausalTrace.provenance`.
         """
         hops: List[Tuple[int, int, int]] = []
         for rt in self.rounds:

@@ -23,7 +23,7 @@ from repro.sim.engine import SynchronousEngine
 
 class TestValidateObs:
     def test_levels(self):
-        assert OBS_LEVELS == ("off", "timeline", "profile")
+        assert OBS_LEVELS == ("off", "timeline", "trace", "profile")
         for level in OBS_LEVELS:
             assert validate_obs(level) == level
 
@@ -296,3 +296,16 @@ class TestRegressionGate:
     def test_fails_on_unknown_case(self):
         gate = _load_check_regression()
         assert gate.main(["--cases", "no-such-case"]) == 1
+
+    def test_obs_overhead_within_budget(self):
+        # generous budget: passes anywhere unless trace recording became
+        # outright pathological relative to an untraced run
+        gate = _load_check_regression()
+        assert gate.main(["--repeats", "1", "--obs-budget", "20",
+                          "--cases", "obs_overhead_trace_vs_off"]) == 0
+
+    def test_obs_overhead_gate_fails_on_injected_overhead(self):
+        gate = _load_check_regression()
+        assert gate.main(["--repeats", "1", "--obs-budget", "3.0",
+                          "--cases", "obs_overhead_trace_vs_off",
+                          "--inject-obs-overhead-ms", "300"]) == 1
