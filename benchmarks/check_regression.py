@@ -15,7 +15,17 @@ baseline:
 * the **telemetry overhead budget** (``obs_overhead_trace_vs_off``, a
   synthetic case needing no baseline entry): an ``obs="trace"`` run must
   cost at most ``--obs-budget`` times the ``obs="off"`` run and must not
-  change the run's metrics.
+  change the run's metrics;
+* the **recording overhead budget** (``record_overhead_vs_off``,
+  likewise baseline-free): an ``obs="record"`` run must cost at most
+  ``--record-budget`` times the ``obs="off"`` run, must not change the
+  run's metrics, and must actually produce a replayable recording.
+
+On an equivalence failure the gate does not stop at a bare assert: it
+re-runs both engines at ``obs="record"``, bisects the recordings to the
+first diverging round/node (:func:`repro.obs.diff.diff_recordings`), and
+writes the full divergence report to ``--divergence-report`` (CI uploads
+it as a workflow artifact).
 
 Absolute wall-clock numbers in the baseline (``*_median_ms``) are *not*
 compared: they were recorded on whatever machine last refreshed the file
@@ -112,6 +122,9 @@ def check_algorithm1_full_run(baseline: Dict[str, object], args) -> CheckResult:
                      True, identical, identical))
     if not identical:
         failures.append("fast path diverged from the reference engine")
+        report_path = _emit_divergence_report(scenario, factory, max_rounds,
+                                              args)
+        failures.append(f"divergence report written to {report_path}")
 
     sleep_s = args.inject_slowdown_ms / 1000.0
 
@@ -138,6 +151,101 @@ def check_algorithm1_full_run(baseline: Dict[str, object], args) -> CheckResult:
         failures.append(
             f"speedup regressed: {speedup:.2f}x < {floor:.2f}x "
             f"(baseline {base_speedup:.2f}x, threshold {threshold:.0%})"
+        )
+    return failures, rows
+
+
+def _emit_divergence_report(scenario, factory, max_rounds, args) -> str:
+    """Pinpoint a fast⇄reference divergence and write the full report.
+
+    Re-runs the failing instance on both engines at ``obs="record"`` and
+    bisects the two recordings to the first diverging round and node —
+    turning "fast path diverged" into an actionable location.  The report
+    is printed and written to ``--divergence-report`` (uploaded as a CI
+    artifact when the gate fails).
+    """
+    from repro.obs import diff_recordings
+    from repro.sim.engine import run
+
+    def recorded(engine: str):
+        return run(
+            scenario.trace, factory, k=scenario.k, initial=scenario.initial,
+            max_rounds=max_rounds, engine=engine, obs="record",
+        ).recording
+
+    report = diff_recordings(
+        recorded("fast"), recorded("reference"),
+        label_a="fast", label_b="reference",
+    )
+    text = report.format()
+    print()
+    print(text)
+    path = Path(args.divergence_report)
+    path.write_text(text + "\n")
+    return str(path)
+
+
+def check_record_overhead(baseline: Dict[str, object], args) -> CheckResult:
+    """Recording overhead budget: ``obs="record"`` vs ``obs="off"``.
+
+    Record/replay must stay cheap enough to flip on whenever two runs
+    disagree: the recorded fast-path run may take at most
+    ``--record-budget`` times the unobserved run (a machine-portable
+    ratio, measured fresh both ways in this process — no baseline entry
+    needed), must not change the run's metrics, and must actually carry a
+    replayable recording whose final state matches the run's outputs.
+    """
+    from repro.sim.engine import run
+
+    scenario, factory, max_rounds = _bench_instance()
+
+    def go(obs: str):
+        return run(
+            scenario.trace, factory, k=scenario.k, initial=scenario.initial,
+            max_rounds=max_rounds, engine="fast", obs=obs,
+        )
+
+    sleep_s = args.inject_record_overhead_ms / 1000.0
+
+    def timed_record():
+        if sleep_s:
+            time.sleep(sleep_s)
+        return go("record")
+
+    # correctness first: recording must not change the run
+    off, recorded = go("off"), go("record")
+    same = off.metrics == recorded.metrics
+    failures: List[str] = []
+    rows: List[Row] = [
+        _row("obs=record metrics == obs=off metrics", True, same, same)
+    ]
+    if not same:
+        failures.append("obs='record' changed the run's metrics")
+    recording = recorded.recording
+    replays = (
+        recording is not None
+        and recording.rounds_recorded == recorded.metrics.rounds
+        and recording.state_at(recording.rounds_recorded - 1)
+        == recorded.outputs
+    )
+    rows.append(_row("recording replays to the run's outputs",
+                     True, replays, replays))
+    if not replays:
+        failures.append(
+            "obs='record' run is missing a recording or its replayed final "
+            "state does not match the run's outputs"
+        )
+
+    off_stats = time_ms(lambda: go("off"), repeats=args.repeats)
+    rec_stats = time_ms(timed_record, repeats=args.repeats)
+    ratio = rec_stats["median_ms"] / off_stats["median_ms"]
+    ok = ratio <= args.record_budget
+    rows.append(_row(f"record overhead (budget {args.record_budget:.1f}x)",
+                     f"<= {args.record_budget:.1f}x", f"{ratio:.2f}x", ok))
+    if not ok:
+        failures.append(
+            f"obs='record' overhead blew the budget: {ratio:.2f}x > "
+            f"{args.record_budget:.1f}x the obs='off' run"
         )
     return failures, rows
 
@@ -207,6 +315,7 @@ CHECKS = {
 #: fresh in-process); always selectable by name and run by default.
 SYNTHETIC_CHECKS = {
     "obs_overhead_trace_vs_off": check_obs_overhead,
+    "record_overhead_vs_off": check_record_overhead,
 }
 
 
@@ -232,6 +341,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject-obs-overhead-ms", type=float, default=0.0,
                         help="testing hook: sleep this long inside the timed "
                         "obs='trace' callable")
+    parser.add_argument("--record-budget", type=float, default=3.0,
+                        help="max allowed obs='record' / obs='off' wall-clock "
+                        "ratio (default: 3.0)")
+    parser.add_argument("--inject-record-overhead-ms", type=float, default=0.0,
+                        help="testing hook: sleep this long inside the timed "
+                        "obs='record' callable")
+    parser.add_argument("--divergence-report", default="divergence_report.txt",
+                        metavar="PATH",
+                        help="where to write the fast⇄reference divergence "
+                        "report on an equivalence failure "
+                        "(default: divergence_report.txt)")
     args = parser.parse_args(argv)
 
     data = json.loads(Path(args.baseline).read_text())

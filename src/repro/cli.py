@@ -12,6 +12,10 @@ without writing a script:
    $ python -m repro explain algorithm1 --token 2  # causal provenance chain
    $ python -m repro report algorithm1 --replications 20  # progress bands
    $ python -m repro profile algorithm1     # wall-clock phase profiling
+   $ python -m repro record algorithm1 --out run.json  # replayable recording
+   $ python -m repro replay run.json --at 5 --node 3   # time-travel state
+   $ python -m repro diff a.json b.json     # first diverging round/node
+   $ python -m repro diff --engines algorithm1  # fast vs reference bisect
    $ python -m repro table3                 # analytic Table 3 + deviations
    $ python -m repro table3 --simulate      # measured counterpart
    $ python -m repro fig3                   # Algorithm-1 walkthrough
@@ -72,9 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-algorithms",
                    help="every registered algorithm spec, one row each")
 
-    def _add_run_scenario_flags(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument("algorithm", metavar="ALGORITHM",
-                         help="registry name (see list-algorithms)")
+    def _add_scenario_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--scenario", choices=_SCENARIOS, default="auto",
                          help="scenario family; 'auto' picks the algorithm's "
                          "model class")
@@ -91,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--engine", choices=["fast", "reference"],
                          default="fast")
 
+    def _add_run_scenario_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("algorithm", metavar="ALGORITHM",
+                         help="registry name (see list-algorithms)")
+        _add_scenario_flags(cmd)
+
     rn = sub.add_parser(
         "run", help="run one registered algorithm on a generated scenario"
     )
@@ -98,10 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--events", default=None, metavar="PATH",
                     help="write the run's telemetry timeline as JSONL "
                     "structured events (one object per line)")
-    rn.add_argument("--obs", choices=["timeline", "trace", "profile", "off"],
+    rn.add_argument("--obs",
+                    choices=["timeline", "trace", "record", "profile", "off"],
                     default="timeline",
                     help="telemetry level (default: timeline counters; "
-                    "'trace' adds the causal first-learn trace)")
+                    "'trace' adds the causal first-learn trace; 'record' "
+                    "adds a replayable run recording)")
     rn.add_argument("--monitor", action="store_true",
                     help="attach the spec's runtime invariant monitors and "
                     "report any violations (coverage monotonicity, phase "
@@ -141,6 +150,48 @@ def build_parser() -> argparse.ArgumentParser:
         "property checks, round loop) plus the per-phase telemetry breakdown",
     )
     _add_run_scenario_flags(pf)
+
+    rc = sub.add_parser(
+        "record",
+        help="run one algorithm at obs='record' and save the deterministic "
+        "RunRecording (replayable with 'replay', comparable with 'diff')",
+    )
+    _add_run_scenario_flags(rc)
+    rc.add_argument("--out", required=True, metavar="PATH",
+                    help="write the recording here as JSON")
+    rc.add_argument("--chrome", default=None, metavar="PATH",
+                    help="also export Chrome trace-event JSON (open in "
+                    "chrome://tracing or ui.perfetto.dev)")
+    _add_cache_flag(rc)
+
+    rpl = sub.add_parser(
+        "replay",
+        help="inspect a saved recording: overview, or time-travel to the "
+        "state at any round (--at), down to one node's token set (--node)",
+    )
+    rpl.add_argument("recording", metavar="RECORDING",
+                     help="recording JSON written by 'record'")
+    rpl.add_argument("--at", type=int, default=None, metavar="ROUND",
+                     help="reconstruct state at the end of this round "
+                     "(-1 = initial state; default: summary of every round)")
+    rpl.add_argument("--node", type=int, default=None, metavar="ID",
+                     help="print this node's token set instead of the "
+                     "global summary")
+
+    df = sub.add_parser(
+        "diff",
+        help="compare two recordings (or record fast+reference with "
+        "--engines) and bisect to the first diverging round and node; "
+        "exit 1 on divergence",
+    )
+    df.add_argument("recordings", nargs="*", metavar="RECORDING",
+                    help="two recording JSON files to compare")
+    df.add_argument("--engines", default=None, metavar="ALGORITHM",
+                    help="record ALGORITHM fresh on both engines and diff "
+                    "them instead of reading files")
+    _add_scenario_flags(df)
+    df.add_argument("--report", default=None, metavar="PATH",
+                    help="also write the divergence report here")
 
     t2 = sub.add_parser("table2", help="analytic cost model (Table 2)")
     t2.add_argument("--n0", type=int, default=100)
@@ -490,6 +541,155 @@ def _cmd_profile(args) -> str:
     return "\n".join(parts)
 
 
+def _load_recording_or_exit(path: str):
+    """Load a recording file, turning failures into readable exits."""
+    import json
+
+    from . import io as _io
+
+    try:
+        return _io.load_recording(path)
+    except FileNotFoundError:
+        raise SystemExit(f"recording file not found: {path}")
+    except IsADirectoryError:
+        raise SystemExit(f"recording path is a directory, not a file: {path}")
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(
+            f"could not read recording {path}: {exc} "
+            "(expected JSON written by 'repro record')"
+        )
+
+
+def _cmd_record(args) -> str:
+    import json
+
+    from . import io as _io
+    from .experiments.runner import execute
+
+    spec = _resolve_spec(args.algorithm)
+    scenario = _build_scenario(args, spec)
+    record = execute(spec, scenario, engine=args.engine, cache=args.cache,
+                     obs="record", **_spec_overrides(args, spec))
+    recording = record.result.recording
+    _io.save_recording(recording, args.out)
+    parts = [
+        f"scenario: {scenario.name}",
+        f"recorded {recording.rounds_recorded} rounds on engine "
+        f"{args.engine!r} -> {args.out}",
+        f"n={recording.n} k={recording.k} "
+        f"final coverage {recording.coverage_at(recording.rounds_recorded - 1)}"
+        f"/{recording.n * recording.k} "
+        f"fingerprint {recording.fingerprint()[:16]}",
+    ]
+    if args.chrome:
+        from .obs import to_chrome_trace
+
+        trace = to_chrome_trace(recording, timeline=record.result.timeline)
+        with open(args.chrome, "w") as handle:
+            json.dump(trace, handle)
+        parts.append(
+            f"wrote {len(trace['traceEvents'])} Chrome trace events to "
+            f"{args.chrome} (open in chrome://tracing or ui.perfetto.dev)"
+        )
+    return "\n".join(parts)
+
+
+def _cmd_replay(args) -> str:
+    recording = _load_recording_or_exit(args.recording)
+    last = recording.rounds_recorded - 1
+    meta = recording.meta
+    head = [
+        f"recording: {args.recording}",
+        f"algorithm: {meta.get('algorithm', '?')}  "
+        f"scenario: {meta.get('scenario', '?')}  "
+        f"engine: {meta.get('engine', '?')}",
+        f"n={recording.n} k={recording.k} rounds={recording.rounds_recorded}",
+    ]
+    if args.at is None and args.node is None:
+        rows = []
+        for r, state in recording.states():
+            if r < 0:
+                continue
+            delta = recording.round_delta(r)
+            rows.append({
+                "round": r,
+                "messages": len(delta.messages),
+                "tokens_sent": sum(m.cost for m in delta.messages),
+                "nodes_gaining": len(delta.gained),
+                "coverage": sum(len(t) for t in state.values()),
+            })
+        return "\n".join(head) + "\n\n" + format_records(rows)
+
+    at = last if args.at is None else args.at
+    if not -1 <= at <= last:
+        raise SystemExit(
+            f"--at {at} outside recorded range -1..{last} "
+            f"({args.recording} holds {recording.rounds_recorded} rounds)"
+        )
+    if args.node is not None:
+        if not 0 <= args.node < recording.n:
+            raise SystemExit(
+                f"--node {args.node} outside 0..{recording.n - 1}"
+            )
+        tokens = sorted(recording.node_state(at, args.node))
+        return "\n".join(head + [
+            "",
+            f"node {args.node} at end of round {at}: "
+            f"{len(tokens)}/{recording.k} tokens: {tokens}",
+        ])
+    state = recording.state_at(at)
+    coverage = sum(len(t) for t in state.values())
+    complete = sum(1 for t in state.values() if len(t) == recording.k)
+    lines = head + [
+        "",
+        f"state at end of round {at}: coverage {coverage}"
+        f"/{recording.n * recording.k}, {complete}/{recording.n} nodes "
+        "complete",
+    ]
+    for v in range(recording.n):
+        toks = sorted(state[v])
+        lines.append(f"  node {v:>3}: {len(toks)}/{recording.k} {toks}")
+    return "\n".join(lines)
+
+
+def _cmd_diff(args):
+    """Returns ``(text, exit_code)`` — 0 identical, 1 divergent."""
+    from .obs import diff_recordings
+
+    if args.engines is not None:
+        if args.recordings:
+            raise SystemExit(
+                "pass either two recording files or --engines ALGORITHM, "
+                "not both"
+            )
+        from .obs import diff_engines
+
+        spec = _resolve_spec(args.engines)
+        scenario = _build_scenario(args, spec)
+        report = diff_engines(spec, scenario, **_spec_overrides(args, spec))
+        header = f"scenario: {scenario.name}\n"
+    else:
+        if len(args.recordings) != 2:
+            raise SystemExit(
+                "diff needs exactly two recording files "
+                "(or --engines ALGORITHM)"
+            )
+        path_a, path_b = args.recordings
+        a = _load_recording_or_exit(path_a)
+        b = _load_recording_or_exit(path_b)
+        try:
+            report = diff_recordings(a, b, label_a=path_a, label_b=path_b)
+        except ValueError as exc:
+            raise SystemExit(f"recordings are not comparable: {exc}")
+        header = ""
+    text = header + report.format()
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(text + "\n")
+        text += f"\n(report written to {args.report})"
+    return text, (0 if report.identical else 1)
+
+
 def _cmd_mobility(args) -> str:
     from .baselines.klo import make_klo_one_factory
     from .clustering import hierarchy_stats, maintain_clustering
@@ -558,6 +758,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_report(args))
     elif args.command == "profile":
         print(_cmd_profile(args))
+    elif args.command == "record":
+        print(_cmd_record(args))
+    elif args.command == "replay":
+        print(_cmd_replay(args))
+    elif args.command == "diff":
+        text, code = _cmd_diff(args)
+        print(text)
+        return code
     elif args.command == "table2":
         params = CostParams(n0=args.n0, theta=args.theta, nm=args.nm,
                             nr=args.nr, k=args.k, alpha=args.alpha, L=args.L)

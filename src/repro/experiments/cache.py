@@ -38,6 +38,8 @@ obs level      cacheable  rationale
 ``timeline``   yes        counters are deterministic; keyed as ``obs=timeline``
 ``trace``      yes        causal first-learn events are deterministic and
                           engine-identical; keyed as ``obs=trace``
+``record``     yes        per-round deltas/messages are deterministic and
+                          engine-identical; keyed as ``obs=record``
 ``profile``    no         wall-clock sections differ run to run — a cached
                           replay would freeze meaningless timings
 =============  =========  ====================================================
@@ -72,7 +74,7 @@ _VERSION = 1
 #: Environment variable naming a default cache directory.
 ENV_VAR = "REPRO_RESULT_CACHE"
 
-CacheLike = Union[None, str, Path, "ResultCache"]
+CacheLike = Union[None, bool, str, Path, "ResultCache"]
 
 
 def _canonical(payload: Any) -> str:
@@ -201,14 +203,19 @@ class ResultCache:
 
 
 def resolve_cache(cache: CacheLike) -> Optional[ResultCache]:
-    """Normalise a cache argument: instance, path, or ``None``.
+    """Normalise a cache argument: instance, path, ``None``, or ``False``.
 
     ``None`` falls back to the ``REPRO_RESULT_CACHE`` environment
     variable when set, so whole sweeps can be made resumable without
-    threading a path through every call site.
+    threading a path through every call site.  ``False`` disables
+    caching outright, *ignoring* the environment variable — for callers
+    that must observe a live execution (e.g. divergence diffing, where a
+    stale cached replay would mask the divergence under investigation).
     """
     if isinstance(cache, ResultCache):
         return cache
+    if cache is False:
+        return None
     if cache is None:
         env = os.environ.get(ENV_VAR, "").strip()
         return ResultCache(env) if env else None

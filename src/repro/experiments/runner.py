@@ -121,9 +121,12 @@ def execute(
         attaches a :class:`~repro.obs.RunTimeline` to the result and it
         rides through the cache; ``"trace"`` additionally records the
         causal first-learn trace (deterministic, so it also rides the
-        cache, keyed separately by obs level); ``"profile"`` adds
-        wall-clock section timings and bypasses the cache (timings are
-        not deterministic); ``"off"`` records nothing.
+        cache, keyed separately by obs level); ``"record"`` additionally
+        records a replayable :class:`~repro.obs.RunRecording`
+        (deterministic and engine-identical, so it also rides the
+        cache); ``"profile"`` adds wall-clock section timings and
+        bypasses the cache (timings are not deterministic); ``"off"``
+        records nothing.
     monitor:
         Attach the spec's default runtime invariant monitors
         (:func:`repro.obs.default_monitors`) and collect their
@@ -189,14 +192,24 @@ def execute(
         obs=obs,
         monitors=monitors,
     )
+    phase_length = plan.phase_length
+    if phase_length is None:
+        T = scenario.params.get("T")
+        phase_length = int(T) if isinstance(T, (int, float)) and T else None
     causal = record.result.causal_trace
     if causal is not None and causal.phase_length is None:
         # stamp the phase structure so provenance queries are phase-aware
-        phase_length = plan.phase_length
-        if phase_length is None:
-            T = scenario.params.get("T")
-            phase_length = int(T) if isinstance(T, (int, float)) and T else None
         causal.phase_length = phase_length
+    recording = record.result.recording
+    if recording is not None and not recording.meta:
+        # presentation metadata only — excluded from recording equality,
+        # so the fast⇄reference bit-identity guarantee is unaffected
+        recording.meta.update({
+            "algorithm": spec.name,
+            "scenario": scenario.name,
+            "engine": engine,
+            "phase_length": phase_length,
+        })
     if key is not None:
         store.put(key, record)
     return record

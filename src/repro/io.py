@@ -30,22 +30,33 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from .graphs.trace import GraphTrace
-from .obs import CausalTrace, RunTimeline
+from .obs import (
+    CausalTrace,
+    MessageRecord,
+    RoundDelta,
+    RunRecording,
+    RunTimeline,
+)
 from .roles import Role
 from .sim.metrics import Metrics
 from .sim.topology import Snapshot
 
 __all__ = [
+    "SCHEMA_VERSION",
     "causal_trace_from_dict",
     "causal_trace_to_dict",
+    "load_recording",
     "load_scenario",
     "load_trace",
     "metrics_from_dict",
     "metrics_to_dict",
+    "recording_from_dict",
+    "recording_to_dict",
     "run_record_from_dict",
     "run_record_to_dict",
     "run_result_from_dict",
     "run_result_to_dict",
+    "save_recording",
     "save_scenario",
     "save_trace",
     "scenario_from_dict",
@@ -58,6 +69,32 @@ __all__ = [
 
 _FORMAT = "repro-trace"
 _VERSION = 1
+
+#: Schema version stamped into every document this module writes.  Bump on
+#: any layout change; decoders reject versions they do not understand with
+#: a clear error instead of silently misparsing.  Documents written before
+#: versioning carry no ``schema_version`` and decode as version 1 (their
+#: layout is unchanged).
+SCHEMA_VERSION = 1
+
+
+def _require_format(data: Dict[str, Any], fmt: str) -> None:
+    """Shared decode-time validation: format, version and schema_version."""
+    if not isinstance(data, dict) or data.get("format") != fmt:
+        got = data.get("format") if isinstance(data, dict) else type(data).__name__
+        raise ValueError(f"not a {fmt} document: format={got!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported {fmt} version {data.get('version')!r} "
+            f"(supported: {_VERSION})"
+        )
+    schema = data.get("schema_version", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{fmt} document has schema_version {schema!r}; this reader "
+            f"understands version {SCHEMA_VERSION} — re-export the artifact "
+            "or upgrade repro"
+        )
 
 
 def trace_to_dict(trace: GraphTrace) -> Dict[str, Any]:
@@ -73,6 +110,7 @@ def trace_to_dict(trace: GraphTrace) -> Dict[str, Any]:
     return {
         "format": _FORMAT,
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "n": trace.n,
         "extend": trace.extend,
         "clustered": clustered,
@@ -82,10 +120,7 @@ def trace_to_dict(trace: GraphTrace) -> Dict[str, Any]:
 
 def trace_from_dict(data: Dict[str, Any]) -> GraphTrace:
     """Decode a trace; raises ``ValueError`` on wrong format or bad payload."""
-    if data.get("format") != _FORMAT:
-        raise ValueError(f"not a {_FORMAT} document: format={data.get('format')!r}")
-    if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+    _require_format(data, _FORMAT)
     n = int(data["n"])
     clustered = bool(data.get("clustered", False))
     snaps: List[Snapshot] = []
@@ -131,6 +166,7 @@ def scenario_to_dict(scenario) -> Dict[str, Any]:
     return {
         "format": "repro-scenario",
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "name": scenario.name,
         "k": scenario.k,
         "initial": {str(v): sorted(toks) for v, toks in scenario.initial.items()},
@@ -141,12 +177,7 @@ def scenario_to_dict(scenario) -> Dict[str, Any]:
 
 def scenario_from_dict(data: Dict[str, Any]):
     """Decode a scenario written by :func:`scenario_to_dict`."""
-    if data.get("format") != "repro-scenario":
-        raise ValueError(
-            f"not a repro-scenario document: format={data.get('format')!r}"
-        )
-    if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+    _require_format(data, "repro-scenario")
     from .experiments.scenarios import Scenario
 
     return Scenario(
@@ -230,6 +261,7 @@ def timeline_to_dict(timeline: RunTimeline) -> Dict[str, Any]:
     return {
         "format": "repro-timeline",
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "coverage": list(timeline.coverage),
         "nodes_complete": list(timeline.nodes_complete),
         "tokens": list(timeline.tokens),
@@ -243,12 +275,7 @@ def timeline_to_dict(timeline: RunTimeline) -> Dict[str, Any]:
 
 def timeline_from_dict(data: Dict[str, Any]) -> RunTimeline:
     """Decode a timeline written by :func:`timeline_to_dict`."""
-    if data.get("format") != "repro-timeline":
-        raise ValueError(
-            f"not a repro-timeline document: format={data.get('format')!r}"
-        )
-    if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+    _require_format(data, "repro-timeline")
     return RunTimeline(
         coverage=[int(v) for v in data["coverage"]],
         nodes_complete=[int(v) for v in data["nodes_complete"]],
@@ -278,6 +305,7 @@ def causal_trace_to_dict(causal: CausalTrace) -> Dict[str, Any]:
     return {
         "format": "repro-causal-trace",
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "n": causal.n,
         "k": causal.k,
         "phase_length": causal.phase_length,
@@ -290,12 +318,7 @@ def causal_trace_to_dict(causal: CausalTrace) -> Dict[str, Any]:
 
 def causal_trace_from_dict(data: Dict[str, Any]) -> CausalTrace:
     """Decode a causal trace written by :func:`causal_trace_to_dict`."""
-    if data.get("format") != "repro-causal-trace":
-        raise ValueError(
-            f"not a repro-causal-trace document: format={data.get('format')!r}"
-        )
-    if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+    _require_format(data, "repro-causal-trace")
     return CausalTrace(
         n=None if data.get("n") is None else int(data["n"]),
         k=None if data.get("k") is None else int(data["k"]),
@@ -307,6 +330,105 @@ def causal_trace_from_dict(data: Dict[str, Any]) -> CausalTrace:
             for node, token, r, sender, role in data["events"]
         },
     )
+
+
+def recording_to_dict(recording: RunRecording) -> Dict[str, Any]:
+    """Encode a :class:`~repro.obs.RunRecording` as a JSON-ready dict.
+
+    Deterministic output: the recording's contents are already in
+    canonical order (the engines record through
+    :class:`~repro.obs.RunRecorder`), so two bit-identical recordings
+    serialize to byte-identical JSON.  ``meta`` is filtered to JSON-safe
+    scalars.
+    """
+    rounds: List[Dict[str, Any]] = []
+    for delta in recording.rounds:
+        entry: Dict[str, Any] = {
+            "gained": [[v, list(toks)] for v, toks in delta.gained],
+            "lost": [[v, list(toks)] for v, toks in delta.lost],
+            "messages": [
+                [m.sender, m.kind, m.dest, list(m.tokens), m.cost]
+                for m in delta.messages
+            ],
+        }
+        if delta.roles is not None:
+            entry["roles"] = delta.roles
+        if delta.head_of is not None:
+            entry["head_of"] = list(delta.head_of)
+        rounds.append(entry)
+    return {
+        "format": "repro-recording",
+        "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "n": recording.n,
+        "k": recording.k,
+        "initial": {str(v): list(toks) for v, toks in recording.initial.items()},
+        # sorted: meta arrives in stamp order on a fresh run but in codec
+        # order on a cache replay — sorting keeps serialization byte-stable
+        "meta": {
+            key: value
+            for key, value in sorted(recording.meta.items())
+            if isinstance(value, (int, float, str, bool)) or value is None
+        },
+        "rounds": rounds,
+    }
+
+
+def recording_from_dict(data: Dict[str, Any]) -> RunRecording:
+    """Decode a recording written by :func:`recording_to_dict`."""
+    _require_format(data, "repro-recording")
+    rounds = []
+    for entry in data["rounds"]:
+        rounds.append(
+            RoundDelta(
+                gained=tuple(
+                    (int(v), tuple(int(t) for t in toks))
+                    for v, toks in entry["gained"]
+                ),
+                lost=tuple(
+                    (int(v), tuple(int(t) for t in toks))
+                    for v, toks in entry["lost"]
+                ),
+                messages=tuple(
+                    MessageRecord(
+                        sender=int(sender),
+                        kind=str(kind),
+                        dest=int(dest),
+                        tokens=tuple(int(t) for t in toks),
+                        cost=int(cost),
+                    )
+                    for sender, kind, dest, toks, cost in entry["messages"]
+                ),
+                roles=entry.get("roles"),
+                head_of=(
+                    tuple(int(h) for h in entry["head_of"])
+                    if entry.get("head_of") is not None
+                    else None
+                ),
+            )
+        )
+    return RunRecording(
+        n=int(data["n"]),
+        k=int(data["k"]),
+        initial={
+            int(v): tuple(int(t) for t in toks)
+            for v, toks in data["initial"].items()
+        },
+        rounds=rounds,
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def save_recording(recording: RunRecording, path: Union[str, Path]) -> Path:
+    """Write a recording to ``path`` as JSON; returns the path."""
+    p = Path(path)
+    p.write_text(json.dumps(recording_to_dict(recording), separators=(",", ":")))
+    return p
+
+
+def load_recording(path: Union[str, Path]) -> RunRecording:
+    """Read a recording previously written by :func:`save_recording`."""
+    return recording_from_dict(json.loads(Path(path).read_text()))
 
 
 def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
@@ -322,6 +444,7 @@ def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
     out = {
         "format": "repro-result",
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "n": result.n,
         "k": result.k,
         "complete": bool(result.complete),
@@ -334,17 +457,15 @@ def run_result_to_dict(result, include_series: bool = True) -> Dict[str, Any]:
     causal = getattr(result, "causal_trace", None)
     if causal is not None:
         out["causal_trace"] = causal_trace_to_dict(causal)
+    recording = getattr(result, "recording", None)
+    if recording is not None:
+        out["recording"] = recording_to_dict(recording)
     return out
 
 
 def run_result_from_dict(data: Dict[str, Any]):
     """Decode a result written by :func:`run_result_to_dict`."""
-    if data.get("format") != "repro-result":
-        raise ValueError(
-            f"not a repro-result document: format={data.get('format')!r}"
-        )
-    if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+    _require_format(data, "repro-result")
     from .sim.engine import RunResult
 
     return RunResult(
@@ -364,6 +485,11 @@ def run_result_from_dict(data: Dict[str, Any]):
             if "causal_trace" in data
             else None
         ),
+        recording=(
+            recording_from_dict(data["recording"])
+            if "recording" in data
+            else None
+        ),
     )
 
 
@@ -372,6 +498,7 @@ def run_record_to_dict(record) -> Dict[str, Any]:
     return {
         "format": "repro-run-record",
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "algorithm": record.algorithm,
         "scenario": record.scenario,
         "n": record.n,
@@ -388,12 +515,7 @@ def run_record_to_dict(record) -> Dict[str, Any]:
 
 def run_record_from_dict(data: Dict[str, Any]):
     """Decode a record written by :func:`run_record_to_dict`."""
-    if data.get("format") != "repro-run-record":
-        raise ValueError(
-            f"not a repro-run-record document: format={data.get('format')!r}"
-        )
-    if data.get("version") != _VERSION:
-        raise ValueError(f"unsupported version {data.get('version')!r}")
+    _require_format(data, "repro-run-record")
     from .experiments.runner import RunRecord
 
     return RunRecord(

@@ -2,7 +2,7 @@
 
 Layered by cost, selected with the engines' ``obs`` parameter
 (:data:`OBS_LEVELS` — ``"off"``, ``"timeline"``, ``"trace"``,
-``"profile"``):
+``"record"``, ``"profile"``):
 
 * :mod:`repro.obs.timeline` — O(1)-per-round progress counters
   (:class:`RunTimeline`), wall-clock section profiling
@@ -11,6 +11,13 @@ Layered by cost, selected with the engines' ``obs`` parameter
 * :mod:`repro.obs.trace` — causal provenance at ``obs="trace"``: one
   first-learn event per (node, token) (:class:`CausalTrace`), recorded
   natively and bit-identically by both engines;
+* :mod:`repro.obs.recorder` — deterministic record/replay at
+  ``obs="record"``: per-round knowledge deltas + roles + messages
+  (:class:`RunRecording`), time-travel state reconstruction, and Chrome
+  trace-event export (:func:`to_chrome_trace`);
+* :mod:`repro.obs.diff` — round-aligned run differencing with divergence
+  bisection over prefix digests (:func:`diff_recordings` →
+  :class:`DivergenceReport`, :func:`diff_engines` for fast⇄reference);
 * :mod:`repro.obs.monitors` — live theorem-invariant checks
   (:class:`Monitor` / :func:`default_monitors`) emitting structured
   :class:`Violation` diagnostics, surfaced by ``repro run --monitor``;
@@ -19,6 +26,7 @@ Layered by cost, selected with the engines' ``obs`` parameter
 """
 
 from .aggregate import ProgressBands, merge_timelines, render_dashboard
+from .diff import DivergenceReport, NodeDivergence, diff_engines, diff_recordings
 from .monitors import (
     BudgetMonitor,
     CoverageMonotonicityMonitor,
@@ -29,27 +37,53 @@ from .monitors import (
     Violation,
     default_monitors,
 )
-from .timeline import OBS_LEVELS, Profiler, RunTimeline, validate_obs, write_events
+from .recorder import (
+    MessageRecord,
+    RoundDelta,
+    RunRecorder,
+    RunRecording,
+    to_chrome_trace,
+)
+from .timeline import (
+    EVENTS_SCHEMA_VERSION,
+    OBS_LEVELS,
+    Profiler,
+    RunTimeline,
+    read_events,
+    validate_obs,
+    write_events,
+)
 from .trace import ORIGIN_ROLE, CausalTrace, LearnEvent
 
 __all__ = [
+    "EVENTS_SCHEMA_VERSION",
     "OBS_LEVELS",
     "ORIGIN_ROLE",
     "BudgetMonitor",
     "CausalTrace",
     "CoverageMonotonicityMonitor",
+    "DivergenceReport",
     "HeadProgressMonitor",
     "LearnEvent",
+    "MessageRecord",
     "Monitor",
+    "NodeDivergence",
     "ProgressBands",
     "Profiler",
+    "RoundDelta",
     "RoundView",
+    "RunRecorder",
+    "RunRecording",
     "RunTimeline",
     "StabilityMonitor",
     "Violation",
     "default_monitors",
+    "diff_engines",
+    "diff_recordings",
     "merge_timelines",
+    "read_events",
     "render_dashboard",
+    "to_chrome_trace",
     "validate_obs",
     "write_events",
 ]

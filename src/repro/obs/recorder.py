@@ -1,0 +1,509 @@
+"""Deterministic record/replay: compact per-round recordings of a run.
+
+Recorded at ``obs="record"``.  A :class:`RunRecording` is the execution's
+*diffable ground truth*: for every round it stores the knowledge-set
+**deltas** (which tokens each node gained or lost), the round's hierarchy
+assignment (roles + cluster heads), and every transmitted message in a
+canonical order.  From the initial assignment plus the deltas the full
+simulation state at any round ``r`` can be reconstructed exactly
+(:meth:`RunRecording.state_at` — time travel), which is the natural
+debugging primitive for the paper's round-by-round induction arguments
+(Theorems 1–4 reason over (T, L)-HiNet stability windows one round at a
+time).
+
+Engine-identical by construction
+--------------------------------
+Both engines (:mod:`repro.sim.engine` and :mod:`repro.sim.fastpath`)
+record natively through the same :class:`RunRecorder`, and everything
+order-dependent is canonicalised:
+
+* token sets are stored as **sorted** tuples;
+* per-round messages are sorted by ``(sender, kind, dest, tokens,
+  cost)`` — the reference engine emits per-node ``Message`` objects in
+  node order while the fast path walks flat send-batch arrays, and the
+  sort makes both streams identical;
+* knowledge deltas are listed in ascending node order, each as a sorted
+  token tuple.
+
+Recordings are therefore part of the fastpath⇄reference *bit-identity*
+guarantee (asserted registry-wide in ``tests/test_recorder.py``), and —
+being fully deterministic — they ride the :mod:`repro.io` codecs and the
+on-disk result cache (``obs="record"`` joins the cache key; see the
+policy table in :mod:`repro.experiments.cache`).
+
+Downstream consumers: :mod:`repro.obs.diff` aligns two recordings
+round-by-round and bisects to the first divergence; :func:`to_chrome_trace`
+exports a recording (plus optional timeline/profile) as Chrome
+trace-event JSON viewable in ``chrome://tracing`` or ``ui.perfetto.dev``;
+the CLI surface is ``repro record`` / ``repro replay`` / ``repro diff``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+__all__ = [
+    "MessageRecord",
+    "RoundDelta",
+    "RunRecorder",
+    "RunRecording",
+    "to_chrome_trace",
+]
+
+#: ``MessageRecord.kind`` values: local broadcast / addressed unicast.
+BROADCAST_KIND = "b"
+UNICAST_KIND = "u"
+
+
+class MessageRecord(NamedTuple):
+    """One transmission, in the recording's canonical encoding.
+
+    ``kind`` is ``"b"`` (broadcast; ``dest == -1``) or ``"u"`` (unicast to
+    ``dest``).  ``tokens`` is the sorted tuple of carried token ids and
+    ``cost`` the transmission's token-equivalents (payload-carrying
+    protocols like network coding can cost more than ``len(tokens)``).
+    """
+
+    sender: int
+    kind: str
+    dest: int
+    tokens: Tuple[int, ...]
+    cost: int
+
+
+@dataclass(frozen=True)
+class RoundDelta:
+    """Everything that changed in one round, canonically ordered.
+
+    Attributes
+    ----------
+    gained, lost:
+        ``((node, (token, …)), …)`` — per-node token-set deltas at the end
+        of the round, ascending node order, sorted token tuples.  Absorb-
+        only protocols never populate ``lost``; it exists so arbitrary
+        reference algorithms (and injected faults) still round-trip.
+    messages:
+        Every transmission of the round as :class:`MessageRecord` rows,
+        sorted by ``(sender, kind, dest, tokens, cost)``.  Sends are
+        recorded at *transmission* time (dropped unicasts and lossy
+        deliveries still appear — the send was paid for).
+    roles:
+        The round's role assignment packed as a string of ``h``/``g``/``m``
+        letters (``None`` for flat scenarios).
+    head_of:
+        Per-node cluster head id with ``-1`` for unaffiliated
+        (``None`` for flat scenarios).
+    """
+
+    gained: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    lost: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    messages: Tuple[MessageRecord, ...]
+    roles: Optional[str]
+    head_of: Optional[Tuple[int, ...]]
+
+
+@dataclass
+class RunRecording:
+    """A deterministic, replayable record of one engine run.
+
+    Attributes
+    ----------
+    n, k:
+        Instance dimensions.
+    initial:
+        Node → sorted token tuple before round 0 (nodes starting empty
+        are omitted) — the state that round-0 deltas apply to.
+    rounds:
+        One :class:`RoundDelta` per executed round.
+    meta:
+        Presentation metadata stamped by
+        :func:`repro.experiments.runner.execute` (algorithm, scenario,
+        engine, ``phase_length``) and the CLI.  Excluded from equality:
+        two bit-identical executions recorded by different engines must
+        compare equal.
+    """
+
+    n: int
+    k: int
+    initial: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    rounds: List[RoundDelta] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    # -- basic views -------------------------------------------------------
+
+    @property
+    def rounds_recorded(self) -> int:
+        """Number of rounds in the recording."""
+        return len(self.rounds)
+
+    def round_delta(self, r: int) -> RoundDelta:
+        """The :class:`RoundDelta` of round ``r`` (0-based)."""
+        if not 0 <= r < len(self.rounds):
+            raise IndexError(
+                f"round {r} outside recorded range 0..{len(self.rounds) - 1}"
+            )
+        return self.rounds[r]
+
+    # -- time travel -------------------------------------------------------
+
+    def states(self) -> Iterator[Tuple[int, Dict[int, FrozenSet[int]]]]:
+        """Yield ``(r, state)`` for ``r = -1, 0, …`` — the knowledge of
+        every node at the end of each round (``-1`` is the initial state).
+
+        Each yielded state is an independent snapshot (mutating it does
+        not corrupt the replay).
+        """
+        state: Dict[int, set] = {
+            v: set(self.initial.get(v, ())) for v in range(self.n)
+        }
+        yield -1, {v: frozenset(toks) for v, toks in state.items()}
+        for r, delta in enumerate(self.rounds):
+            for node, toks in delta.gained:
+                state[node].update(toks)
+            for node, toks in delta.lost:
+                state[node].difference_update(toks)
+            yield r, {v: frozenset(toks) for v, toks in state.items()}
+
+    def state_at(self, r: int) -> Dict[int, FrozenSet[int]]:
+        """Reconstruct every node's token set at the end of round ``r``.
+
+        ``r == -1`` returns the initial assignment; the final recorded
+        round reproduces ``RunResult.outputs`` exactly.
+        """
+        if not -1 <= r < len(self.rounds):
+            raise IndexError(
+                f"round {r} outside recorded range -1..{len(self.rounds) - 1}"
+            )
+        for round_index, state in self.states():
+            if round_index == r:
+                return state
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def node_state(self, r: int, node: int) -> FrozenSet[int]:
+        """Token set of ``node`` at the end of round ``r`` (``-1`` initial)."""
+        if not 0 <= node < self.n:
+            raise IndexError(f"node {node} outside 0..{self.n - 1}")
+        if not -1 <= r < len(self.rounds):
+            raise IndexError(
+                f"round {r} outside recorded range -1..{len(self.rounds) - 1}"
+            )
+        toks = set(self.initial.get(node, ()))
+        for delta in self.rounds[: r + 1]:
+            for v, gained in delta.gained:
+                if v == node:
+                    toks.update(gained)
+            for v, lost in delta.lost:
+                if v == node:
+                    toks.difference_update(lost)
+        return frozenset(toks)
+
+    def coverage_at(self, r: int) -> int:
+        """Global (node, token) pairs known at the end of round ``r``."""
+        return sum(len(toks) for toks in self.state_at(r).values())
+
+    # -- fingerprints (divergence bisection) -------------------------------
+
+    def round_digest(self, r: int) -> str:
+        """Content digest of round ``r``'s delta alone."""
+        return hashlib.sha256(repr(self.rounds[r]).encode()).hexdigest()
+
+    def prefix_digests(self) -> List[str]:
+        """Running content digests, one per round.
+
+        ``prefix_digests()[r]`` covers the initial assignment and every
+        delta up to and including round ``r``, so two recordings' digest
+        lists agree exactly up to the first diverging round — the
+        monotone predicate :func:`repro.obs.diff.diff_recordings` binary-
+        searches over.
+        """
+        h = hashlib.sha256(
+            repr((self.n, self.k, sorted(self.initial.items()))).encode()
+        )
+        out: List[str] = []
+        for delta in self.rounds:
+            h.update(repr(delta).encode())
+            out.append(h.hexdigest())
+        return out
+
+    def fingerprint(self) -> str:
+        """Digest of the whole recording (initial state + every round)."""
+        digests = self.prefix_digests()
+        if digests:
+            return digests[-1]
+        return hashlib.sha256(
+            repr((self.n, self.k, sorted(self.initial.items()))).encode()
+        ).hexdigest()
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace(self, timeline=None) -> Dict[str, Any]:
+        """Export as Chrome trace-event JSON (see :func:`to_chrome_trace`)."""
+        return to_chrome_trace(self, timeline=timeline)
+
+
+class RunRecorder:
+    """Incremental builder both engines feed at ``obs="record"``.
+
+    The engine calls :meth:`begin_round` with the round's snapshot,
+    :meth:`record_send` for every non-empty transmission, and
+    :meth:`end_round` with the round's knowledge deltas; :meth:`finish`
+    packages the :class:`RunRecording`.  All canonicalisation (sorting,
+    tuple packing) happens here so the engines stay order-free.
+    """
+
+    def __init__(
+        self, n: int, k: int, initial: Mapping[int, FrozenSet[int]]
+    ) -> None:
+        self.recording = RunRecording(
+            n=n,
+            k=k,
+            initial={
+                v: tuple(sorted(toks))
+                for v, toks in sorted(initial.items())
+                if toks
+            },
+        )
+        self._messages: List[MessageRecord] = []
+        self._roles: Optional[str] = None
+        self._head_of: Optional[Tuple[int, ...]] = None
+        # packed-form memo: hierarchies hold still for whole T-blocks, so
+        # most rounds reuse the previous round's packed roles/head_of
+        # (enum members are singletons — the tuple compare is identity-fast)
+        self._roles_memo: Optional[Tuple[Any, str]] = None
+        self._head_of_memo: Optional[Tuple[Any, Tuple[int, ...]]] = None
+
+    def begin_round(self, snap) -> None:
+        """Open a round, capturing the snapshot's hierarchy assignment."""
+        self._messages = []
+        roles = snap.roles
+        if roles is None:
+            self._roles = None
+        else:
+            memo = self._roles_memo
+            if memo is None or memo[0] != roles:
+                memo = (tuple(roles),
+                        "".join(role.value for role in roles))
+                self._roles_memo = memo
+            self._roles = memo[1]
+        head_of = snap.head_of
+        if head_of is None:
+            self._head_of = None
+        else:
+            memo = self._head_of_memo
+            if memo is None or memo[0] != head_of:
+                memo = (tuple(head_of),
+                        tuple(-1 if h is None else int(h) for h in head_of))
+                self._head_of_memo = memo
+            self._head_of = memo[1]
+
+    def record_send(
+        self,
+        sender: int,
+        kind: str,
+        dest: Optional[int],
+        tokens: Iterable[int],
+        cost: int,
+    ) -> None:
+        """Record one transmission (``kind`` ``"b"``/``"u"``; broadcast
+        ``dest`` is ``None``/-1)."""
+        self._messages.append(
+            MessageRecord(
+                sender=int(sender),
+                kind=kind,
+                dest=-1 if dest is None else int(dest),
+                tokens=tuple(sorted(tokens)),
+                cost=int(cost),
+            )
+        )
+
+    def end_round(
+        self,
+        gained: Iterable[Tuple[int, Iterable[int]]],
+        lost: Iterable[Tuple[int, Iterable[int]]] = (),
+    ) -> None:
+        """Close the round with its end-of-round knowledge deltas."""
+        self.recording.rounds.append(
+            RoundDelta(
+                gained=tuple(
+                    (int(v), tuple(sorted(toks)))
+                    for v, toks in sorted(gained)
+                ),
+                lost=tuple(
+                    (int(v), tuple(sorted(toks))) for v, toks in sorted(lost)
+                ),
+                messages=tuple(sorted(self._messages)),
+                roles=self._roles,
+                head_of=self._head_of,
+            )
+        )
+        self._messages = []
+
+    def finish(self) -> RunRecording:
+        """The completed recording."""
+        return self.recording
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+# ---------------------------------------------------------------------------
+
+#: Microseconds of trace time one simulation round occupies.
+ROUND_US = 1000
+
+_PID = 1
+_TID_ROUNDS = 1
+_TID_PHASES = 2
+_TID_LEARNS = 3
+_TID_PROFILE = 4
+
+_TRACK_NAMES = {
+    _TID_ROUNDS: "rounds",
+    _TID_PHASES: "phases",
+    _TID_LEARNS: "first learns",
+    _TID_PROFILE: "profile",
+}
+
+
+def to_chrome_trace(
+    recording: Optional[RunRecording] = None,
+    *,
+    timeline=None,
+    round_us: int = ROUND_US,
+) -> Dict[str, Any]:
+    """Encode a recording and/or timeline as Chrome trace-event JSON.
+
+    The output dict (``{"traceEvents": […], "displayTimeUnit": "ms"}``)
+    loads directly into ``chrome://tracing`` and `ui.perfetto.dev
+    <https://ui.perfetto.dev>`_.  Simulation time is mapped linearly —
+    one round is ``round_us`` microseconds of trace time:
+
+    * every round is a complete slice (``ph="X"``) on the ``rounds``
+      track, with the round's message/token/knowledge-delta counts in
+      ``args``;
+    * when the recording's ``meta`` carries a ``phase_length``, phases
+      become slices on their own track (the paper's unit of analysis);
+    * every (node, token) first-gain is an instant event (``ph="i"``) on
+      the ``first learns`` track at its round's end;
+    * a ``coverage`` counter (``ph="C"``) tracks the dissemination
+      progress curve; with a ``timeline``, ``tokens_on_air`` too;
+    * a ``timeline`` with profile sections (``obs="profile"``) adds the
+      wall-clock sections as slices on a ``profile`` track (real
+      milliseconds, laid end to end).
+
+    ``traceEvents`` are sorted by ``ts`` and every event carries the
+    required ``name``/``ph``/``ts``/``pid``/``tid`` keys — the shape
+    ``tests/test_recorder.py`` validates.
+    """
+    if recording is None and timeline is None:
+        raise ValueError("to_chrome_trace needs a recording and/or a timeline")
+    events: List[Dict[str, Any]] = []
+
+    def add(name: str, ph: str, ts: float, tid: int, **extra) -> None:
+        event: Dict[str, Any] = {
+            "name": name, "ph": ph, "ts": ts, "pid": _PID, "tid": tid,
+        }
+        event.update(extra)
+        events.append(event)
+
+    rounds = (
+        recording.rounds_recorded
+        if recording is not None
+        else timeline.rounds
+    )
+
+    if recording is not None:
+        coverage = sum(len(toks) for toks in recording.initial.values())
+        for r, delta in enumerate(recording.rounds):
+            gained_pairs = sum(len(toks) for _, toks in delta.gained)
+            lost_pairs = sum(len(toks) for _, toks in delta.lost)
+            coverage += gained_pairs - lost_pairs
+            add(
+                f"round {r}", "X", r * round_us, _TID_ROUNDS,
+                dur=round_us,
+                args={
+                    "messages": len(delta.messages),
+                    "tokens_sent": sum(m.cost for m in delta.messages),
+                    "nodes_gaining": len(delta.gained),
+                    "pairs_gained": gained_pairs,
+                },
+            )
+            add(
+                "coverage", "C", (r + 1) * round_us - 1, _TID_ROUNDS,
+                args={"pairs": coverage},
+            )
+            for node, toks in delta.gained:
+                for token in toks:
+                    add(
+                        f"learn t{token}@n{node}", "i",
+                        (r + 1) * round_us - 1, _TID_LEARNS,
+                        s="t",
+                        args={"node": node, "token": token, "round": r},
+                    )
+        phase_length = recording.meta.get("phase_length")
+        if isinstance(phase_length, int) and phase_length >= 1:
+            for start in range(0, rounds, phase_length):
+                stop = min(start + phase_length, rounds)
+                add(
+                    f"phase {start // phase_length}", "X",
+                    start * round_us, _TID_PHASES,
+                    dur=(stop - start) * round_us,
+                    args={"rounds": f"{start}..{stop - 1}"},
+                )
+    elif timeline is not None:
+        for r in range(timeline.rounds):
+            add(
+                f"round {r}", "X", r * round_us, _TID_ROUNDS,
+                dur=round_us,
+                args={
+                    "messages": timeline.messages[r],
+                    "tokens_sent": timeline.tokens[r],
+                },
+            )
+            add(
+                "coverage", "C", (r + 1) * round_us - 1, _TID_ROUNDS,
+                args={"pairs": timeline.coverage[r]},
+            )
+
+    if timeline is not None and recording is not None:
+        for r in range(min(timeline.rounds, rounds)):
+            add(
+                "tokens_on_air", "C", (r + 1) * round_us - 1, _TID_ROUNDS,
+                args={"tokens": timeline.tokens[r]},
+            )
+    if timeline is not None and timeline.profile:
+        cursor = 0.0
+        for section, seconds in sorted(
+            timeline.profile.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            dur = seconds * 1e6
+            add(section, "X", cursor, _TID_PROFILE, dur=dur)
+            cursor += dur
+
+    events.sort(key=lambda e: e["ts"])
+    # metadata events name the tracks; ts 0 keeps the sort contract
+    used_tids = {e["tid"] for e in events}
+    metadata = [
+        {
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": _PID,
+            "tid": tid, "args": {"name": _TRACK_NAMES[tid]},
+        }
+        for tid in sorted(used_tids)
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"round_us": round_us, "rounds": rounds},
+    }

@@ -25,6 +25,15 @@ Observability levels (the engines' ``obs`` parameter):
     engines (the fast path does not fall back), so provenance chains and
     hop histograms cost O(n·k) total instead of O(n·k) *per round* like
     the legacy ``SimTrace`` knowledge snapshots.
+``"record"``
+    Timeline plus a :class:`~repro.obs.recorder.RunRecording`: per-round
+    knowledge-set deltas, role/cluster assignments and canonically
+    ordered sent messages, recorded natively by *both* engines.  A
+    recording reconstructs full simulation state at any round
+    (time travel), diffs against another recording
+    (:func:`repro.obs.diff.diff_recordings`), and exports to Chrome
+    trace-event JSON (:func:`repro.obs.recorder.to_chrome_trace`).
+    Deterministic, so recorded runs ride the result cache.
 ``"profile"``
     Timeline plus wall-clock section timings (:class:`Profiler`):
     topology decode vs. send vs. deliver vs. receive vs. bookkeeping.
@@ -51,15 +60,21 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 __all__ = [
+    "EVENTS_SCHEMA_VERSION",
     "OBS_LEVELS",
     "Profiler",
     "RunTimeline",
+    "read_events",
     "validate_obs",
     "write_events",
 ]
 
 #: Recognised observability levels, cheapest first.
-OBS_LEVELS = ("off", "timeline", "trace", "profile")
+OBS_LEVELS = ("off", "timeline", "trace", "record", "profile")
+
+#: Schema version stamped into every ``--events`` JSONL header; bump on
+#: any layout change so consumers can refuse files they do not understand.
+EVENTS_SCHEMA_VERSION = 1
 
 
 def validate_obs(obs: str) -> str:
@@ -279,7 +294,11 @@ def write_events(
     re-aggregating.
     """
     lines: List[str] = []
-    header: Dict[str, Any] = {"type": "run", "rounds": timeline.rounds}
+    header: Dict[str, Any] = {
+        "type": "run",
+        "schema_version": EVENTS_SCHEMA_VERSION,
+        "rounds": timeline.rounds,
+    }
     if run_info:
         header.update(run_info)
     lines.append(json.dumps(header, sort_keys=True))
@@ -304,3 +323,32 @@ def write_events(
     lines.append(json.dumps(footer, sort_keys=True))
     Path(path).write_text("\n".join(lines) + "\n")
     return len(lines)
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a :func:`write_events` JSONL file back into event dicts.
+
+    Validates the header before yielding anything: the first line must be
+    a ``type: "run"`` object whose ``schema_version`` this reader
+    understands.  Files written before versioning carry no
+    ``schema_version`` and are read as version 1 (the layout is
+    unchanged); an unknown version raises a clear :class:`ValueError`
+    instead of silently misparsing.
+    """
+    text = Path(path).read_text()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"events file {path} is empty")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("type") != "run":
+        raise ValueError(
+            f"events file {path} does not start with a 'run' header line"
+        )
+    version = header.get("schema_version", 1)
+    if version != EVENTS_SCHEMA_VERSION:
+        raise ValueError(
+            f"events file {path} has schema_version {version!r}; this "
+            f"reader understands version {EVENTS_SCHEMA_VERSION} — "
+            "re-export the run or upgrade repro"
+        )
+    return [json.loads(line) for line in lines]

@@ -42,7 +42,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Protocol, Tuple
 
-from ..obs import CausalTrace, Profiler, RoundView, RunTimeline, validate_obs
+from ..obs import (
+    CausalTrace,
+    Profiler,
+    RoundView,
+    RunRecorder,
+    RunRecording,
+    RunTimeline,
+    validate_obs,
+)
 from ..obs.monitors import Monitor, Violation
 from ..roles import Role
 from .messages import Delivery, Message
@@ -107,6 +115,11 @@ class RunResult:
     causal_trace:
         First-learn provenance events (:class:`~repro.obs.CausalTrace`),
         recorded at ``obs="trace"`` — identically by both engines.
+    recording:
+        Deterministic record/replay data
+        (:class:`~repro.obs.RunRecording`), recorded at ``obs="record"``
+        — bit-identically by both engines.  Reconstructs full state at
+        any round and diffs against other recordings.
     violations:
         Structured invariant diagnostics collected by the run's monitors
         (``None`` when no monitors were attached; an empty list means
@@ -125,6 +138,7 @@ class RunResult:
     trace: Optional[SimTrace] = None
     timeline: Optional[RunTimeline] = None
     causal_trace: Optional[CausalTrace] = None
+    recording: Optional[RunRecording] = None
     violations: Optional[List[Violation]] = None
     algorithms: Optional[Dict[int, NodeAlgorithm]] = field(default=None, repr=False)
 
@@ -203,6 +217,12 @@ class ActiveRun:
                 for t in sorted(self.algorithms[v].TA):
                     self.causal.record_origin(v, t)
             self._known = [set(self.algorithms[v].TA) for v in range(n)]
+        self.recorder: Optional[RunRecorder] = None
+        self._rec_prev: Optional[List[FrozenSet[int]]] = None
+        if engine.obs == "record":
+            start = {v: frozenset(self.algorithms[v].TA) for v in range(n)}
+            self.recorder = RunRecorder(n, k, start)
+            self._rec_prev = [start[v] for v in range(n)]
         self.round = 0
         self.stopped = False
         self._adaptive = getattr(network, "adaptive_snapshot", None)
@@ -293,6 +313,9 @@ class ActiveRun:
                     "member": snap.roles.count(Role.MEMBER),
                 })
         round_trace = self.trace.begin_round(r) if self.trace is not None else None
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_round(snap)
 
         contexts = [
             RoundContext(
@@ -324,6 +347,14 @@ class ActiveRun:
                     timeline.record_sends(role_name, 1, msg.cost)
                 if round_trace is not None:
                     round_trace.sends.append((msg, role_name))
+                if recorder is not None:
+                    recorder.record_send(
+                        v,
+                        "b" if msg.delivery is Delivery.BROADCAST else "u",
+                        None if msg.delivery is Delivery.BROADCAST else msg.dest,
+                        msg.tokens,
+                        msg.cost,
+                    )
                 if msg.delivery is Delivery.BROADCAST:
                     for u in snap.adj[v]:
                         if self._delivered():
@@ -360,6 +391,21 @@ class ActiveRun:
             t0 = now
         if self.causal is not None:
             self._record_causal(r, snap, inboxes)
+        if recorder is not None:
+            prev = self._rec_prev
+            gained = []
+            lost = []
+            for v in range(n):
+                cur = frozenset(self.algorithms[v].TA)
+                if cur != prev[v]:
+                    up = cur - prev[v]
+                    if up:
+                        gained.append((v, up))
+                    down = prev[v] - cur
+                    if down:
+                        lost.append((v, down))
+                    prev[v] = cur
+            recorder.end_round(gained, lost)
         coverage = 0
         nodes_complete = 0
         k = self.k
@@ -433,6 +479,7 @@ class ActiveRun:
             trace=self.trace,
             timeline=self.timeline,
             causal_trace=self.causal,
+            recording=self.recorder.finish() if self.recorder is not None else None,
             violations=violations,
             algorithms=self.algorithms,
         )
@@ -476,10 +523,13 @@ class SynchronousEngine:
         records cheap per-round progress counters into
         ``RunResult.timeline``, ``"trace"`` additionally records one
         causal first-learn event per (node, token) into
-        ``RunResult.causal_trace``, ``"profile"`` times the round loop's
-        sections, ``"off"`` records nothing.  Both execution paths feed
-        the same counters and trace events, so timelines *and* causal
-        traces join the fast-path equivalence guarantee.
+        ``RunResult.causal_trace``, ``"record"`` additionally records a
+        replayable :class:`~repro.obs.RunRecording` (per-round knowledge
+        deltas + roles + messages) into ``RunResult.recording``,
+        ``"profile"`` times the round loop's sections, ``"off"`` records
+        nothing.  Both execution paths feed the same counters, trace
+        events and recordings, so timelines, causal traces *and*
+        recordings join the fast-path equivalence guarantee.
     """
 
     def __init__(

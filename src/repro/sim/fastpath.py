@@ -23,7 +23,11 @@ per-round counters, hierarchy populations), the same
 :class:`~repro.obs.CausalTrace` first-learn events at ``obs="trace"``
 (recorded natively from the bitset diff ``TA & ~known`` with the same
 min-sender attribution rule — the fast path does *not* fall back for
-causal tracing), the same monitor :class:`~repro.obs.Violation` streams,
+causal tracing), the same :class:`~repro.obs.RunRecording` at
+``obs="record"`` (per-round knowledge deltas from the bitset diff, roles,
+and canonically ordered messages decoded from the send batches — asserted
+bit-identical registry-wide in ``tests/test_recorder.py``), the same
+monitor :class:`~repro.obs.Violation` streams,
 the same drop/loss accounting, and — because fault injection consumes the
 loss RNG in the reference engine's exact delivery order — the same
 behaviour under ``loss_p > 0`` and ``latency > 1``.  The equivalence
@@ -44,19 +48,40 @@ per-node objects to hand back.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..obs import CausalTrace, Profiler, RoundView, RunTimeline
+from ..obs import CausalTrace, Profiler, RoundView, RunRecorder, RunTimeline
 from .engine import RunResult, SynchronousEngine, validate_run_args
 from .metrics import Metrics, RoleCost
 from .topology import Snapshot, SnapshotArrays
 
-__all__ = ["supported_kinds", "try_run"]
+__all__ = ["FAULT_ENV_VAR", "supported_kinds", "try_run"]
 
 _U1 = np.uint64(1)
+
+#: Test-only fault hook: ``"ROUND:NODE:TOKEN"`` flips (XOR) that token bit
+#: in the named node's bitset right after the round's receive phase — a
+#: deterministic, guaranteed state perturbation the divergence-bisection
+#: tooling (``repro diff --engines``) must pinpoint exactly.  Never set in
+#: production runs.
+FAULT_ENV_VAR = "REPRO_FASTPATH_FAULT"
+
+
+def _parse_fault() -> Optional[Tuple[int, int, int]]:
+    raw = os.environ.get(FAULT_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        r, v, t = (int(part) for part in raw.split(":"))
+    except ValueError as exc:
+        raise ValueError(
+            f"{FAULT_ENV_VAR} must be 'ROUND:NODE:TOKEN', got {raw!r}"
+        ) from exc
+    return r, v, t
 _ROLE_HEAD, _ROLE_GATEWAY, _ROLE_MEMBER = 0, 1, 2
 _ROLE_NAMES = ((0, "head"), (1, "gateway"), (2, "member"))
 _ROLE_NAME_BY_CODE = {code: name for code, name in _ROLE_NAMES}
@@ -590,6 +615,24 @@ def _row_tokens(row: np.ndarray) -> List[int]:
     return out
 
 
+def _rows_tokens(rows: np.ndarray) -> List[List[int]]:
+    """Decode an (m, words) uint64 bitset matrix to per-row sorted token
+    lists in one vectorised pass (one ``unpackbits`` + one ``nonzero``
+    instead of m Python word walks — the recording hot path decodes
+    every message payload of every round)."""
+    m = rows.shape[0]
+    out: List[List[int]] = [[] for _ in range(m)]
+    if m == 0:
+        return out
+    bits = np.unpackbits(
+        np.ascontiguousarray(rows, dtype="<u8").view(np.uint8),
+        axis=1, bitorder="little",
+    )
+    for i, t in zip(*(ix.tolist() for ix in np.nonzero(bits))):
+        out[i].append(t)
+    return out
+
+
 def _record_causal_round(
     causal: CausalTrace,
     r: int,
@@ -695,6 +738,14 @@ def try_run(
             for t in _row_tokens(TA[node]):
                 causal.record_origin(node, t)
         known = TA.copy()
+    recorder: Optional[RunRecorder] = None
+    rec_known: Optional[np.ndarray] = None
+    if engine.obs == "record":
+        recorder = RunRecorder(
+            n, k, {v: frozenset(_row_tokens(TA[v])) for v in range(n)}
+        )
+        rec_known = TA.copy()
+    fault = _parse_fault()
     monitors = list(monitors) if monitors else []
     loss_rng = None
     if engine.loss_p > 0:
@@ -725,11 +776,32 @@ def try_run(
                     name: int(pops[code]) for code, name in _ROLE_NAMES
                 })
 
+        if recorder is not None:
+            recorder.begin_round(snap)
+
         if prof is not None:
             t0 = time.perf_counter()
         batch = kernel.send(r, arrs)
         if batch is not None and batch.messages:
             _account(metrics, batch, arrs, timeline)
+            if recorder is not None:
+                bc_tokens = _rows_tokens(batch.bc_payload)
+                for i in range(len(batch.bc_senders)):
+                    cost = int(batch.bc_costs[i])
+                    if cost:
+                        recorder.record_send(
+                            int(batch.bc_senders[i]), "b", None,
+                            bc_tokens[i], cost,
+                        )
+                uc_tokens = _rows_tokens(batch.uc_payload)
+                for i in range(len(batch.uc_senders)):
+                    cost = int(batch.uc_costs[i])
+                    if cost:
+                        recorder.record_send(
+                            int(batch.uc_senders[i]), "u",
+                            int(batch.uc_dests[i]),
+                            uc_tokens[i], cost,
+                        )
             if loss_rng is None:
                 flat = _deliveries(batch, arrs)
             else:
@@ -758,10 +830,26 @@ def try_run(
             now = time.perf_counter()
             prof.add("receive", now - t0)
             t0 = now
+        if fault is not None and fault[0] == r:
+            # test-only perturbation (see FAULT_ENV_VAR): XOR always
+            # changes state, so divergence at exactly this round/node
+            fv, ft = fault[1], fault[2]
+            kernel.TA[fv, ft >> 6] ^= _U1 << np.uint64(ft & 63)
         if causal is not None:
             _record_causal_round(
                 causal, r, arrs.roles, known, kernel.TA, rec, snd, payload
             )
+        if recorder is not None:
+            new = kernel.TA & ~rec_known
+            dropped = rec_known & ~kernel.TA
+            new_idx = np.nonzero(new.any(axis=1))[0]
+            gained = list(zip(new_idx.tolist(), _rows_tokens(new[new_idx])))
+            lost_idx = np.nonzero(dropped.any(axis=1))[0]
+            lost = list(
+                zip(lost_idx.tolist(), _rows_tokens(dropped[lost_idx]))
+            )
+            recorder.end_round(gained, lost)
+            rec_known[:] = kernel.TA
         per_node = np.bitwise_count(kernel.TA).sum(axis=1, dtype=np.int64)
         coverage = int(per_node.sum())
         nodes_complete = int((per_node == k).sum())
@@ -809,6 +897,7 @@ def try_run(
         trace=None,
         timeline=timeline,
         causal_trace=causal,
+        recording=recorder.finish() if recorder is not None else None,
         violations=violations,
         algorithms=None,
     )

@@ -180,3 +180,125 @@ class TestRegistryCommands:
                      "--cache", str(tmp_path)]) == 0
         assert "empirical_nr" in capsys.readouterr().out
         assert list(tmp_path.glob("*/*.json"))
+
+
+class TestRecordReplayDiff:
+    def _record(self, tmp_path, name="rec.json", extra=()):
+        path = tmp_path / name
+        argv = ["record", "algorithm1", "--n0", "24", "--theta", "7",
+                "--k", "3", "--out", str(path), *extra]
+        assert main(argv) == 0
+        return path
+
+    def test_record_writes_recording(self, capsys, tmp_path):
+        path = self._record(tmp_path)
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and str(path) in out
+        assert path.is_file()
+        from repro.io import load_recording
+
+        rec = load_recording(path)
+        assert rec.rounds_recorded > 0
+        assert rec.meta["algorithm"] == "algorithm1"
+
+    def test_record_engines_agree(self, capsys, tmp_path):
+        self._record(tmp_path, "fast.json")
+        fast_out = capsys.readouterr().out
+        self._record(tmp_path, "ref.json", extra=["--engine", "reference"])
+        ref_out = capsys.readouterr().out
+        fingerprint = [l for l in fast_out.splitlines() if "fingerprint" in l]
+        assert fingerprint and fingerprint[0].split()[-1] in ref_out
+
+    def test_record_chrome_export(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        self._record(tmp_path, extra=["--chrome", str(chrome)])
+        assert "chrome://tracing" in capsys.readouterr().out
+        trace = json.loads(chrome.read_text())
+        events = trace["traceEvents"]
+        assert events == sorted(events, key=lambda e: e["ts"])
+        assert all({"name", "ph", "ts", "pid", "tid"} <= set(e)
+                   for e in events)
+
+    def test_replay_overview(self, capsys, tmp_path):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "round" in out and "coverage" in out
+
+    def test_replay_time_travel_to_node(self, capsys, tmp_path):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path), "--at", "5", "--node", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "node 3 at end of round 5" in out
+
+    def test_replay_missing_file_exits_readably(self, tmp_path):
+        with pytest.raises(SystemExit, match="recording file not found"):
+            main(["replay", str(tmp_path / "nope.json")])
+
+    def test_replay_corrupt_file_exits_readably(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="could not read recording"):
+            main(["replay", str(bad)])
+
+    def test_replay_at_out_of_range_exits(self, tmp_path):
+        path = self._record(tmp_path)
+        with pytest.raises(SystemExit, match="outside recorded range"):
+            main(["replay", str(path), "--at", "100000"])
+
+    def test_diff_identical_recordings(self, capsys, tmp_path):
+        a = self._record(tmp_path, "a.json")
+        b = self._record(tmp_path, "b.json", extra=["--engine", "reference"])
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "recordings identical" in capsys.readouterr().out
+
+    def test_diff_engines_mode(self, capsys, tmp_path):
+        assert main(["diff", "--engines", "algorithm1", "--n0", "24",
+                     "--theta", "7", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recordings identical" in out and "fast" in out
+
+    def test_diff_divergent_exits_one_and_writes_report(self, capsys,
+                                                        tmp_path,
+                                                        monkeypatch):
+        from repro.sim.fastpath import FAULT_ENV_VAR
+
+        a = self._record(tmp_path, "good.json")
+        monkeypatch.setenv(FAULT_ENV_VAR, "2:1:0")
+        b = self._record(tmp_path, "faulty.json")
+        monkeypatch.delenv(FAULT_ENV_VAR)
+        capsys.readouterr()
+        report = tmp_path / "report.txt"
+        assert main(["diff", str(a), str(b), "--report", str(report)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out and "first diverging round: 2" in out
+        assert "DIVERGENCE" in report.read_text()
+
+    def test_diff_mismatched_scenarios_exits_readably(self, capsys, tmp_path):
+        a = self._record(tmp_path, "a.json")
+        big = tmp_path / "big.json"
+        assert main(["record", "algorithm1", "--n0", "30", "--theta", "7",
+                     "--k", "3", "--out", str(big)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="not comparable"):
+            main(["diff", str(a), str(big)])
+
+    def test_diff_missing_file_exits_readably(self, tmp_path):
+        a = self._record(tmp_path)
+        with pytest.raises(SystemExit, match="recording file not found"):
+            main(["diff", str(a), str(tmp_path / "absent.json")])
+
+    def test_diff_needs_two_files(self, tmp_path):
+        a = self._record(tmp_path)
+        with pytest.raises(SystemExit, match="exactly two"):
+            main(["diff", str(a)])
+
+    def test_diff_rejects_files_plus_engines(self, tmp_path):
+        a = self._record(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["diff", str(a), str(a), "--engines", "algorithm1"])

@@ -23,7 +23,7 @@ from repro.sim.engine import SynchronousEngine
 
 class TestValidateObs:
     def test_levels(self):
-        assert OBS_LEVELS == ("off", "timeline", "trace", "profile")
+        assert OBS_LEVELS == ("off", "timeline", "trace", "record", "profile")
         for level in OBS_LEVELS:
             assert validate_obs(level) == level
 
@@ -309,3 +309,33 @@ class TestRegressionGate:
         assert gate.main(["--repeats", "1", "--obs-budget", "3.0",
                           "--cases", "obs_overhead_trace_vs_off",
                           "--inject-obs-overhead-ms", "300"]) == 1
+
+    def test_record_overhead_within_budget(self):
+        # generous budget: passes anywhere unless obs="record" became
+        # outright pathological relative to an unobserved run
+        gate = _load_check_regression()
+        assert gate.main(["--repeats", "1", "--record-budget", "20",
+                          "--cases", "record_overhead_vs_off"]) == 0
+
+    def test_record_overhead_gate_fails_on_injected_overhead(self):
+        gate = _load_check_regression()
+        assert gate.main(["--repeats", "1", "--record-budget", "3.0",
+                          "--cases", "record_overhead_vs_off",
+                          "--inject-record-overhead-ms", "300"]) == 1
+
+    def test_equivalence_failure_emits_divergence_report(self, tmp_path,
+                                                         monkeypatch):
+        """Under an injected fastpath fault the full-run equivalence case
+        fails AND pinpoints the exact round/node in a written report."""
+        from repro.sim.fastpath import FAULT_ENV_VAR
+
+        gate = _load_check_regression()
+        monkeypatch.setenv(FAULT_ENV_VAR, "3:5:0")
+        report = tmp_path / "divergence.txt"
+        assert gate.main(["--threshold", "0.9", "--repeats", "1",
+                          "--cases", self.CASE,
+                          "--divergence-report", str(report)]) == 1
+        text = report.read_text()
+        assert "DIVERGENCE" in text
+        assert "first diverging round: 3" in text
+        assert "node 5" in text
