@@ -44,6 +44,43 @@ def time_ms(fn: Callable[[], object], repeats: int = 5) -> Dict[str, float]:
     }
 
 
+def time_ms_paired(
+    fn_a: Callable[[], object],
+    fn_b: Callable[[], object],
+    repeats: int = 5,
+) -> "tuple[Dict[str, float], Dict[str, float]]":
+    """Time two callables with interleaved samples (A B A B …), in ms.
+
+    Engine-vs-engine ratios measured as sequential blocks pick up
+    allocator/GC drift — whichever engine runs second inherits the first
+    one's heap state, which skews small differences by tens of percent.
+    Alternating the samples lands the drift on both sides equally, so the
+    ratio of the two medians reflects the kernels, not the ordering.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    fn_a()
+    fn_b()
+    samples_a, samples_b = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        samples_a.append((time.perf_counter() - t0) * 1000.0)
+        t0 = time.perf_counter()
+        fn_b()
+        samples_b.append((time.perf_counter() - t0) * 1000.0)
+
+    def stats(samples):
+        return {
+            "best_ms": round(min(samples), 3),
+            "median_ms": round(median(samples), 3),
+            "mean_ms": round(mean(samples), 3),
+            "repeats": repeats,
+        }
+
+    return stats(samples_a), stats(samples_b)
+
+
 def record_bench(case: str, stats: Dict[str, object]) -> Path:
     """Merge one case's stats into ``BENCH_engine.json`` (creating it)."""
     data: Dict[str, object] = {}

@@ -10,13 +10,19 @@ have a throughput trajectory to diff against.
 
 from __future__ import annotations
 
-from _bench_json import record_bench, time_ms
+import numpy as np
 
+from _bench_json import record_bench, time_ms, time_ms_paired
+
+from repro.baselines.flooding import make_flood_new_factory
 from repro.core.algorithm1 import make_algorithm1_factory
 from repro.experiments.scenarios import hinet_interval_scenario
 from repro.graphs.generators.hinet import HiNetParams, generate_hinet
-from repro.sim.engine import run
+from repro.graphs.generators.static import clustered_star_arrays, ring_lattice_arrays
+from repro.sim import columnar
+from repro.sim.engine import SynchronousEngine, run
 from repro.sim.messages import initial_assignment
+from repro.sim.topology import CSRNetwork
 
 
 def test_engine_round_throughput(benchmark):
@@ -78,6 +84,115 @@ def test_engine_fast_vs_reference(benchmark):
     assert speedup >= 3.0, f"fast path only {speedup:.1f}x faster"
 
     benchmark(lambda: go("fast"))
+
+
+def test_engine_columnar_vs_fast(benchmark):
+    """Columnar vs fast on an Algorithm-1 sweep at n=10⁴: identical, faster.
+
+    The clustered-star topology is the columnar tier's home turf — a
+    static (∞, L)-hierarchy big enough (n ≥ 10⁴, the issue's gate floor)
+    that masked-column receive beats the fast path's per-delivery
+    scatter.  Samples are interleaved (``time_ms_paired``) so the ratio
+    measures the kernels rather than allocator drift.
+    """
+    n, theta, k = 10_000, 300, 16
+    net = CSRNetwork(clustered_star_arrays(n, theta))
+    initial = {v: frozenset({v % k}) for v in range(n)}
+    factory = make_algorithm1_factory(T=12, M=6)
+
+    def go(engine):
+        return SynchronousEngine(engine=engine).run(net, factory, k, initial, 72)
+
+    fast_result = go("fast")
+    col_result = go("columnar")
+    assert col_result.outputs == fast_result.outputs
+    assert col_result.metrics == fast_result.metrics
+
+    fast_stats, col_stats = time_ms_paired(
+        lambda: go("fast"), lambda: go("columnar"), repeats=5
+    )
+    speedup = fast_stats["median_ms"] / col_stats["median_ms"]
+    record_bench("columnar_vs_fast_alg1_n10000", {
+        "scenario": f"clustered_star_arrays(n={n}, theta={theta}), algorithm1(T=12, M=6), k={k}",
+        "rounds": col_result.metrics.rounds,
+        "tokens_sent": col_result.metrics.tokens_sent,
+        "fast_median_ms": fast_stats["median_ms"],
+        "columnar_median_ms": col_stats["median_ms"],
+        "speedup": round(speedup, 2),
+        "results_identical": True,
+    })
+    assert speedup >= 0.9, f"columnar only {speedup:.2f}x vs fast at n=1e4"
+
+    benchmark(lambda: go("columnar"))
+
+
+def test_columnar_flood_round_scale(benchmark):
+    """One flooding round at n=10⁵ and n=10⁶ on the columnar tier.
+
+    The tentpole acceptance number: a single packed spmm-delivery round
+    over a degree-8 ring lattice with k=64 tokens, no per-node Python.
+    ``materialize_outputs=False`` keeps the measurement on the round
+    kernel (materialising 10⁶ frozensets would dominate and no scale
+    consumer asks for them).
+    """
+    factory = make_flood_new_factory()
+    cases = {}
+    for n in (100_000, 1_000_000):
+        net = CSRNetwork(ring_lattice_arrays(n, 8))
+        TA0 = columnar.pack_single_tokens(np.arange(n) % 64, 64)
+
+        def one_round(n=n, net=net, TA0=TA0):
+            return columnar.run_columnar(
+                SynchronousEngine(engine="columnar"), net, "flood_new", {},
+                64, TA0.copy(), 1, materialize_outputs=False,
+            )
+
+        res = one_round()
+        assert res.metrics.messages_sent == n
+        repeats = 5 if n <= 100_000 else 3
+        cases[n] = time_ms(one_round, repeats=repeats)
+
+    record_bench("columnar_flood_round_n100000", {
+        "scenario": "ring_lattice_arrays(n=100000, degree=8), flood_new, k=64, 1 round",
+        **cases[100_000],
+    })
+    record_bench("columnar_flood_round_n1000000", {
+        "scenario": "ring_lattice_arrays(n=1000000, degree=8), flood_new, k=64, 1 round",
+        **cases[1_000_000],
+    })
+
+    small = CSRNetwork(ring_lattice_arrays(100_000, 8))
+    TA_small = columnar.pack_single_tokens(np.arange(100_000) % 64, 64)
+    benchmark(lambda: columnar.run_columnar(
+        SynchronousEngine(engine="columnar"), small, "flood_new", {},
+        64, TA_small.copy(), 1, materialize_outputs=False,
+    ))
+
+
+def test_columnar_alg1_sweep_n10000(benchmark):
+    """Full Algorithm-1 columnar sweep at n=10⁴ (the issue's sweep target)."""
+    n, theta, k = 10_000, 300, 16
+    net = CSRNetwork(clustered_star_arrays(n, theta))
+    TA0 = columnar.pack_single_tokens(np.arange(n) % k, k)
+
+    def go():
+        return columnar.run_columnar(
+            SynchronousEngine(engine="columnar"), net, "algorithm1",
+            {"T": 12, "M": 6, "strict": False}, k, TA0.copy(), 72,
+            materialize_outputs=False,
+        )
+
+    res = go()
+    assert res.metrics.rounds == 72
+    stats = time_ms(go, repeats=5)
+    record_bench("columnar_alg1_run_n10000", {
+        "scenario": f"clustered_star_arrays(n={n}, theta={theta}), algorithm1(T=12, M=6), k={k}, 72 rounds",
+        "rounds": res.metrics.rounds,
+        "tokens_sent": res.metrics.tokens_sent,
+        **stats,
+    })
+
+    benchmark(go)
 
 
 def test_hinet_generation_throughput(benchmark):

@@ -12,6 +12,11 @@ baseline:
 * the fast/reference **speedup ratio** — measured fresh, both engines on
   the same machine in the same process — must stay within ``--threshold``
   (default 25%) of the baseline's recorded ratio;
+* the **columnar speedup gate** (``columnar_vs_fast_alg1_n10000``): the
+  columnar tier must stay bit-identical to the fast path and its
+  columnar/fast ratio — measured with interleaved samples — must clear
+  both the baseline ratio and fast-path parity, modulo ``--threshold``
+  (the issue-level invariant: columnar ≥ fastpath at n ≥ 10⁴);
 * the **telemetry overhead budget** (``obs_overhead_trace_vs_off``, a
   synthetic case needing no baseline entry): an ``obs="trace"`` run must
   cost at most ``--obs-budget`` times the ``obs="off"`` run and must not
@@ -60,7 +65,7 @@ try:
 except ImportError:  # uninstalled checkout: fall back to the src layout
     sys.path.insert(0, str(_HERE.parent / "src"))
 
-from _bench_json import BENCH_JSON, time_ms
+from _bench_json import BENCH_JSON, time_ms, time_ms_paired
 
 Row = Dict[str, object]
 CheckResult = Tuple[List[str], List[Row]]
@@ -151,6 +156,88 @@ def check_algorithm1_full_run(baseline: Dict[str, object], args) -> CheckResult:
         failures.append(
             f"speedup regressed: {speedup:.2f}x < {floor:.2f}x "
             f"(baseline {base_speedup:.2f}x, threshold {threshold:.0%})"
+        )
+    return failures, rows
+
+
+def check_columnar_vs_fast(baseline: Dict[str, object], args) -> CheckResult:
+    """Columnar speedup gate: columnar must not fall behind the fast path.
+
+    Re-runs the recorded Algorithm-1 sweep (clustered star, n=10⁴ — the
+    issue's gate floor for the columnar tier) on both vectorised engines.
+    Deterministic counters must match the baseline exactly, the engines
+    must agree bit-for-bit, and the columnar/fast speedup — measured with
+    *interleaved* samples so allocator drift cancels — must clear both
+    the baseline's recorded ratio and parity with the fast path, each
+    modulo ``--threshold``.  The parity floor is what keeps "columnar ≥
+    fastpath at n ≥ 10⁴" gated even if a slow baseline is ever committed.
+    """
+    from repro.core.algorithm1 import make_algorithm1_factory
+    from repro.graphs.generators.static import clustered_star_arrays
+    from repro.sim.engine import SynchronousEngine
+    from repro.sim.topology import CSRNetwork
+
+    threshold = args.threshold
+    n, theta, k = 10_000, 300, 16
+    net = CSRNetwork(clustered_star_arrays(n, theta))
+    initial = {v: frozenset({v % k}) for v in range(n)}
+    factory = make_algorithm1_factory(T=12, M=6)
+
+    def go(engine: str):
+        return SynchronousEngine(engine=engine).run(net, factory, k,
+                                                    initial, 72)
+
+    failures: List[str] = []
+    rows: List[Row] = []
+    fast, col = go("fast"), go("columnar")
+
+    for metric, got in (
+        ("rounds", col.metrics.rounds),
+        ("tokens_sent", col.metrics.tokens_sent),
+    ):
+        want = baseline.get(metric)
+        ok = want is None or got == want
+        rows.append(_row(f"columnar {metric}", want, got, ok))
+        if not ok:
+            failures.append(
+                f"columnar {metric}: measured {got} != baseline {want} "
+                "(deterministic counter drifted — engine semantics changed)"
+            )
+
+    identical = (
+        col.outputs == fast.outputs
+        and col.metrics == fast.metrics
+        and col.timeline == fast.timeline
+    )
+    rows.append(_row("columnar == fast (outputs+metrics+timeline)",
+                     True, identical, identical))
+    if not identical:
+        failures.append("columnar tier diverged from the fast path")
+
+    sleep_s = args.inject_columnar_slowdown_ms / 1000.0
+
+    def timed_columnar():
+        if sleep_s:
+            time.sleep(sleep_s)
+        return go("columnar")
+
+    fast_stats, col_stats = time_ms_paired(
+        lambda: go("fast"), timed_columnar, repeats=args.repeats
+    )
+    speedup = fast_stats["median_ms"] / col_stats["median_ms"]
+    base_speedup = float(baseline.get("speedup", 0.0))
+    floor = max(base_speedup, 1.0) * (1.0 - threshold)
+    ok = speedup >= floor
+    rows.append(_row(f"columnar speedup (floor {floor:.2f}x)",
+                     f"{base_speedup:.2f}x", f"{speedup:.2f}x", ok))
+    rows.append(_row("columnar_median_ms (not gated)",
+                     baseline.get("columnar_median_ms"),
+                     col_stats["median_ms"], True))
+    if not ok:
+        failures.append(
+            f"columnar speedup regressed: {speedup:.2f}x < {floor:.2f}x "
+            f"(baseline {base_speedup:.2f}x, parity floor 1.00x, "
+            f"threshold {threshold:.0%})"
         )
     return failures, rows
 
@@ -309,6 +396,7 @@ def check_obs_overhead(baseline: Dict[str, object], args) -> CheckResult:
 #: only absolute wall-clock stats and are skipped (not machine-portable).
 CHECKS = {
     "algorithm1_full_run_n100_r126": check_algorithm1_full_run,
+    "columnar_vs_fast_alg1_n10000": check_columnar_vs_fast,
 }
 
 #: Self-contained checks that need no baseline entry (both sides measured
@@ -335,6 +423,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject-slowdown-ms", type=float, default=0.0,
                         help="testing hook: sleep this long inside the timed "
                         "fast-path callable")
+    parser.add_argument("--inject-columnar-slowdown-ms", type=float,
+                        default=0.0,
+                        help="testing hook: sleep this long inside the timed "
+                        "columnar callable")
     parser.add_argument("--obs-budget", type=float, default=3.0,
                         help="max allowed obs='trace' / obs='off' wall-clock "
                         "ratio (default: 3.0)")

@@ -51,6 +51,7 @@ KLO_INTERVAL = register(
         required_params=("T", "alpha", "L"),
         plan=_plan_klo_interval,
         fastpath=True,
+        columnar=True,
         description="KLO under T-interval connectivity: ceil(n0/(alpha*L)) "
         "phases of T rounds.",
     )
@@ -77,6 +78,7 @@ KLO_ONE = register(
         plan=_plan_klo_one,
         overrides=("rounds",),
         fastpath=True,
+        columnar=True,
         description="KLO 1-interval full broadcast for n-1 rounds.",
     )
 )
@@ -103,6 +105,7 @@ FLOOD_ALL = register(
         plan=_plan_flood_all,
         overrides=("rounds",),
         fastpath=True,
+        columnar=True,
         description="Unconditional flooding, stopped at completion "
         "(measurement baseline).",
     )
@@ -129,6 +132,7 @@ FLOOD_NEW = register(
         plan=_plan_flood_new,
         overrides=("rounds",),
         fastpath=True,
+        columnar=True,
         description="Epidemic flooding (no delivery guarantee on dynamic "
         "graphs).",
     )

@@ -90,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--rounds", type=int, default=None,
                          help="override the round budget (where the spec "
                          "allows)")
-        cmd.add_argument("--engine", choices=["fast", "reference"],
+        cmd.add_argument("--engine",
+                         choices=["columnar", "fast", "reference"],
                          default="fast")
 
     def _add_run_scenario_flags(cmd: argparse.ArgumentParser) -> None:

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, TypeVar
 from ..sim.rng import SeedLike, derive_seed
 from .replication import MetricSummary, summarize
 
-__all__ = ["parallel_map", "parallel_replicate"]
+__all__ = ["ShardPool", "parallel_map", "parallel_replicate"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -48,6 +48,47 @@ def parallel_map(
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=min(processes, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+class ShardPool:
+    """A persistent worker pool for per-round sharded kernels.
+
+    :func:`parallel_map` spins a fresh :class:`ProcessPoolExecutor` per
+    call — fine for sweeps (one call, hundreds of cells), fatal for the
+    columnar engine's sharded delivery, which maps a handful of shard
+    tasks *every round*.  This wrapper keeps the executor (and its warm
+    worker imports) alive across rounds; results come back in input
+    order, so sharded runs stay deterministic.
+
+    Same pickling contract as :func:`parallel_map`: module-level
+    functions and array/tuple arguments only.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        if processes is None:
+            processes = os.cpu_count() or 1
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` over ``items`` on the persistent workers, in order."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.processes)
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def parallel_replicate(

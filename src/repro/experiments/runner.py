@@ -102,8 +102,10 @@ def execute(
         spec's ``required_params`` names.
     engine:
         ``"fast"`` (default; vectorised kernels where the factory
-        advertises them, bit-identical fallback otherwise) or
-        ``"reference"``.
+        advertises them, bit-identical fallback otherwise),
+        ``"columnar"`` (packed bit-matrix kernels on top of the fast
+        path — same fallback chain, same results, built for n ≥ 10⁴),
+        or ``"reference"``.
     cache:
         ``None`` (consult the ``REPRO_RESULT_CACHE`` environment
         variable), a directory path, or a

@@ -38,10 +38,12 @@ from .monitors import (
     default_monitors,
 )
 from .recorder import (
+    SPILL_ENV_VAR,
     MessageRecord,
     RoundDelta,
     RunRecorder,
     RunRecording,
+    SpilledRounds,
     to_chrome_trace,
 )
 from .timeline import (
@@ -59,6 +61,7 @@ __all__ = [
     "EVENTS_SCHEMA_VERSION",
     "OBS_LEVELS",
     "ORIGIN_ROLE",
+    "SPILL_ENV_VAR",
     "BudgetMonitor",
     "CausalTrace",
     "CoverageMonotonicityMonitor",
@@ -75,6 +78,7 @@ __all__ = [
     "RunRecorder",
     "RunRecording",
     "RunTimeline",
+    "SpilledRounds",
     "StabilityMonitor",
     "Violation",
     "default_monitors",

@@ -41,6 +41,9 @@ the CLI surface is ``repro record`` / ``repro replay`` / ``repro diff``.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -53,6 +56,7 @@ from typing import (
     NamedTuple,
     Optional,
     Tuple,
+    Union,
 )
 
 __all__ = [
@@ -60,8 +64,15 @@ __all__ = [
     "RoundDelta",
     "RunRecorder",
     "RunRecording",
+    "SPILL_ENV_VAR",
+    "SpilledRounds",
     "to_chrome_trace",
 ]
+
+#: When set to a directory path, every :class:`RunRecorder` without an
+#: explicit ``spill_dir=`` streams its round deltas there instead of
+#: holding them in memory (see :class:`SpilledRounds`).
+SPILL_ENV_VAR = "REPRO_RECORD_SPILL"
 
 #: ``MessageRecord.kind`` values: local broadcast / addressed unicast.
 BROADCAST_KIND = "b"
@@ -115,6 +126,107 @@ class RoundDelta:
     head_of: Optional[Tuple[int, ...]]
 
 
+# -- spill codec (deliberately local: repro.io imports this module) ---------
+
+def _delta_to_jsonable(delta: RoundDelta) -> list:
+    return [
+        [[v, list(toks)] for v, toks in delta.gained],
+        [[v, list(toks)] for v, toks in delta.lost],
+        [[m.sender, m.kind, m.dest, list(m.tokens), m.cost]
+         for m in delta.messages],
+        delta.roles,
+        list(delta.head_of) if delta.head_of is not None else None,
+    ]
+
+
+def _delta_from_jsonable(row: list) -> RoundDelta:
+    gained, lost, messages, roles, head_of = row
+    return RoundDelta(
+        gained=tuple((v, tuple(toks)) for v, toks in gained),
+        lost=tuple((v, tuple(toks)) for v, toks in lost),
+        messages=tuple(
+            MessageRecord(sender=s, kind=kind, dest=d,
+                          tokens=tuple(toks), cost=c)
+            for s, kind, d, toks, c in messages
+        ),
+        roles=roles,
+        head_of=tuple(head_of) if head_of is not None else None,
+    )
+
+
+class SpilledRounds:
+    """A :class:`RoundDelta` sequence streamed to a JSONL file on disk.
+
+    Drop-in replacement for the in-memory ``rounds`` list of a
+    :class:`RunRecording`: the recorder appends one JSON line per round
+    (O(1) resident memory regardless of run length — the fix for
+    ``obs="record"`` at large n), and reads decode lazily by byte offset.
+    Element-wise equality against any other round sequence (list or
+    spilled) preserves the recording bit-identity contract, and pickling
+    materialises to a plain list so recordings still cross process
+    boundaries (``parallel_map`` workers).
+
+    The backing file lives in the caller's ``spill_dir`` and is *not*
+    deleted when the recording is garbage collected — the recording
+    object remains readable for the directory's lifetime (point a
+    ``tempfile.TemporaryDirectory`` or CI scratch dir at it).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self._path = os.fspath(path)
+        self._handle = open(self._path, "w+", encoding="utf-8")
+        self._offsets: List[int] = []
+        self._dirty = False
+
+    # -- write side (recorder) ---------------------------------------------
+
+    def append(self, delta: RoundDelta) -> None:
+        handle = self._handle
+        handle.seek(0, os.SEEK_END)
+        self._offsets.append(handle.tell())
+        json.dump(_delta_to_jsonable(delta), handle,
+                  separators=(",", ":"))
+        handle.write("\n")
+        self._dirty = True
+
+    # -- read side ----------------------------------------------------------
+
+    def _read_at(self, offset: int) -> RoundDelta:
+        if self._dirty:
+            self._handle.flush()
+            self._dirty = False
+        self._handle.seek(offset)
+        return _delta_from_jsonable(json.loads(self._handle.readline()))
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._read_at(off) for off in self._offsets[index]]
+        return self._read_at(self._offsets[index])
+
+    def __iter__(self) -> Iterator[RoundDelta]:
+        for offset in list(self._offsets):
+            yield self._read_at(offset)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (SpilledRounds, list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable sequence
+
+    def __repr__(self) -> str:
+        return f"SpilledRounds({len(self)} rounds @ {self._path!r})"
+
+    def __reduce__(self):
+        # pickle as a plain list: the file handle does not cross processes
+        return (list, (list(self),))
+
+
 @dataclass
 class RunRecording:
     """A deterministic, replayable record of one engine run.
@@ -127,7 +239,9 @@ class RunRecording:
         Node → sorted token tuple before round 0 (nodes starting empty
         are omitted) — the state that round-0 deltas apply to.
     rounds:
-        One :class:`RoundDelta` per executed round.
+        One :class:`RoundDelta` per executed round — a plain list, or a
+        :class:`SpilledRounds` sequence when the recorder streamed to
+        disk (element-wise equal either way).
     meta:
         Presentation metadata stamped by
         :func:`repro.experiments.runner.execute` (algorithm, scenario,
@@ -257,15 +371,26 @@ class RunRecording:
 class RunRecorder:
     """Incremental builder both engines feed at ``obs="record"``.
 
-    The engine calls :meth:`begin_round` with the round's snapshot,
-    :meth:`record_send` for every non-empty transmission, and
-    :meth:`end_round` with the round's knowledge deltas; :meth:`finish`
-    packages the :class:`RunRecording`.  All canonicalisation (sorting,
-    tuple packing) happens here so the engines stay order-free.
+    The engine calls :meth:`begin_round` with the round's snapshot (or
+    :meth:`begin_round_packed` with pre-packed hierarchy arrays — the
+    columnar engine's entry), :meth:`record_send` for every non-empty
+    transmission, and :meth:`end_round` with the round's knowledge deltas;
+    :meth:`finish` packages the :class:`RunRecording`.  All
+    canonicalisation (sorting, tuple packing) happens here so the engines
+    stay order-free.
+
+    ``spill_dir`` (or the :data:`SPILL_ENV_VAR` environment variable)
+    streams round deltas to a JSONL file in that directory instead of
+    accumulating them in memory — identical recording content, O(1)
+    resident growth (see :class:`SpilledRounds`).
     """
 
     def __init__(
-        self, n: int, k: int, initial: Mapping[int, FrozenSet[int]]
+        self,
+        n: int,
+        k: int,
+        initial: Mapping[int, FrozenSet[int]],
+        spill_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         self.recording = RunRecording(
             n=n,
@@ -276,6 +401,15 @@ class RunRecorder:
                 if toks
             },
         )
+        if spill_dir is None:
+            spill_dir = os.environ.get(SPILL_ENV_VAR, "").strip() or None
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            fd, path = tempfile.mkstemp(
+                prefix="recording-", suffix=".jsonl", dir=os.fspath(spill_dir)
+            )
+            os.close(fd)
+            self.recording.rounds = SpilledRounds(path)
         self._messages: List[MessageRecord] = []
         self._roles: Optional[str] = None
         self._head_of: Optional[Tuple[int, ...]] = None
@@ -308,6 +442,22 @@ class RunRecorder:
                         tuple(-1 if h is None else int(h) for h in head_of))
                 self._head_of_memo = memo
             self._head_of = memo[1]
+
+    def begin_round_packed(
+        self,
+        roles: Optional[str],
+        head_of: Optional[Tuple[int, ...]],
+    ) -> None:
+        """Open a round with hierarchy already in the recording encoding.
+
+        ``roles`` is the ``h``/``g``/``m`` letter string (``None`` flat)
+        and ``head_of`` the per-node head-id tuple with ``-1`` for
+        unaffiliated — the array-native entry the columnar engine uses so
+        no :class:`~repro.sim.topology.Snapshot` is ever materialised.
+        """
+        self._messages = []
+        self._roles = roles
+        self._head_of = head_of
 
     def record_send(
         self,

@@ -116,6 +116,10 @@ class AlgorithmSpec:
     fastpath:
         Whether the factory advertises a vectorised kernel
         (:mod:`repro.sim.fastpath`) via its ``fastpath`` tag.
+    columnar:
+        Whether that kernel also runs on the columnar tier
+        (:mod:`repro.sim.columnar`) — packed bit-matrix state, sharded
+        delivery, ``engine="columnar"``.  Implies ``fastpath``.
     seeded:
         Whether the algorithm itself consumes randomness (gossip, RLNC);
         such specs accept a ``seed`` override that joins the cache key.
@@ -133,6 +137,7 @@ class AlgorithmSpec:
     overrides: Tuple[str, ...] = ()
     version: int = 1
     fastpath: bool = False
+    columnar: bool = False
     seeded: bool = False
     description: str = ""
 
@@ -141,6 +146,11 @@ class AlgorithmSpec:
             raise ValueError(f"unknown family {self.family!r}")
         if self.guarantee not in ("guaranteed", "best-effort"):
             raise ValueError(f"unknown guarantee {self.guarantee!r}")
+        if self.columnar and not self.fastpath:
+            raise ValueError(
+                f"{self.name!r}: columnar=True requires fastpath=True "
+                "(the columnar tier reuses the fastpath kernel tags)"
+            )
 
     def validate_scenario(self, scenario) -> None:
         """Raise ``KeyError`` unless the scenario carries every required param."""
@@ -163,6 +173,7 @@ class AlgorithmSpec:
             "requires": ",".join(self.required_params) or "-",
             "overrides": ",".join(self.overrides) or "-",
             "fastpath": self.fastpath,
+            "columnar": self.columnar,
             "version": self.version,
         }
 

@@ -1,0 +1,670 @@
+"""Columnar round kernels: whole-network rounds as a handful of array ops.
+
+The fast path (:mod:`repro.sim.fastpath`) already keeps every node's token
+set as a row of a packed ``(n, W)`` ``uint64`` bit-matrix, but its delivery
+step *expands* each broadcast into one payload row per edge
+(``np.repeat(payload, degrees)`` followed by an ``np.bitwise_or.at``
+scatter) — O(E·W) temporary memory and an unbuffered ufunc inner loop per
+round.  That is what caps sweeps at a few hundred nodes.
+
+This module is the third engine tier, ``engine="columnar"``.  Delivery
+becomes a boolean sparse-matrix product over the cached CSR topology
+(:class:`~repro.sim.topology.SnapshotArrays`): scatter the round's
+broadcast payloads into a dense ``(n, W)`` matrix, gather it through the
+CSR ``indices`` and OR-reduce each adjacency segment with one
+``np.bitwise_or.reduceat`` — the boolean spmm ``A · P`` where ``A`` is the
+adjacency matrix and the OR is the boolean semiring's addition.  Role,
+phase and head/gateway/member logic are masked column operations (the send
+kernels of the fast path are reused verbatim — they were already
+columnar); receive-side rules become boolean masks over whole columns.
+No per-node Python runs inside the round loop, so a flooding round at
+n = 10⁶ is a few hundred milliseconds and an Algorithm-1 sweep at n = 10⁴
+is routine.
+
+**Bit-identity.**  OR-accumulation is order-independent, so for supported
+runs the columnar tier produces the same :class:`RunResult` as the fast
+path and the reference engine: outputs, metrics, timelines and
+``obs="record"`` recordings (asserted registry-wide in
+``tests/test_columnar.py``; nightly CI widens the sweep via
+``REPRO_EQUIV_ENGINES``).
+
+**Sharding.**  For n ≥ 10⁵ the bit-matrix can be sharded into contiguous
+row blocks: each shard receives only the payload rows its adjacency
+segment references (the boundary exchange — ``unique(indices[block])``
+rows, remapped into a compact sub-matrix), reduces its block
+independently, and the per-round merge is a plain row concatenation.
+Shards run serially in-process by default (deterministic, zero setup
+cost) or across the persistent process pool of
+:class:`repro.experiments.parallel.ShardPool`.  Configure via
+``run_columnar(shards=…, shard_processes=…)`` or the environment
+(:data:`SHARDS_ENV_VAR`, :data:`SHARD_PROCESSES_ENV_VAR`).  Sharded and
+unsharded runs are bit-identical (OR is associative); the tests assert it
+at a fixed shard count.
+
+**Dispatch.**  :func:`try_run` mirrors the fast path's contract: factories
+tagged ``factory.fastpath = (kind, params)`` with a supported kind run
+columnar; anything else — untagged factories, adaptive networks,
+``SimTrace`` recording, ``loss_p > 0``, ``latency > 1``, ``obs="trace"``
+causal tracing, or attached monitors — returns ``None`` and the engine
+falls back (columnar → fastpath → reference), so every configuration
+still executes, just on the widest tier that supports it.
+
+Networks may be array-native: when the network object exposes
+``snapshot_arrays(r)`` (see :class:`~repro.sim.topology.CSRNetwork`), the
+columnar tier never materialises per-node frozensets at all — the memory
+envelope per round is the bit-matrix (``n·W·8`` bytes) plus the CSR
+arrays plus one gathered ``(E, W)`` matrix (or its per-shard slices).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import Profiler, RunRecorder, RunTimeline
+from .engine import RunResult, SynchronousEngine, validate_run_args
+from .fastpath import (
+    _KERNELS,
+    _ROLE_NAMES,
+    _U1,
+    _account,
+    _Algorithm1Kernel,
+    _Algorithm2Kernel,
+    _FloodNewKernel,
+    _FullSetBroadcastKernel,
+    _KLOIntervalKernel,
+    _parse_fault,
+    _rows_to_frozensets,
+    _rows_tokens,
+    _row_tokens,
+    _SendBatch,
+)
+from .metrics import Metrics
+from .topology import SnapshotArrays
+
+__all__ = [
+    "SHARDS_ENV_VAR",
+    "SHARD_PROCESSES_ENV_VAR",
+    "pack_rows",
+    "pack_single_tokens",
+    "run_columnar",
+    "supported_kinds",
+    "try_run",
+    "unpack_rows",
+]
+
+#: Shard the bit-matrix into this many contiguous row blocks (``0``/unset
+#: disables sharding).  Worth it from n ≈ 10⁵; see docs/performance.md.
+SHARDS_ENV_VAR = "REPRO_COLUMNAR_SHARDS"
+
+#: Worker processes for sharded delivery (``1``/unset reduces the shards
+#: serially in-process — deterministic and allocation-friendly; identical
+#: results either way).
+SHARD_PROCESSES_ENV_VAR = "REPRO_COLUMNAR_SHARD_PROCESSES"
+
+#: Role code → the packed-recording role letter (codes index ``"hgm"``).
+_ROLE_CHAR_LUT = np.frombuffer(b"hgm", dtype=np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# packed bit-matrix helpers
+# ---------------------------------------------------------------------------
+
+def words_for(k: int) -> int:
+    """Number of uint64 words per row for a k-token instance."""
+    return max(1, (k + 63) // 64)
+
+
+def pack_rows(token_rows: Sequence[Iterable[int]], k: int) -> np.ndarray:
+    """Pack per-node token collections into an ``(n, W)`` uint64 bit-matrix.
+
+    Row ``v`` has bit ``t`` set iff token ``t`` appears in
+    ``token_rows[v]``.  Inverse of :func:`unpack_rows`.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    W = words_for(k)
+    out = np.zeros((len(token_rows), W), dtype=np.uint64)
+    for v, toks in enumerate(token_rows):
+        for t in toks:
+            if not 0 <= t < k:
+                raise ValueError(f"token {t} outside 0..{k - 1}")
+            out[v, t >> 6] |= _U1 << np.uint64(t & 63)
+    return out
+
+
+def unpack_rows(bits: np.ndarray) -> List[Tuple[int, ...]]:
+    """Decode an ``(n, W)`` uint64 bit-matrix to per-row sorted token tuples."""
+    rows = np.ascontiguousarray(np.asarray(bits, dtype=np.uint64))
+    return [tuple(toks) for toks in _rows_tokens(rows)]
+
+
+def pack_single_tokens(tokens: np.ndarray, k: int) -> np.ndarray:
+    """Vectorised pack of one token per node (``-1`` = starts empty).
+
+    The array-native counterpart of
+    ``initial_assignment(k, n, mode="spread")`` for million-node instances
+    where building ``n`` frozensets would dominate the run.
+    """
+    tokens = np.asarray(tokens, dtype=np.int64)
+    if tokens.ndim != 1:
+        raise ValueError(f"tokens must be 1-D, got shape {tokens.shape}")
+    if tokens.size and int(tokens.max()) >= k:
+        raise ValueError(f"token {int(tokens.max())} outside 0..{k - 1}")
+    out = np.zeros((tokens.shape[0], words_for(k)), dtype=np.uint64)
+    idx = np.nonzero(tokens >= 0)[0]
+    t = tokens[idx]
+    out[idx, t >> 6] = _U1 << (t & 63).astype(np.uint64)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the spmm delivery kernel
+# ---------------------------------------------------------------------------
+
+def _segment_or(
+    starts: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    payload: np.ndarray,
+) -> np.ndarray:
+    """OR-reduce ``payload`` rows over CSR adjacency segments.
+
+    ``out[i] = OR(payload[indices[starts[i] : starts[i] + degrees[i]]])``
+    — one boolean spmm row block.  ``reduceat`` mis-handles empty segments
+    (it returns the element *at* the index instead of the OR-identity) so
+    degree-0 rows are masked out and stay all-zero.
+    """
+    rows = degrees.shape[0]
+    out = np.zeros((rows, payload.shape[1]), dtype=np.uint64)
+    if indices.size == 0:
+        return out
+    gathered = payload[indices]
+    nonempty = degrees > 0
+    out[nonempty] = np.bitwise_or.reduceat(
+        gathered, np.asarray(starts[nonempty], dtype=np.intp), axis=0
+    )
+    return out
+
+
+def _shard_deliver(
+    item: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """One shard's delivery: reduce a row block against its sub-payload.
+
+    Module-level (picklable) so :class:`ShardPool` workers can run it; the
+    sub-payload already contains only the boundary-exchanged rows this
+    block's adjacency references.
+    """
+    local_starts, seg_indices, degrees, payload_sub = item
+    return _segment_or(local_starts, seg_indices, degrees, payload_sub)
+
+
+def _shard_plan(
+    arrs: SnapshotArrays, shards: int
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Static per-topology shard layout: contiguous row blocks plus the
+    boundary-exchange index sets.
+
+    For each block ``[lo, hi)``: the block-local CSR starts, the segment
+    indices remapped into the compact ``needed`` row set (the only payload
+    rows the block must receive), the block degrees, and ``needed`` itself.
+    Memoized per arrays object by the caller — the layout depends only on
+    topology, not on the round's payloads.
+    """
+    n = arrs.degrees.shape[0]
+    indptr = arrs.indptr
+    plan = []
+    for i in range(shards):
+        lo = (i * n) // shards
+        hi = ((i + 1) * n) // shards
+        seg = arrs.indices[indptr[lo]:indptr[hi]]
+        needed = np.unique(seg)
+        remapped = np.searchsorted(needed, seg).astype(np.int64)
+        local_starts = (indptr[lo:hi] - indptr[lo]).astype(np.intp)
+        plan.append((local_starts, remapped, arrs.degrees[lo:hi], needed))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# columnar kernels: fastpath send logic + masked-column receive
+# ---------------------------------------------------------------------------
+
+def _or_delivered_unicasts(target: np.ndarray, batch: _SendBatch) -> None:
+    """OR every *delivered* unicast payload into its destination row."""
+    if batch.uc_senders.size:
+        ok = batch.uc_ok
+        if ok.any():
+            np.bitwise_or.at(target, batch.uc_dests[ok], batch.uc_payload[ok])
+
+
+class _AbsorbAll:
+    """Default columnar receive: OR every delivered payload into ``TA``.
+
+    ``recv`` is the neighbour-OR of all broadcast payloads (zero rows for
+    nodes nobody broadcast to — OR-neutral), so the unconditional OR
+    matches the reference rule "absorb everything you hear".
+    """
+
+    def absorb(
+        self,
+        r: int,
+        arrs: SnapshotArrays,
+        recv: np.ndarray,
+        bc_full: np.ndarray,
+        batch: _SendBatch,
+    ) -> None:
+        self.TA |= recv
+        _or_delivered_unicasts(self.TA, batch)
+
+
+class _ColumnarAlgorithm1(_AbsorbAll, _Algorithm1Kernel):
+    """Algorithm 1's receive rule as column masks.
+
+    The reference rule, per member: tokens broadcast by *your own head*
+    land in ``TA`` and ``TR``; overheard traffic lands in ``TA`` unless
+    ``strict``.  Non-members absorb everything.  The head contribution is
+    a single gather ``bc_full[head_of]`` masked by ``head_adjacent`` —
+    heads that stayed silent contribute an all-zero row, which ORs to a
+    no-op, exactly like no delivery.
+    """
+
+    def absorb(self, r, arrs, recv, bc_full, batch):
+        member = self._member_mask(arrs)
+        if member is None:
+            self.TA |= recv
+            _or_delivered_unicasts(self.TA, batch)
+            return
+        if self.strict:
+            # masked in-place OR (ufunc ``where=``) — no gather/scatter copies
+            np.bitwise_or(self.TA, recv, out=self.TA, where=~member[:, None])
+        else:
+            self.TA |= recv
+        head_arr = self._head_arr(arrs)
+        if arrs.head_adjacent is not None:
+            listening = member & arrs.head_adjacent
+            if listening.any():
+                keep = listening[:, None]
+                from_head = bc_full[head_arr]
+                np.bitwise_or(self.TA, from_head, out=self.TA, where=keep)
+                np.bitwise_or(self.TR, from_head, out=self.TR, where=keep)
+        if batch.uc_senders.size and batch.uc_ok.any():
+            ok = batch.uc_ok
+            dests = batch.uc_dests[ok]
+            snds = batch.uc_senders[ok]
+            pay = batch.uc_payload[ok]
+            memb_d = member[dests]
+            if (~memb_d).any():
+                np.bitwise_or.at(self.TA, dests[~memb_d], pay[~memb_d])
+            uc_from_head = memb_d & (head_arr[dests] == snds)
+            if uc_from_head.any():
+                np.bitwise_or.at(self.TA, dests[uc_from_head], pay[uc_from_head])
+                np.bitwise_or.at(self.TR, dests[uc_from_head], pay[uc_from_head])
+            if not self.strict:
+                overheard = memb_d & ~uc_from_head
+                if overheard.any():
+                    np.bitwise_or.at(self.TA, dests[overheard], pay[overheard])
+
+
+class _ColumnarAlgorithm2(_AbsorbAll, _Algorithm2Kernel):
+    pass
+
+
+class _ColumnarKLOInterval(_AbsorbAll, _KLOIntervalKernel):
+    pass
+
+
+class _ColumnarFullSet(_AbsorbAll, _FullSetBroadcastKernel):
+    pass
+
+
+class _ColumnarFloodNew(_FloodNewKernel):
+    """Epidemic flooding: only never-seen tokens re-arm the fresh set."""
+
+    def absorb(self, r, arrs, recv, bc_full, batch):
+        novel = recv & ~self.TA
+        self.TA |= novel
+        self.fresh |= novel
+
+
+_COLUMNAR_KERNELS = {
+    "algorithm1": lambda n, k, W, TA, **p: _ColumnarAlgorithm1(n, k, W, TA, **p),
+    "algorithm1_stable": lambda n, k, W, TA, **p: _ColumnarAlgorithm1(
+        n, k, W, TA, stable=True, **p
+    ),
+    "algorithm2": lambda n, k, W, TA, **p: _ColumnarAlgorithm2(n, k, W, TA, **p),
+    "klo_interval": lambda n, k, W, TA, **p: _ColumnarKLOInterval(n, k, W, TA, **p),
+    "klo_one": lambda n, k, W, TA, M: _ColumnarFullSet(n, k, W, TA, M=M),
+    "flood_all": lambda n, k, W, TA: _ColumnarFullSet(n, k, W, TA, M=None),
+    "flood_new": lambda n, k, W, TA: _ColumnarFloodNew(n, k, W, TA),
+}
+assert set(_COLUMNAR_KERNELS) == set(_KERNELS)
+
+
+def supported_kinds() -> Tuple[str, ...]:
+    """The ``factory.fastpath`` kinds the columnar tier can execute."""
+    return tuple(sorted(_COLUMNAR_KERNELS))
+
+
+# ---------------------------------------------------------------------------
+# recording from arrays (no Snapshot required)
+# ---------------------------------------------------------------------------
+
+def _packed_hierarchy(
+    arrs: SnapshotArrays, memo: Dict[int, Tuple[object, tuple]]
+) -> Tuple[Optional[str], Optional[Tuple[int, ...]]]:
+    """Pack an arrays' roles/head_of into the recording encoding.
+
+    Memoized by arrays identity (a strong reference is kept so ``id``
+    cannot be recycled) — static networks pay the O(n) packing once.
+    """
+    key = id(arrs)
+    hit = memo.get(key)
+    if hit is not None and hit[0] is arrs:
+        return hit[1]
+    roles = None
+    if arrs.roles is not None:
+        roles = _ROLE_CHAR_LUT[arrs.roles.astype(np.int64)].tobytes().decode("ascii")
+    head_of = None
+    if arrs.head_of is not None:
+        head_of = tuple(int(h) for h in arrs.head_of.tolist())
+    memo[key] = (arrs, (roles, head_of))
+    return roles, head_of
+
+
+def _record_batch(recorder: RunRecorder, batch: _SendBatch) -> None:
+    """Feed one round's send batch to the recorder (fastpath's encoding)."""
+    bc_tokens = _rows_tokens(batch.bc_payload)
+    for i in range(len(batch.bc_senders)):
+        cost = int(batch.bc_costs[i])
+        if cost:
+            recorder.record_send(
+                int(batch.bc_senders[i]), "b", None, bc_tokens[i], cost
+            )
+    uc_tokens = _rows_tokens(batch.uc_payload)
+    for i in range(len(batch.uc_senders)):
+        cost = int(batch.uc_costs[i])
+        if cost:
+            recorder.record_send(
+                int(batch.uc_senders[i]), "u", int(batch.uc_dests[i]),
+                uc_tokens[i], cost,
+            )
+
+
+# ---------------------------------------------------------------------------
+# the columnar engine loop
+# ---------------------------------------------------------------------------
+
+def _env_int(var: str) -> Optional[int]:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{var} must be an integer, got {raw!r}") from exc
+    return value if value > 0 else None
+
+
+def _arrays_for_round(network, r: int, n: int) -> SnapshotArrays:
+    """The round's CSR topology, preferring array-native networks."""
+    getter = getattr(network, "snapshot_arrays", None)
+    if getter is not None:
+        arrs = getter(r)
+    else:
+        arrs = network.snapshot(r).arrays()
+    if arrs.degrees.shape[0] != n:
+        raise ValueError(
+            f"snapshot for round {r} has {arrs.degrees.shape[0]} nodes, "
+            f"expected {n}"
+        )
+    return arrs
+
+
+def run_columnar(
+    engine: SynchronousEngine,
+    network,
+    kind: str,
+    params: Mapping[str, object],
+    k: int,
+    TA: np.ndarray,
+    max_rounds: int,
+    *,
+    stop_when_complete: bool = False,
+    stop_when_finished: bool = True,
+    shards: Optional[int] = None,
+    shard_processes: Optional[int] = None,
+    materialize_outputs: bool = True,
+) -> RunResult:
+    """Execute a packed-state run on the columnar tier.
+
+    The low-level entry point: ``TA`` is the ``(n, W)`` initial bit-matrix
+    (see :func:`pack_rows` / :func:`pack_single_tokens`) and ``kind`` /
+    ``params`` name a supported kernel.  :func:`try_run` wraps this with
+    the engine's ``initial`` mapping contract; benchmarks call it directly
+    with ``materialize_outputs=False`` so a million-node run never builds
+    ``n`` frozensets (``RunResult.outputs`` is then empty and
+    ``complete`` comes from the coverage counter).
+
+    ``shards`` > 1 splits delivery into contiguous row blocks;
+    ``shard_processes`` > 1 reduces them on a persistent
+    :class:`~repro.experiments.parallel.ShardPool`.  Both default to the
+    :data:`SHARDS_ENV_VAR` / :data:`SHARD_PROCESSES_ENV_VAR` environment.
+    """
+    n, W = TA.shape
+    if kind not in _COLUMNAR_KERNELS:
+        raise ValueError(f"unsupported columnar kernel kind {kind!r}")
+    kernel = _COLUMNAR_KERNELS[kind](n, k, W, TA, **params)
+    if shards is None:
+        shards = _env_int(SHARDS_ENV_VAR)
+    if shard_processes is None:
+        shard_processes = _env_int(SHARD_PROCESSES_ENV_VAR)
+    sharded = shards is not None and shards > 1
+    pool = None
+    if sharded and shard_processes is not None and shard_processes > 1:
+        from ..experiments.parallel import ShardPool  # lazy: avoids a cycle
+
+        pool = ShardPool(processes=min(shard_processes, shards))
+
+    metrics = Metrics()
+    timeline = RunTimeline() if engine.obs != "off" else None
+    prof = Profiler() if engine.obs == "profile" else None
+    recorder: Optional[RunRecorder] = None
+    rec_known: Optional[np.ndarray] = None
+    if engine.obs == "record":
+        recorder = RunRecorder(
+            n, k, {v: frozenset(_row_tokens(TA[v])) for v in range(n)}
+        )
+        rec_known = TA.copy()
+    pack_memo: Dict[int, Tuple[object, tuple]] = {}
+    plan_memo: Dict[int, Tuple[object, list]] = {}
+    fault = _parse_fault()
+    target = n * k
+    coverage = 0
+    executed = 0
+
+    try:
+        for r in range(max_rounds):
+            t0 = time.perf_counter() if prof is not None else 0.0
+            arrs = _arrays_for_round(network, r, n)
+            if prof is not None:
+                now = time.perf_counter()
+                prof.add("topology", now - t0)
+                t0 = now
+            metrics.begin_round()
+            if timeline is not None:
+                timeline.begin_round()
+                if arrs.roles is not None:
+                    pops = np.bincount(arrs.roles, minlength=3)
+                    timeline.record_populations({
+                        name: int(pops[code]) for code, name in _ROLE_NAMES
+                    })
+            if recorder is not None:
+                recorder.begin_round_packed(*_packed_hierarchy(arrs, pack_memo))
+
+            batch = kernel.send(r, arrs)
+            if prof is not None:
+                now = time.perf_counter()
+                prof.add("role_mask", now - t0)
+                t0 = now
+            if batch is not None and batch.messages:
+                _account(metrics, batch, arrs, timeline)
+                if recorder is not None:
+                    _record_batch(recorder, batch)
+                # pack: scatter broadcast payloads to a dense (n, W) matrix
+                bc_full = np.zeros((n, W), dtype=np.uint64)
+                if batch.bc_senders.size:
+                    bc_full[batch.bc_senders] = batch.bc_payload
+                if prof is not None:
+                    now = time.perf_counter()
+                    prof.add("pack", now - t0)
+                    t0 = now
+                if sharded:
+                    hit = plan_memo.get(id(arrs))
+                    if hit is None or hit[0] is not arrs:
+                        hit = (arrs, _shard_plan(arrs, shards))
+                        plan_memo[id(arrs)] = hit
+                    # boundary exchange: slice each shard's needed rows
+                    items = [
+                        (ls, seg, deg, bc_full[needed])
+                        for ls, seg, deg, needed in hit[1]
+                    ]
+                    if prof is not None:
+                        now = time.perf_counter()
+                        prof.add("shard_merge", now - t0)
+                        t0 = now
+                    if pool is not None:
+                        outs = pool.map(_shard_deliver, items)
+                    else:
+                        outs = [_shard_deliver(item) for item in items]
+                    if prof is not None:
+                        now = time.perf_counter()
+                        prof.add("spmm_delivery", now - t0)
+                        t0 = now
+                    recv = np.concatenate(outs, axis=0)
+                    if prof is not None:
+                        now = time.perf_counter()
+                        prof.add("shard_merge", now - t0)
+                        t0 = now
+                else:
+                    recv = _segment_or(
+                        arrs.indptr[:-1], arrs.indices, arrs.degrees, bc_full
+                    )
+                    if prof is not None:
+                        now = time.perf_counter()
+                        prof.add("spmm_delivery", now - t0)
+                        t0 = now
+                kernel.absorb(r, arrs, recv, bc_full, batch)
+                if prof is not None:
+                    now = time.perf_counter()
+                    prof.add("role_mask", now - t0)
+                    t0 = now
+            if fault is not None and fault[0] == r:
+                # same test-only hook as the fast path (FAULT_ENV_VAR)
+                fv, ft = fault[1], fault[2]
+                kernel.TA[fv, ft >> 6] ^= _U1 << np.uint64(ft & 63)
+            if recorder is not None:
+                new = kernel.TA & ~rec_known
+                dropped = rec_known & ~kernel.TA
+                new_idx = np.nonzero(new.any(axis=1))[0]
+                gained = list(zip(new_idx.tolist(), _rows_tokens(new[new_idx])))
+                lost_idx = np.nonzero(dropped.any(axis=1))[0]
+                lost = list(
+                    zip(lost_idx.tolist(), _rows_tokens(dropped[lost_idx]))
+                )
+                recorder.end_round(gained, lost)
+                rec_known[:] = kernel.TA
+            per_node = np.bitwise_count(kernel.TA).sum(axis=1, dtype=np.int64)
+            coverage = int(per_node.sum())
+            nodes_complete = int((per_node == k).sum())
+            metrics.end_round(coverage)
+            if timeline is not None:
+                timeline.end_round(coverage, nodes_complete)
+            executed = r + 1
+            if prof is not None:
+                prof.add("bookkeeping", time.perf_counter() - t0)
+            if coverage == target:
+                metrics.mark_complete()
+                if stop_when_complete:
+                    break
+            if stop_when_finished and kernel.finished(r):
+                break
+    finally:
+        if pool is not None:
+            pool.close()
+
+    if timeline is not None and prof is not None:
+        timeline.profile.update(prof.seconds)
+    if materialize_outputs:
+        token_sets = _rows_to_frozensets(kernel.TA)
+        outputs = {v: token_sets[v] for v in range(n)}
+        complete = all(len(t) == k for t in outputs.values())
+    else:
+        outputs = {}
+        complete = coverage == target
+    return RunResult(
+        n=n,
+        k=k,
+        metrics=metrics,
+        outputs=outputs,
+        complete=complete,
+        trace=None,
+        timeline=timeline,
+        causal_trace=None,
+        recording=recorder.finish() if recorder is not None else None,
+        violations=None,
+        algorithms=None,
+    )
+
+
+def try_run(
+    engine: SynchronousEngine,
+    network,
+    factory,
+    k: int,
+    initial: Mapping[int, FrozenSet[int]],
+    max_rounds: int,
+    stop_when_complete: bool = False,
+    stop_when_finished: bool = True,
+    monitors=None,
+) -> Optional[RunResult]:
+    """Execute a run on the columnar tier, or return ``None`` if unsupported.
+
+    Supported: factories tagged with a known ``factory.fastpath`` kind on
+    non-adaptive networks, reliable unit-latency channels, and ``obs`` in
+    {``off``, ``timeline``, ``record``, ``profile``}.  ``obs="trace"``,
+    ``loss_p > 0``, ``latency > 1``, runtime monitors and ``SimTrace``
+    recording fall back (the fast path supports them all and stays
+    bit-identical).  ``None`` is only returned before the first round.
+    """
+    spec = getattr(factory, "fastpath", None)
+    if spec is None:
+        return None
+    kind, params = spec
+    if kind not in _COLUMNAR_KERNELS:
+        return None
+    if engine.record_trace or engine.record_knowledge:
+        return None
+    if getattr(network, "adaptive_snapshot", None) is not None:
+        return None
+    if engine.loss_p > 0 or engine.latency != 1:
+        return None
+    if engine.obs == "trace":
+        return None
+    if monitors:
+        return None
+
+    n = network.n
+    validate_run_args(n, k, initial, max_rounds)
+    TA = np.zeros((n, words_for(k)), dtype=np.uint64)
+    for node, toks in initial.items():
+        for t in toks:
+            TA[node, t >> 6] |= _U1 << np.uint64(t & 63)
+    return run_columnar(
+        engine, network, kind, params, k, TA, max_rounds,
+        stop_when_complete=stop_when_complete,
+        stop_when_finished=stop_when_finished,
+    )

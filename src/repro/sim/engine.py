@@ -516,8 +516,13 @@ class SynchronousEngine:
         vectorised bitset kernels of :mod:`repro.sim.fastpath` when the
         algorithm family supports them (results are bit-identical; see
         docs/performance.md), silently falling back to the reference path
-        otherwise.  :meth:`start` always steps the reference engine — the
-        fast path has no per-round inspection surface.
+        otherwise.  ``"columnar"`` additionally routes supported runs
+        through the packed bit-matrix / CSR-spmm kernels of
+        :mod:`repro.sim.columnar` (million-node scale, optionally
+        sharded; also bit-identical), falling back columnar → fast →
+        reference for anything a tier does not support.  :meth:`start`
+        always steps the reference engine — the vectorised paths have no
+        per-round inspection surface.
     obs:
         Telemetry level (see :mod:`repro.obs`): ``"timeline"`` (default)
         records cheap per-round progress counters into
@@ -548,8 +553,10 @@ class SynchronousEngine:
             raise ValueError(f"loss_p must be in [0, 1), got {loss_p}")
         if latency < 1:
             raise ValueError(f"latency must be >= 1 round, got {latency}")
-        if engine not in ("reference", "fast"):
-            raise ValueError(f"engine must be 'reference' or 'fast', got {engine!r}")
+        if engine not in ("reference", "fast", "columnar"):
+            raise ValueError(
+                f"engine must be 'reference', 'fast' or 'columnar', got {engine!r}"
+            )
         self.loss_p = loss_p
         self.loss_seed = loss_seed
         self.latency = latency
@@ -620,20 +627,36 @@ class SynchronousEngine:
             violations land in :attr:`RunResult.violations`.  Both
             execution paths build identical views.
         """
-        if self.engine_mode == "fast":
-            from . import fastpath
+        if self.engine_mode in ("fast", "columnar"):
+            result = None
+            if self.engine_mode == "columnar":
+                from . import columnar
 
-            result = fastpath.try_run(
-                self,
-                network,
-                factory,
-                k,
-                initial,
-                max_rounds,
-                stop_when_complete=stop_when_complete,
-                stop_when_finished=stop_when_finished,
-                monitors=monitors,
-            )
+                result = columnar.try_run(
+                    self,
+                    network,
+                    factory,
+                    k,
+                    initial,
+                    max_rounds,
+                    stop_when_complete=stop_when_complete,
+                    stop_when_finished=stop_when_finished,
+                    monitors=monitors,
+                )
+            if result is None:
+                from . import fastpath
+
+                result = fastpath.try_run(
+                    self,
+                    network,
+                    factory,
+                    k,
+                    initial,
+                    max_rounds,
+                    stop_when_complete=stop_when_complete,
+                    stop_when_finished=stop_when_finished,
+                    monitors=monitors,
+                )
             if result is not None:
                 return result
         active = self.start(

@@ -17,10 +17,19 @@ import numpy as np
 
 from ..roles import Role
 
-__all__ = ["ROLE_CODES", "Snapshot", "SnapshotArrays", "adjacency_from_edges"]
+__all__ = [
+    "CSRNetwork",
+    "ROLE_CODES",
+    "Snapshot",
+    "SnapshotArrays",
+    "adjacency_from_edges",
+]
 
 #: Stable integer codes for roles in :class:`SnapshotArrays` (``-1`` = flat).
 ROLE_CODES: Dict[Role, int] = {Role.HEAD: 0, Role.GATEWAY: 1, Role.MEMBER: 2}
+
+#: Inverse of :data:`ROLE_CODES`, for materialising snapshots from arrays.
+_ROLE_BY_CODE: Dict[int, Role] = {code: role for role, code in ROLE_CODES.items()}
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,87 @@ def adjacency_from_edges(
         neigh[u].add(v)
         neigh[v].add(u)
     return tuple(frozenset(s) for s in neigh)
+
+
+class CSRNetwork:
+    """An array-native dynamic network: CSR topology, no frozensets.
+
+    The columnar engine (:mod:`repro.sim.columnar`) asks networks for
+    ``snapshot_arrays(r)`` and consumes :class:`SnapshotArrays` directly —
+    at n = 10⁶, materialising ``n`` adjacency frozensets per round would
+    dwarf the simulation itself.  This wrapper turns one
+    :class:`SnapshotArrays` (a static topology, repeated every round) or a
+    per-round sequence of them into such a network.
+
+    Adjacency must be symmetric (the engines model undirected radio
+    links) with each node's neighbour segment sorted ascending — the same
+    invariants :meth:`Snapshot.arrays` produces.
+
+    :meth:`snapshot` lazily materialises a full :class:`Snapshot`
+    (memoized per distinct arrays object), so the reference and fastpath
+    engines still run on the same network — the small-n equivalence
+    bridge the columnar tests drive.
+    """
+
+    def __init__(self, arrays) -> None:
+        if isinstance(arrays, SnapshotArrays):
+            per_round: Tuple[SnapshotArrays, ...] = (arrays,)
+        else:
+            per_round = tuple(arrays)
+        if not per_round:
+            raise ValueError("CSRNetwork needs at least one SnapshotArrays")
+        n = per_round[0].degrees.shape[0]
+        for arrs in per_round:
+            if arrs.indptr.shape[0] != n + 1 or arrs.degrees.shape[0] != n:
+                raise ValueError(
+                    "every round of a CSRNetwork must cover the same node set"
+                )
+        self._per_round = per_round
+        self._n = n
+        self._snap_memo: Dict[int, Tuple[SnapshotArrays, "Snapshot"]] = {}
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def horizon(self) -> Optional[int]:
+        """Rounds of explicit topology, or ``None`` for a static network."""
+        return None if len(self._per_round) == 1 else len(self._per_round)
+
+    def snapshot_arrays(self, r: int) -> SnapshotArrays:
+        """Round ``r``'s topology as arrays (static networks repeat)."""
+        if len(self._per_round) == 1:
+            return self._per_round[0]
+        if not 0 <= r < len(self._per_round):
+            raise ValueError(
+                f"round {r} outside this network's 0..{len(self._per_round) - 1}"
+            )
+        return self._per_round[r]
+
+    def snapshot(self, r: int) -> "Snapshot":
+        """Round ``r`` as a materialised :class:`Snapshot` (memoized)."""
+        arrs = self.snapshot_arrays(r)
+        hit = self._snap_memo.get(id(arrs))
+        if hit is not None and hit[0] is arrs:
+            return hit[1]
+        indptr = arrs.indptr
+        adj = tuple(
+            frozenset(arrs.indices[indptr[v]:indptr[v + 1]].tolist())
+            for v in range(self._n)
+        )
+        roles = None
+        if arrs.roles is not None:
+            roles = tuple(_ROLE_BY_CODE[c] for c in arrs.roles.tolist())
+        head_of = None
+        if arrs.head_of is not None:
+            head_of = tuple(
+                None if h < 0 else h for h in arrs.head_of.tolist()
+            )
+        snap = Snapshot(adj=adj, roles=roles, head_of=head_of)
+        self._snap_memo[id(arrs)] = (arrs, snap)
+        return snap
 
 
 @dataclass(frozen=True)
