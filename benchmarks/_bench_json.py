@@ -6,14 +6,19 @@ case's stats into ``BENCH_engine.json`` at the repo root, so successive
 PRs accumulate a comparable throughput trajectory instead of prose claims
 buried in logs.  ``collect_report.py`` folds the file into REPORT.md.
 
-The file layout is ``{"meta": {...}, "cases": {case name: stats}}``;
-stats dicts are flat (numbers/strings/bools only) to stay diffable.
+The file layout is ``{"meta": {...}, "cases": {case name: stats},
+"history": {commit: {case name: stats}}}``: ``cases`` always holds the
+latest snapshot (what the regression gate and REPORT.md consume), while
+``history`` accumulates one entry per commit so the throughput
+trajectory is a queryable time series rather than a lossy overwrite.
+Stats dicts are flat (numbers/strings/bools only) to stay diffable.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
 from pathlib import Path
 from statistics import mean, median
@@ -81,8 +86,27 @@ def time_ms_paired(
     return stats(samples_a), stats(samples_b)
 
 
+def _current_commit() -> str:
+    """Short hash of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_JSON.parent, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
 def record_bench(case: str, stats: Dict[str, object]) -> Path:
-    """Merge one case's stats into ``BENCH_engine.json`` (creating it)."""
+    """Merge one case's stats into ``BENCH_engine.json`` (creating it).
+
+    The stats land twice: in ``cases`` (latest snapshot, overwritten) and
+    under ``history[<short commit>]`` (appended time series, one bucket
+    per commit — re-running on the same commit updates its bucket in
+    place rather than duplicating it).
+    """
     data: Dict[str, object] = {}
     if BENCH_JSON.exists():
         data = json.loads(BENCH_JSON.read_text())
@@ -92,5 +116,7 @@ def record_bench(case: str, stats: Dict[str, object]) -> Path:
         "generated_by": "benchmarks/_bench_json.py",
     }
     data.setdefault("cases", {})[case] = stats
+    history = data.setdefault("history", {})
+    history.setdefault(_current_commit(), {})[case] = stats
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return BENCH_JSON

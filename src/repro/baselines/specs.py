@@ -52,6 +52,7 @@ KLO_INTERVAL = register(
         plan=_plan_klo_interval,
         fastpath=True,
         columnar=True,
+        families=("benign", "lossy", "churn", "adversarial"),
         description="KLO under T-interval connectivity: ceil(n0/(alpha*L)) "
         "phases of T rounds.",
     )
@@ -79,6 +80,7 @@ KLO_ONE = register(
         overrides=("rounds",),
         fastpath=True,
         columnar=True,
+        families=("benign", "lossy", "churn", "adversarial"),
         description="KLO 1-interval full broadcast for n-1 rounds.",
     )
 )
@@ -106,6 +108,7 @@ FLOOD_ALL = register(
         overrides=("rounds",),
         fastpath=True,
         columnar=True,
+        families=("benign", "lossy", "churn", "adversarial"),
         description="Unconditional flooding, stopped at completion "
         "(measurement baseline).",
     )
@@ -133,6 +136,7 @@ FLOOD_NEW = register(
         overrides=("rounds",),
         fastpath=True,
         columnar=True,
+        families=("benign", "lossy", "churn", "adversarial"),
         description="Epidemic flooding (no delivery guarantee on dynamic "
         "graphs).",
     )
@@ -159,6 +163,7 @@ KACTIVE = register(
         required_params=(),
         plan=_plan_kactive,
         overrides=("A", "rounds"),
+        families=("benign", "lossy", "churn", "adversarial"),
         description="Parsimonious flooding: repeat each token A times.",
     )
 )
@@ -186,6 +191,7 @@ GOSSIP = register(
         plan=_plan_gossip,
         overrides=("mode", "rounds", "seed"),
         seeded=True,
+        families=("benign", "lossy", "churn", "adversarial"),
         description="Random push gossip (probabilistic completion).",
     )
 )
@@ -212,6 +218,7 @@ NETCODING = register(
         plan=_plan_netcoding,
         overrides=("rounds", "seed"),
         seeded=True,
+        families=("benign", "lossy", "churn", "adversarial"),
         description="GF(2) random linear network coding (Haeupler-Karger "
         "style).",
     )

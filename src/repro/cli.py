@@ -51,7 +51,7 @@ __all__ = ["build_parser", "main"]
 
 #: Scenario builders ``repro run`` can pair with an algorithm.
 _SCENARIOS = ("auto", "hinet-interval", "hinet-one", "klo-interval",
-              "one-interval", "dhop")
+              "one-interval", "dhop", "adversarial")
 
 
 def _add_cache_flag(sub: argparse.ArgumentParser) -> None:
@@ -93,6 +93,22 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--engine",
                          choices=["columnar", "fast", "reference"],
                          default="fast")
+        cmd.add_argument("--loss", type=float, default=None, metavar="P",
+                         help="i.i.d. per-delivery loss probability "
+                         "(lossy scenario family)")
+        cmd.add_argument("--loss-seed", type=int, default=0,
+                         help="seed for the loss link model's hash stream")
+        cmd.add_argument("--burst", type=int, default=None, metavar="LEN",
+                         help="with --loss: bursty (Gilbert-Elliott style) "
+                         "loss in blocks of LEN rounds instead of i.i.d.")
+        cmd.add_argument("--churn", type=float, default=None, metavar="RATE",
+                         help="per-round per-node crash probability "
+                         "(churn scenario family)")
+        cmd.add_argument("--churn-seed", type=int, default=0,
+                         help="seed for the churn link model's hash stream")
+        cmd.add_argument("--adversary", action="store_true",
+                         help="shorthand for --scenario adversarial: run on "
+                         "a materialized Haeupler-Kuhn lower-bound trace")
 
     def _add_run_scenario_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("algorithm", metavar="ALGORITHM",
@@ -288,14 +304,19 @@ def _build_scenario(args, spec: AlgorithmSpec, profiler=None):
     from contextlib import nullcontext
 
     from .experiments.scenarios import (
+        churn_scenario,
         dhop_scenario,
+        haeupler_kuhn_scenario,
         hinet_interval_scenario,
         hinet_one_scenario,
         klo_interval_scenario,
+        lossy_scenario,
         one_interval_scenario,
     )
 
     kind = _default_scenario(spec) if args.scenario == "auto" else args.scenario
+    if getattr(args, "adversary", False):
+        kind = "adversarial"
     theta = max(args.n0 * 3 // 10, args.alpha) if args.theta is None else args.theta
     profiled = profiler is not None
     verify = not profiled  # profiled builds time the checkers separately
@@ -320,11 +341,20 @@ def _build_scenario(args, spec: AlgorithmSpec, profiler=None):
             # the d-hop generator validates every phase internally
             scenario = dhop_scenario(n0=args.n0, k=args.k, L=args.L,
                                      seed=args.seed)
+        elif kind == "adversarial":
+            scenario = haeupler_kuhn_scenario(
+                n0=args.n0, k=args.k, rounds=args.rounds, seed=args.seed,
+                verify=verify,
+            )
         else:
             scenario = one_interval_scenario(n0=args.n0, k=args.k,
                                              seed=args.seed, verify=verify)
     if profiled and kind != "dhop":
-        from .graphs.properties import is_hinet, is_T_interval_connected
+        from .graphs.properties import (
+            is_hinet,
+            is_T_interval_connected,
+            max_interval_connectivity,
+        )
 
         T = int(scenario.params.get("T", 1))
         with profiler.section("property_checks"):
@@ -336,10 +366,17 @@ def _build_scenario(args, spec: AlgorithmSpec, profiler=None):
             elif kind == "klo-interval":
                 ok = is_T_interval_connected(scenario.trace, T,
                                              windows="blocks")
+            elif kind == "adversarial":
+                ok = max_interval_connectivity(scenario.trace) >= 1
             else:
                 ok = is_T_interval_connected(scenario.trace, 1)
         if not ok:
             raise SystemExit(f"generated {kind} trace failed verification")
+    if getattr(args, "loss", None):
+        scenario = lossy_scenario(scenario, args.loss, seed=args.loss_seed,
+                                  burst_len=args.burst)
+    if getattr(args, "churn", None):
+        scenario = churn_scenario(scenario, args.churn, seed=args.churn_seed)
     return scenario
 
 
@@ -497,6 +534,14 @@ def _cmd_report(args) -> str:
     from .obs import merge_timelines, render_dashboard
 
     spec = _resolve_spec(args.algorithm)
+    if (getattr(args, "loss", None) or getattr(args, "churn", None)
+            or getattr(args, "adversary", False)
+            or args.scenario == "adversarial"):
+        raise SystemExit(
+            "repro report replicates benign scenarios only; fault flags "
+            "(--loss/--churn/--adversary) are not supported here — use "
+            "'repro run' per seed instead"
+        )
     kind = _default_scenario(spec) if args.scenario == "auto" else args.scenario
     builder, kwargs = _report_builder(kind, args)
     records = replicate_records(

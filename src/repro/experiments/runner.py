@@ -229,11 +229,18 @@ def _execute(
     obs: str = "timeline",
     monitors=None,
 ) -> RunRecord:
+    link = None
+    link_spec = getattr(scenario, "link", None)
+    if link_spec is not None:
+        from ..sim.linkmodel import link_from_spec
+
+        link = link_from_spec(link_spec)
     sync = SynchronousEngine(
         record_trace=record_trace,
         record_knowledge=record_knowledge,
         engine=engine,
         obs=obs,
+        link=link,
     )
     result = sync.run(
         scenario.trace,

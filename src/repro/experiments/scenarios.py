@@ -7,11 +7,27 @@ membership* with the Definition 2–8 / T-interval checkers, so a benchmark
 can never silently run on an instance outside the algorithm's
 correctness envelope (set ``verify=False`` only in large sweeps after the
 generator itself is property-tested).
+
+**Scenario families.**  Every scenario carries a ``family`` axis that
+specs declare compatibility with (see
+:attr:`repro.registry.AlgorithmSpec.families`):
+
+* ``"benign"`` — reliable channels, no churn (every builder's default);
+* ``"adversarial"`` — :func:`haeupler_kuhn_scenario`, the materialised
+  Haeupler–Kuhn lower-bound trace;
+* ``"lossy"`` — :func:`lossy_scenario`, i.i.d. or bursty message loss
+  layered on any base scenario via a link-model spec;
+* ``"churn"`` — :func:`churn_scenario`, crash-stop node departures.
+
+The fault families put a declarative link-model spec dict in
+``Scenario.link`` (see :func:`repro.sim.linkmodel.link_from_spec`);
+the runner threads it to every engine tier, which apply it through the
+same counter-based RNG stream — results are bit-identical across tiers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Mapping, Optional
 
 from ..core.bounds import (
@@ -20,20 +36,29 @@ from ..core.bounds import (
     klo_interval_phases,
     required_T,
 )
+from ..graphs.adversary import HaeuplerKuhnAdversary, materialize_lower_bound_trace
 from ..graphs.generators.hinet import HiNetParams, generate_hinet
 from ..graphs.generators.interval import t_interval_trace
 from ..graphs.generators.worstcase import shuffled_path_trace
-from ..graphs.properties import is_hinet, is_T_interval_connected
+from ..graphs.properties import (
+    is_hinet,
+    is_T_interval_connected,
+    max_interval_connectivity,
+)
 from ..graphs.trace import GraphTrace
+from ..sim.linkmodel import BurstyLoss, CrashChurn, IidLoss
 from ..sim.messages import initial_assignment
 from ..sim.rng import SeedLike
 
 __all__ = [
     "Scenario",
+    "churn_scenario",
     "dhop_scenario",
+    "haeupler_kuhn_scenario",
     "hinet_interval_scenario",
     "hinet_one_scenario",
     "klo_interval_scenario",
+    "lossy_scenario",
     "one_interval_scenario",
 ]
 
@@ -57,6 +82,14 @@ class Scenario:
     params:
         Model parameters: T, L, alpha, theta, and empirical n_m / n_r
         where available.  Consumed by the cost model and the runners.
+    family:
+        Scenario-family axis: ``"benign"`` (default), ``"adversarial"``,
+        ``"lossy"`` or ``"churn"``.  Specs declare which families they
+        support (:attr:`repro.registry.AlgorithmSpec.families`).
+    link:
+        Declarative link-model spec dict
+        (:func:`repro.sim.linkmodel.link_from_spec`), or ``None`` for
+        reliable channels.  Part of the cache fingerprint.
     """
 
     name: str
@@ -64,6 +97,8 @@ class Scenario:
     k: int
     initial: Mapping[int, FrozenSet[int]]
     params: Dict[str, object] = field(default_factory=dict)
+    family: str = "benign"
+    link: Optional[Dict[str, object]] = None
 
     @property
     def n(self) -> int:
@@ -291,4 +326,95 @@ def one_interval_scenario(
         k=k,
         initial=initial_assignment(k, n0, mode=assignment),
         params={"T": 1, "rounds": M},
+    )
+
+
+def haeupler_kuhn_scenario(
+    n0: int = 60,
+    k: int = 6,
+    rounds: Optional[int] = None,
+    assignment: str = "spread",
+    seed: SeedLike = 0,
+    verify: bool = True,
+) -> Scenario:
+    """The Haeupler–Kuhn lower-bound adversary, frozen to a static trace.
+
+    The adaptive token-aware adversary
+    (:class:`~repro.graphs.adversary.HaeuplerKuhnAdversary`) is played
+    against a flooding-knowledge oracle and the committed rounds become an
+    oblivious 1-interval-connected path trace — worst-case-shaped for
+    every one-token-per-round protocol, runnable on all three engine
+    tiers.  ``verify=True`` certifies the trace with the *incremental*
+    :func:`~repro.graphs.properties.max_interval_connectivity` checker
+    (binary search over running window intersections — no O(T·R)
+    sliding-window fallback) and stores the certified value in
+    ``params["certified_T"]``.
+    """
+    M = algorithm2_rounds_1interval(n0) if rounds is None else rounds
+    initial = initial_assignment(k, n0, mode=assignment)
+    trace = materialize_lower_bound_trace(
+        n0, initial, M, adversary=HaeuplerKuhnAdversary(n0, seed=seed)
+    )
+    params: Dict[str, object] = {"T": 1, "alpha": 1, "L": 1, "rounds": M}
+    if verify:
+        certified = max_interval_connectivity(trace)
+        if certified < 1:
+            raise AssertionError(
+                "adversarial trace is not even 1-interval connected"
+            )
+        params["certified_T"] = certified
+    return Scenario(
+        name=f"haeupler-kuhn adversary n={n0} k={k}",
+        trace=trace,
+        k=k,
+        initial=initial,
+        params=params,
+        family="adversarial",
+    )
+
+
+def lossy_scenario(
+    base: Scenario,
+    p: float,
+    seed: SeedLike = 0,
+    burst_len: Optional[int] = None,
+    burst_p: float = 0.3,
+    p_good: float = 0.0,
+) -> Scenario:
+    """Layer message loss on ``base``: i.i.d., or bursty when ``burst_len``.
+
+    The returned scenario shares the base's trace/instance/params and
+    carries the loss as a declarative link spec — one ~50-line LinkModel
+    does the rest on every engine tier.  ``seed`` feeds the counter-based
+    link RNG stream; two runs with the same seed are bit-identical.
+    """
+    seed_int = 0 if seed is None else int(seed)
+    if burst_len is None:
+        model = IidLoss(p, seed=seed_int)
+        label = f"{base.name} + iid loss p={p}"
+    else:
+        model = BurstyLoss(
+            p, burst_len=burst_len, burst_p=burst_p, p_good=p_good,
+            seed=seed_int,
+        )
+        label = f"{base.name} + bursty loss p={p} burst={burst_len}"
+    return replace(base, name=label, family="lossy", link=model.spec())
+
+
+def churn_scenario(
+    base: Scenario,
+    rate: float,
+    seed: SeedLike = 0,
+) -> Scenario:
+    """Layer crash-stop churn on ``base``: each round every live node
+    crashes independently with probability ``rate`` (token set wiped, never
+    sends or absorbs again).  Coverage accounting, monitors, recorder
+    deltas and completion all become survivor-aware automatically."""
+    seed_int = 0 if seed is None else int(seed)
+    model = CrashChurn(rate, seed=seed_int)
+    return replace(
+        base,
+        name=f"{base.name} + churn rate={rate}",
+        family="churn",
+        link=model.spec(),
     )

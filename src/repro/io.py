@@ -163,7 +163,7 @@ def scenario_to_dict(scenario) -> Dict[str, Any]:
         for key, value in scenario.params.items()
         if isinstance(value, (int, float, str, bool)) or value is None
     }
-    return {
+    out = {
         "format": "repro-scenario",
         "version": _VERSION,
         "schema_version": SCHEMA_VERSION,
@@ -173,6 +173,15 @@ def scenario_to_dict(scenario) -> Dict[str, Any]:
         "params": params,
         "trace": trace_to_dict(scenario.trace),
     }
+    # family/link only when non-default: benign scenarios keep their
+    # pre-seam encoding (and cache fingerprints) byte-for-byte
+    family = getattr(scenario, "family", "benign")
+    if family != "benign":
+        out["family"] = family
+    link = getattr(scenario, "link", None)
+    if link is not None:
+        out["link"] = dict(link)
+    return out
 
 
 def scenario_from_dict(data: Dict[str, Any]):
@@ -180,6 +189,7 @@ def scenario_from_dict(data: Dict[str, Any]):
     _require_format(data, "repro-scenario")
     from .experiments.scenarios import Scenario
 
+    link = data.get("link")
     return Scenario(
         name=data["name"],
         trace=trace_from_dict(data["trace"]),
@@ -189,6 +199,8 @@ def scenario_from_dict(data: Dict[str, Any]):
             for v, toks in data["initial"].items()
         },
         params=dict(data["params"]),
+        family=data.get("family", "benign"),
+        link=None if link is None else dict(link),
     )
 
 
@@ -242,6 +254,7 @@ def metrics_from_dict(data: Dict[str, Any]) -> Metrics:
         unicasts=int(data.get("unicasts", 0)),
         dropped_unicasts=int(data.get("dropped_unicasts", 0)),
         lost_deliveries=int(data.get("lost_deliveries", 0)),
+        crashed_nodes=int(data.get("crashed_nodes", 0)),
         per_round_tokens=[int(v) for v in data.get("per_round_tokens", [])],
         per_round_coverage=[int(v) for v in data.get("per_round_coverage", [])],
     )

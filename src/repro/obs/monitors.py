@@ -74,14 +74,21 @@ class RoundView:
     round ran on, end-of-round coverage / completion counters, and the
     per-node token counts (plain ints, so fastpath bitset popcounts and
     reference ``len(TA)`` compare equal).
+
+    When the run has a :class:`~repro.sim.linkmodel.LinkModel` attached,
+    ``faults`` is a dict describing this round's fault activity —
+    ``{"crashed": (node ids…), "crash_tokens": int, "lost": int}`` — so
+    monitors can *diagnose* fault-induced anomalies instead of flagging
+    them as algorithm bugs.  ``None`` on benign runs.
     """
 
     __slots__ = ("round_index", "snap", "coverage", "nodes_complete",
-                 "per_node", "n", "k")
+                 "per_node", "n", "k", "faults")
 
     def __init__(self, round_index: int, snap, coverage: int,
                  nodes_complete: int, per_node: Sequence[int],
-                 n: int, k: int) -> None:
+                 n: int, k: int, faults: Optional[Mapping[str, object]] = None,
+                 ) -> None:
         self.round_index = round_index
         self.snap = snap
         self.coverage = coverage
@@ -89,6 +96,7 @@ class RoundView:
         self.per_node = per_node
         self.n = n
         self.k = k
+        self.faults = faults
 
 
 class Monitor:
@@ -114,7 +122,14 @@ class Monitor:
 
 
 class CoverageMonotonicityMonitor(Monitor):
-    """Coverage is non-decreasing: dissemination state is absorb-only."""
+    """Coverage is non-decreasing: dissemination state is absorb-only.
+
+    Under crash-stop churn a coverage drop is *expected* — a crashed
+    node's tokens leave the count.  When the round's
+    :attr:`RoundView.faults` shows crashes that account for the whole
+    drop, the monitor stays silent; a drop that exceeds what the crashes
+    wiped is still flagged, with the churn contribution in the diagnosis.
+    """
 
     name = "coverage-monotonicity"
 
@@ -124,11 +139,27 @@ class CoverageMonotonicityMonitor(Monitor):
 
     def observe(self, view: RoundView) -> None:
         if self._prev is not None and view.coverage < self._prev:
-            self.emit(
-                view.round_index,
-                f"coverage dropped {self._prev} -> {view.coverage}",
-                previous=self._prev, coverage=view.coverage,
-            )
+            drop = self._prev - view.coverage
+            faults = view.faults or {}
+            crashed = tuple(faults.get("crashed", ()))
+            crash_tokens = int(faults.get("crash_tokens", 0))
+            if crashed and drop <= crash_tokens:
+                pass  # fully explained by churn: crashed nodes' tokens left
+            elif crashed:
+                self.emit(
+                    view.round_index,
+                    f"coverage dropped {self._prev} -> {view.coverage}; "
+                    f"crashes wiped only {crash_tokens} of the {drop} "
+                    f"missing (node, token) pairs",
+                    previous=self._prev, coverage=view.coverage,
+                    crashed=crashed, crash_tokens=crash_tokens,
+                )
+            else:
+                self.emit(
+                    view.round_index,
+                    f"coverage dropped {self._prev} -> {view.coverage}",
+                    previous=self._prev, coverage=view.coverage,
+                )
         self._prev = view.coverage
 
 

@@ -123,6 +123,14 @@ class AlgorithmSpec:
     seeded:
         Whether the algorithm itself consumes randomness (gossip, RLNC);
         such specs accept a ``seed`` override that joins the cache key.
+    families:
+        Scenario families (:attr:`repro.experiments.Scenario.family`) the
+        spec is validated against: ``"benign"`` is mandatory, and most
+        specs also tolerate ``"lossy"`` and ``"churn"`` (the engine-level
+        link seam degrades them gracefully).  ``"adversarial"`` is opted
+        into only by algorithms whose round budget is meaningful on
+        materialized lower-bound traces.  Surfaced as a column by
+        ``repro list-algorithms``.
     description:
         One-line summary for ``repro list-algorithms``.
     """
@@ -139,6 +147,7 @@ class AlgorithmSpec:
     fastpath: bool = False
     columnar: bool = False
     seeded: bool = False
+    families: Tuple[str, ...] = ("benign", "lossy", "churn")
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -151,9 +160,28 @@ class AlgorithmSpec:
                 f"{self.name!r}: columnar=True requires fastpath=True "
                 "(the columnar tier reuses the fastpath kernel tags)"
             )
+        if "benign" not in self.families:
+            raise ValueError(
+                f"{self.name!r}: families must include 'benign', "
+                f"got {self.families!r}"
+            )
+        unknown_fams = set(self.families) - {
+            "benign", "lossy", "churn", "adversarial"
+        }
+        if unknown_fams:
+            raise ValueError(
+                f"{self.name!r}: unknown scenario families {sorted(unknown_fams)}"
+            )
 
     def validate_scenario(self, scenario) -> None:
-        """Raise ``KeyError`` unless the scenario carries every required param."""
+        """Raise unless the scenario fits: family supported, params present."""
+        fam = getattr(scenario, "family", "benign")
+        if fam not in self.families:
+            raise ValueError(
+                f"scenario {scenario.name!r} is of family {fam!r}, which "
+                f"{self.name!r} does not support "
+                f"(supported: {', '.join(self.families)})"
+            )
         missing = [p for p in self.required_params if p not in scenario.params]
         if missing:
             raise KeyError(
@@ -174,6 +202,7 @@ class AlgorithmSpec:
             "overrides": ",".join(self.overrides) or "-",
             "fastpath": self.fastpath,
             "columnar": self.columnar,
+            "families": ",".join(self.families),
             "version": self.version,
         }
 

@@ -6,6 +6,15 @@ receive, adversarial per-round topology, wireless-broadcast cost model).
 """
 
 from .engine import ActiveRun, DynamicNetwork, RunResult, SynchronousEngine, run
+from .linkmodel import (
+    BurstyLoss,
+    CrashChurn,
+    IidLoss,
+    LinkChain,
+    LinkModel,
+    PinpointFault,
+    link_from_spec,
+)
 from .messages import Delivery, Message, TokenDomain, TokenSet, initial_assignment, token_range
 from .metrics import Metrics, RoleCost
 from .node import AlgorithmFactory, NodeAlgorithm, RoundContext
@@ -16,12 +25,18 @@ from .trace import DeliveryEvent, RoundTrace, SimTrace
 __all__ = [
     "ActiveRun",
     "AlgorithmFactory",
+    "BurstyLoss",
+    "CrashChurn",
     "Delivery",
     "DeliveryEvent",
     "DynamicNetwork",
+    "IidLoss",
+    "LinkChain",
+    "LinkModel",
     "Message",
     "Metrics",
     "NodeAlgorithm",
+    "PinpointFault",
     "RoleCost",
     "RoundContext",
     "RoundTrace",
@@ -35,6 +50,7 @@ __all__ = [
     "adjacency_from_edges",
     "derive_seed",
     "initial_assignment",
+    "link_from_spec",
     "make_rng",
     "run",
     "spawn",

@@ -44,10 +44,14 @@ at a fixed shard count.
 **Dispatch.**  :func:`try_run` mirrors the fast path's contract: factories
 tagged ``factory.fastpath = (kind, params)`` with a supported kind run
 columnar; anything else — untagged factories, adaptive networks,
-``SimTrace`` recording, ``loss_p > 0``, ``latency > 1``, ``obs="trace"``
-causal tracing, or attached monitors — returns ``None`` and the engine
-falls back (columnar → fastpath → reference), so every configuration
-still executes, just on the widest tier that supports it.
+``SimTrace`` recording, ``latency > 1``, ``obs="trace"`` causal tracing,
+or attached monitors — returns ``None`` and the engine falls back
+(columnar → fastpath → reference), so every configuration still executes,
+just on the widest tier that supports it.  Link models (loss, churn,
+pinpoint faults) run natively: the per-round link transform is a boolean
+mask over the CSR edge array, applied by zeroing suppressed gathered rows
+before the OR-reduce (zero rows are OR-neutral), with crash-stop churn as
+row wipes plus a post-absorb re-zero of dead rows.
 
 Networks may be array-native: when the network object exposes
 ``snapshot_arrays(r)`` (see :class:`~repro.sim.topology.CSRNetwork`), the
@@ -73,15 +77,16 @@ from .fastpath import (
     _account,
     _Algorithm1Kernel,
     _Algorithm2Kernel,
+    _filter_batch_alive,
     _FloodNewKernel,
     _FullSetBroadcastKernel,
     _KLOIntervalKernel,
-    _parse_fault,
     _rows_to_frozensets,
     _rows_tokens,
     _row_tokens,
     _SendBatch,
 )
+from .linkmodel import LinkModel
 from .metrics import Metrics
 from .topology import SnapshotArrays
 
@@ -170,6 +175,7 @@ def _segment_or(
     indices: np.ndarray,
     degrees: np.ndarray,
     payload: np.ndarray,
+    edge_keep: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """OR-reduce ``payload`` rows over CSR adjacency segments.
 
@@ -177,12 +183,19 @@ def _segment_or(
     — one boolean spmm row block.  ``reduceat`` mis-handles empty segments
     (it returns the element *at* the index instead of the OR-identity) so
     degree-0 rows are masked out and stay all-zero.
+
+    ``edge_keep`` (one bool per CSR edge of this block, or ``None`` for
+    all-kept) zeroes the gathered rows of suppressed edges before the
+    reduce — zero rows are OR-neutral, so a link-masked edge behaves
+    exactly like no delivery.
     """
     rows = degrees.shape[0]
     out = np.zeros((rows, payload.shape[1]), dtype=np.uint64)
     if indices.size == 0:
         return out
     gathered = payload[indices]
+    if edge_keep is not None and not edge_keep.all():
+        gathered[~edge_keep] = 0
     nonempty = degrees > 0
     out[nonempty] = np.bitwise_or.reduceat(
         gathered, np.asarray(starts[nonempty], dtype=np.intp), axis=0
@@ -191,7 +204,9 @@ def _segment_or(
 
 
 def _shard_deliver(
-    item: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    item: Tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]
+    ],
 ) -> np.ndarray:
     """One shard's delivery: reduce a row block against its sub-payload.
 
@@ -199,8 +214,8 @@ def _shard_deliver(
     sub-payload already contains only the boundary-exchanged rows this
     block's adjacency references.
     """
-    local_starts, seg_indices, degrees, payload_sub = item
-    return _segment_or(local_starts, seg_indices, degrees, payload_sub)
+    local_starts, seg_indices, degrees, payload_sub, edge_keep = item
+    return _segment_or(local_starts, seg_indices, degrees, payload_sub, edge_keep)
 
 
 def _shard_plan(
@@ -221,11 +236,12 @@ def _shard_plan(
     for i in range(shards):
         lo = (i * n) // shards
         hi = ((i + 1) * n) // shards
-        seg = arrs.indices[indptr[lo]:indptr[hi]]
+        elo, ehi = int(indptr[lo]), int(indptr[hi])
+        seg = arrs.indices[elo:ehi]
         needed = np.unique(seg)
         remapped = np.searchsorted(needed, seg).astype(np.int64)
         local_starts = (indptr[lo:hi] - indptr[lo]).astype(np.intp)
-        plan.append((local_starts, remapped, arrs.degrees[lo:hi], needed))
+        plan.append((local_starts, remapped, arrs.degrees[lo:hi], needed, elo, ehi))
     return plan
 
 
@@ -270,7 +286,15 @@ class _ColumnarAlgorithm1(_AbsorbAll, _Algorithm1Kernel):
     a single gather ``bc_full[head_of]`` masked by ``head_adjacent`` —
     heads that stayed silent contribute an all-zero row, which ORs to a
     no-op, exactly like no delivery.
+
+    Under a link model the head→member delivery re-evaluates the same
+    counter-based ``deliver_mask`` decision the CSR edge mask drew for
+    that (round, edge) — identical by construction, so the gather is
+    suppressed consistently and the loss is *not* billed twice (the edge
+    mask already counted it).
     """
+
+    link: Optional[LinkModel] = None  # injected by run_columnar
 
     def absorb(self, r, arrs, recv, bc_full, batch):
         member = self._member_mask(arrs)
@@ -286,6 +310,11 @@ class _ColumnarAlgorithm1(_AbsorbAll, _Algorithm1Kernel):
         head_arr = self._head_arr(arrs)
         if arrs.head_adjacent is not None:
             listening = member & arrs.head_adjacent
+            if listening.any() and self.link is not None:
+                ids = np.nonzero(listening)[0]
+                m = self.link.deliver_mask(r, head_arr[ids], ids)
+                if m is not None and not m.all():
+                    listening[ids[~m]] = False
             if listening.any():
                 keep = listening[:, None]
                 from_head = bc_full[head_arr]
@@ -481,8 +510,11 @@ def run_columnar(
         rec_known = TA.copy()
     pack_memo: Dict[int, Tuple[object, tuple]] = {}
     plan_memo: Dict[int, Tuple[object, list]] = {}
-    fault = _parse_fault()
-    target = n * k
+    link = engine.link_for("columnar")
+    alive: Optional[np.ndarray] = None
+    if link is not None:
+        alive = np.ones(n, dtype=bool)
+        kernel.link = link  # head-listening gathers re-draw edge decisions
     coverage = 0
     executed = 0
 
@@ -505,7 +537,17 @@ def run_columnar(
             if recorder is not None:
                 recorder.begin_round_packed(*_packed_hierarchy(arrs, pack_memo))
 
+            # --- crash stage (before sends: crashed nodes never act) -----
+            if link is not None:
+                crashed = link.crashes(r, alive)
+                if len(crashed):
+                    alive[crashed] = False
+                    kernel.TA[crashed] = 0
+                    metrics.record_crashes(len(crashed))
+
             batch = kernel.send(r, arrs)
+            if batch is not None and alive is not None:
+                batch = _filter_batch_alive(batch, alive)
             if prof is not None:
                 now = time.perf_counter()
                 prof.add("role_mask", now - t0)
@@ -514,6 +556,47 @@ def run_columnar(
                 _account(metrics, batch, arrs, timeline)
                 if recorder is not None:
                     _record_batch(recorder, batch)
+                # --- link transform: per-edge masks over the CSR columns -
+                edge_keep: Optional[np.ndarray] = None
+                absorb_batch = batch
+                if link is not None:
+                    is_bc = np.zeros(n, dtype=bool)
+                    is_bc[batch.bc_senders] = True
+                    snd_e = arrs.indices
+                    recv_e = np.repeat(
+                        np.arange(n, dtype=np.int64), arrs.degrees
+                    )
+                    # candidates: broadcast edges with a live receiver (the
+                    # reference bills losses only on those; dead receivers
+                    # are silent and the post-absorb re-zero handles them)
+                    cand = is_bc[snd_e] & alive[recv_e]
+                    cidx = np.flatnonzero(cand)
+                    if cidx.size:
+                        m = link.deliver_mask(r, snd_e[cidx], recv_e[cidx])
+                        if m is not None and not m.all():
+                            metrics.record_loss(int(m.size - int(m.sum())))
+                            edge_keep = np.ones(snd_e.shape[0], dtype=bool)
+                            edge_keep[cidx[~m]] = False
+                    if batch.uc_senders.size:
+                        ok = batch.uc_ok
+                        delivered = ok & alive[batch.uc_dests]
+                        uidx = np.flatnonzero(delivered)
+                        if uidx.size:
+                            mu = link.deliver_mask(
+                                r, batch.uc_senders[uidx], batch.uc_dests[uidx]
+                            )
+                            if mu is not None and not mu.all():
+                                metrics.record_loss(
+                                    int(mu.size - int(mu.sum()))
+                                )
+                                delivered[uidx[~mu]] = False
+                        if not np.array_equal(delivered, ok):
+                            absorb_batch = _SendBatch(
+                                batch.bc_senders, batch.bc_payload,
+                                batch.bc_costs, batch.uc_senders,
+                                batch.uc_dests, delivered,
+                                batch.uc_payload, batch.uc_costs,
+                            )
                 # pack: scatter broadcast payloads to a dense (n, W) matrix
                 bc_full = np.zeros((n, W), dtype=np.uint64)
                 if batch.bc_senders.size:
@@ -529,8 +612,11 @@ def run_columnar(
                         plan_memo[id(arrs)] = hit
                     # boundary exchange: slice each shard's needed rows
                     items = [
-                        (ls, seg, deg, bc_full[needed])
-                        for ls, seg, deg, needed in hit[1]
+                        (
+                            ls, seg, deg, bc_full[needed],
+                            None if edge_keep is None else edge_keep[elo:ehi],
+                        )
+                        for ls, seg, deg, needed, elo, ehi in hit[1]
                     ]
                     if prof is not None:
                         now = time.perf_counter()
@@ -551,21 +637,27 @@ def run_columnar(
                         t0 = now
                 else:
                     recv = _segment_or(
-                        arrs.indptr[:-1], arrs.indices, arrs.degrees, bc_full
+                        arrs.indptr[:-1], arrs.indices, arrs.degrees, bc_full,
+                        edge_keep,
                     )
                     if prof is not None:
                         now = time.perf_counter()
                         prof.add("spmm_delivery", now - t0)
                         t0 = now
-                kernel.absorb(r, arrs, recv, bc_full, batch)
+                kernel.absorb(r, arrs, recv, bc_full, absorb_batch)
                 if prof is not None:
                     now = time.perf_counter()
                     prof.add("role_mask", now - t0)
                     t0 = now
-            if fault is not None and fault[0] == r:
-                # same test-only hook as the fast path (FAULT_ENV_VAR)
-                fv, ft = fault[1], fault[2]
-                kernel.TA[fv, ft >> 6] ^= _U1 << np.uint64(ft & 63)
+            if alive is not None and not alive.all():
+                # dead receivers may have absorbed via the multi-input
+                # gathers; OR-neutral re-zero restores crash-stop semantics
+                kernel.TA[~alive] = 0
+            if link is not None:
+                # pinpoint perturbations — same hook as the other tiers
+                for fv, ft in link.faults(r):
+                    if alive is None or alive[fv]:
+                        kernel.TA[fv, ft >> 6] ^= _U1 << np.uint64(ft & 63)
             if recorder is not None:
                 new = kernel.TA & ~rec_known
                 dropped = rec_known & ~kernel.TA
@@ -586,7 +678,8 @@ def run_columnar(
             executed = r + 1
             if prof is not None:
                 prof.add("bookkeeping", time.perf_counter() - t0)
-            if coverage == target:
+            alive_n = n if alive is None else int(alive.sum())
+            if coverage == alive_n * k and (alive is None or alive_n > 0):
                 metrics.mark_complete()
                 if stop_when_complete:
                     break
@@ -598,13 +691,20 @@ def run_columnar(
 
     if timeline is not None and prof is not None:
         timeline.profile.update(prof.seconds)
+    alive_n = n if alive is None else int(alive.sum())
     if materialize_outputs:
         token_sets = _rows_to_frozensets(kernel.TA)
         outputs = {v: token_sets[v] for v in range(n)}
-        complete = all(len(t) == k for t in outputs.values())
+        if alive is None:
+            complete = all(len(t) == k for t in outputs.values())
+        else:
+            survivors = np.nonzero(alive)[0]
+            complete = bool(survivors.size) and all(
+                len(outputs[int(v)]) == k for v in survivors
+            )
     else:
         outputs = {}
-        complete = coverage == target
+        complete = alive_n > 0 and coverage == alive_n * k
     return RunResult(
         n=n,
         k=k,
@@ -634,11 +734,13 @@ def try_run(
     """Execute a run on the columnar tier, or return ``None`` if unsupported.
 
     Supported: factories tagged with a known ``factory.fastpath`` kind on
-    non-adaptive networks, reliable unit-latency channels, and ``obs`` in
-    {``off``, ``timeline``, ``record``, ``profile``}.  ``obs="trace"``,
-    ``loss_p > 0``, ``latency > 1``, runtime monitors and ``SimTrace``
-    recording fall back (the fast path supports them all and stays
-    bit-identical).  ``None`` is only returned before the first round.
+    non-adaptive networks, unit-latency channels, and ``obs`` in
+    {``off``, ``timeline``, ``record``, ``profile``}.  Link models (loss,
+    churn, pinpoint faults) run natively as per-edge mask arrays over the
+    CSR columns; ``obs="trace"``, ``latency > 1``, runtime monitors and
+    ``SimTrace`` recording fall back (the fast path supports them all and
+    stays bit-identical).  ``None`` is only returned before the first
+    round.
     """
     spec = getattr(factory, "fastpath", None)
     if spec is None:
@@ -650,7 +752,7 @@ def try_run(
         return None
     if getattr(network, "adaptive_snapshot", None) is not None:
         return None
-    if engine.loss_p > 0 or engine.latency != 1:
+    if engine.latency != 1:
         return None
     if engine.obs == "trace":
         return None

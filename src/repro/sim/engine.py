@@ -21,8 +21,16 @@ Delivery semantics
 * With ``latency`` ζ > 1 (the TVG latency function), a frame transmitted
   in round r lands at the end of round r + ζ − 1; the audience is fixed at
   transmission time.
-* With ``loss_p`` > 0, each individual delivery is independently
-  suppressed (fault injection; the send is still billed).
+* All delivery *mutation* — probabilistic loss, crash-stop churn,
+  pinpoint state faults — lives behind the pluggable
+  :class:`~repro.sim.linkmodel.LinkModel` seam (``link=``): candidate
+  deliveries are formed from the snapshot, the link model masks them,
+  and the absorb stage only sees survivors.  ``loss_p`` > 0 is kept as a
+  shorthand that constructs an
+  :class:`~repro.sim.linkmodel.IidLoss` model (the send is still
+  billed for suppressed deliveries).  Every round decomposes as
+  topology-view → send-intents → link transform → absorb → role-update,
+  identically on all three engine tiers.
 
 Execution comes in two forms: :meth:`SynchronousEngine.run` executes a
 whole budget, and :meth:`SynchronousEngine.start` returns an
@@ -53,6 +61,7 @@ from ..obs import (
 )
 from ..obs.monitors import Monitor, Violation
 from ..roles import Role
+from .linkmodel import IidLoss, LinkModel, effective_link
 from .messages import Delivery, Message
 from .metrics import Metrics
 from .node import AlgorithmFactory, NodeAlgorithm, RoundContext
@@ -228,22 +237,21 @@ class ActiveRun:
         self._adaptive = getattr(network, "adaptive_snapshot", None)
         # messages in flight when latency > 1: due round -> [(receiver, msg)]
         self._in_flight: Dict[int, List[Tuple[int, Message]]] = {}
-        self._loss_rng = None
-        if engine.loss_p > 0:
-            from .rng import make_rng
+        self._link = engine.link_for("reference")
+        self._alive = None
+        if self._link is not None:
+            import numpy as np
 
-            self._loss_rng = make_rng(engine.loss_seed)
+            self._alive = np.ones(n, dtype=bool)
 
     # -- internals ---------------------------------------------------------
 
-    def _delivered(self) -> bool:
-        """Fault injection: whether one delivery survives the channel."""
-        if self._loss_rng is None:
+    def _link_delivers(self, r: int, sender: int, receiver: int) -> bool:
+        """Link transform for one candidate delivery (loss is billed)."""
+        if self._link.delivers(r, sender, receiver):
             return True
-        if self._loss_rng.random() < self.engine.loss_p:
-            self.metrics.record_loss()
-            return False
-        return True
+        self.metrics.record_loss()
+        return False
 
     def _record_causal(
         self, r: int, snap: Snapshot, inboxes: List[List[Message]]
@@ -317,6 +325,23 @@ class ActiveRun:
         if recorder is not None:
             recorder.begin_round(snap)
 
+        # --- link transform, stage 1: crash-stop churn ---------------------
+        link = self._link
+        alive = self._alive
+        newly_crashed: Tuple[int, ...] = ()
+        crash_tokens = 0
+        lost_before = self.metrics.lost_deliveries
+        if link is not None:
+            crashed = link.crashes(r, alive)
+            if len(crashed):
+                newly_crashed = tuple(int(x) for x in crashed)
+                for cv in newly_crashed:
+                    alive[cv] = False
+                    ta = self.algorithms[cv].TA
+                    crash_tokens += len(ta)
+                    ta.clear()
+                self.metrics.record_crashes(len(newly_crashed))
+
         contexts = [
             RoundContext(
                 round_index=r,
@@ -333,6 +358,8 @@ class ActiveRun:
             t0 = time.perf_counter()
         due = r + self.engine.latency - 1
         for v in range(n):
+            if alive is not None and not alive[v]:
+                continue
             ctx = contexts[v]
             role_name = ctx.role.name.lower() if ctx.role is not None else "flat"
             for msg in self.algorithms[v].send(ctx):
@@ -356,13 +383,20 @@ class ActiveRun:
                         msg.cost,
                     )
                 if msg.delivery is Delivery.BROADCAST:
-                    for u in snap.adj[v]:
-                        if self._delivered():
+                    if link is None:
+                        for u in snap.adj[v]:
                             self._in_flight.setdefault(due, []).append((u, msg))
+                    else:
+                        # candidates are live receivers; the link masks those
+                        for u in snap.adj[v]:
+                            if alive[u] and self._link_delivers(r, v, u):
+                                self._in_flight.setdefault(due, []).append((u, msg))
                 else:
                     if msg.dest not in snap.adj[v]:
                         self.metrics.record_drop()
-                    elif self._delivered():
+                    elif link is None:
+                        self._in_flight.setdefault(due, []).append((msg.dest, msg))
+                    elif alive[msg.dest] and self._link_delivers(r, v, msg.dest):
                         self._in_flight.setdefault(due, []).append((msg.dest, msg))
 
         # --- delivery of everything due this round --------------------------
@@ -372,6 +406,8 @@ class ActiveRun:
             t0 = now
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         for receiver, msg in self._in_flight.pop(r, ()):
+            if alive is not None and not alive[receiver]:
+                continue  # crashed between transmission and landing
             inboxes[receiver].append(msg)
             if round_trace is not None:
                 round_trace.deliveries.append(DeliveryEvent(receiver, msg))
@@ -382,13 +418,18 @@ class ActiveRun:
             prof.add("deliver", now - t0)
             t0 = now
         for v in range(n):
-            self.algorithms[v].receive(contexts[v], inboxes[v])
+            if alive is None or alive[v]:
+                self.algorithms[v].receive(contexts[v], inboxes[v])
 
         # --- bookkeeping ----------------------------------------------------
         if prof is not None:
             now = time.perf_counter()
             prof.add("receive", now - t0)
             t0 = now
+        if link is not None:
+            for fv, ft in link.faults(r):
+                if alive is None or alive[fv]:
+                    self.algorithms[fv].TA.symmetric_difference_update((ft,))
         if self.causal is not None:
             self._record_causal(r, snap, inboxes)
         if recorder is not None:
@@ -418,6 +459,13 @@ class ActiveRun:
         if timeline is not None:
             timeline.end_round(coverage, nodes_complete)
         if self.monitors:
+            faults_info = None
+            if link is not None:
+                faults_info = {
+                    "crashed": newly_crashed,
+                    "crash_tokens": crash_tokens,
+                    "lost": self.metrics.lost_deliveries - lost_before,
+                }
             view = RoundView(
                 round_index=r,
                 snap=snap,
@@ -426,6 +474,7 @@ class ActiveRun:
                 per_node=[len(self.algorithms[v].TA) for v in range(n)],
                 n=n,
                 k=k,
+                faults=faults_info,
             )
             for monitor in self.monitors:
                 monitor.observe(view)
@@ -435,7 +484,10 @@ class ActiveRun:
             }
         self.round += 1
 
-        if coverage == n * self.k:
+        # completion is measured over the surviving population: a crashed
+        # node can never be re-supplied, so it does not gate the run
+        alive_n = n if alive is None else int(alive.sum())
+        if coverage == alive_n * self.k and (alive is None or alive_n > 0):
             self.metrics.mark_complete()
             if self.stop_when_complete:
                 self.stopped = True
@@ -443,7 +495,11 @@ class ActiveRun:
             not self.stopped
             and self.stop_when_finished
             and not self._in_flight
-            and all(self.algorithms[v].finished(contexts[v]) for v in range(n))
+            and all(
+                self.algorithms[v].finished(contexts[v])
+                for v in range(n)
+                if alive is None or alive[v]
+            )
         ):
             self.stopped = True
         if self.round >= self.max_rounds:
@@ -464,7 +520,13 @@ class ActiveRun:
         }
         if self.timeline is not None and self.profiler is not None:
             self.timeline.profile.update(self.profiler.seconds)
-        complete = all(len(t) == self.k for t in outputs.values())
+        if self._alive is None:
+            complete = all(len(t) == self.k for t in outputs.values())
+        else:
+            survivors = [v for v in range(self.n) if self._alive[v]]
+            complete = bool(survivors) and all(
+                len(outputs[v]) == self.k for v in survivors
+            )
         violations: Optional[List[Violation]] = None
         if self.monitors:
             for monitor in self.monitors:
@@ -495,12 +557,21 @@ class SynchronousEngine:
     record_knowledge:
         Additionally snapshot every node's token set each round (implies
         ``record_trace``); O(n·k) per round, for walkthroughs only.
+    link:
+        A :class:`~repro.sim.linkmodel.LinkModel` applied to every round's
+        candidate deliveries (loss), node population (crash-stop churn)
+        and post-absorb state (pinpoint faults).  All three engine tiers
+        apply the same counter-based decisions, so faulty runs keep the
+        registry-wide bit-identity guarantee.  ``None`` (default) is the
+        identity channel.
     loss_p:
-        Fault injection: each individual delivery (per broadcast receiver,
-        per unicast) is independently suppressed with this probability —
-        radio fading on top of the adversarial topology.  The *send* is
-        still paid for.  Algorithms proven for reliable links lose their
-        guarantees here; the robustness benchmarks measure by how much.
+        Shorthand for ``link=IidLoss(loss_p, seed=loss_seed)``: each
+        individual delivery (per broadcast receiver, per unicast) is
+        independently suppressed with this probability — radio fading on
+        top of the adversarial topology.  The *send* is still paid for.
+        Algorithms proven for reliable links lose their guarantees here;
+        the robustness benchmarks measure by how much.  Mutually
+        exclusive with ``link=``.
     loss_seed:
         Seed for the loss process (required reproducibility when
         ``loss_p > 0``).
@@ -546,6 +617,7 @@ class SynchronousEngine:
         latency: int = 1,
         engine: str = "reference",
         obs: str = "timeline",
+        link: Optional[LinkModel] = None,
     ) -> None:
         self.record_trace = record_trace or record_knowledge
         self.record_knowledge = record_knowledge
@@ -557,11 +629,31 @@ class SynchronousEngine:
             raise ValueError(
                 f"engine must be 'reference', 'fast' or 'columnar', got {engine!r}"
             )
+        if link is not None:
+            if not isinstance(link, LinkModel):
+                raise TypeError(
+                    f"link must be a LinkModel, got {type(link).__name__}"
+                )
+            if loss_p > 0:
+                raise ValueError("pass either link= or loss_p=, not both")
+        elif loss_p > 0:
+            # deprecated shorthand: loss_p constructs the i.i.d. model
+            link = IidLoss(loss_p, seed=loss_seed)
+        self.link = link
         self.loss_p = loss_p
         self.loss_seed = loss_seed
         self.latency = latency
         self.engine_mode = engine
         self.obs = validate_obs(obs)
+
+    def link_for(self, tier: str) -> Optional[LinkModel]:
+        """The link model ``tier`` should apply (None on the benign path).
+
+        Folds in the deprecated ``REPRO_FASTPATH_FAULT`` env alias, which
+        targets only the vectorised tiers (see
+        :func:`repro.sim.linkmodel.env_fault`).
+        """
+        return effective_link(self.link, tier)
 
     def start(
         self,
@@ -680,8 +772,8 @@ def run(
     """One-shot convenience wrapper around :class:`SynchronousEngine`.
 
     Keyword arguments ``record_trace`` / ``record_knowledge`` /
-    ``loss_p`` / ``loss_seed`` / ``latency`` / ``engine`` / ``obs``
-    configure the engine; everything else is forwarded to
+    ``loss_p`` / ``loss_seed`` / ``latency`` / ``engine`` / ``obs`` /
+    ``link`` configure the engine; everything else is forwarded to
     :meth:`SynchronousEngine.run`.
     """
     engine = SynchronousEngine(
@@ -692,5 +784,6 @@ def run(
         latency=kwargs.pop("latency", 1),
         engine=kwargs.pop("engine", "reference"),
         obs=kwargs.pop("obs", "timeline"),
+        link=kwargs.pop("link", None),
     )
     return engine.run(network, factory, k, initial, max_rounds, **kwargs)

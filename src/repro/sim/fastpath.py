@@ -28,12 +28,13 @@ causal tracing), the same :class:`~repro.obs.RunRecording` at
 and canonically ordered messages decoded from the send batches — asserted
 bit-identical registry-wide in ``tests/test_recorder.py``), the same
 monitor :class:`~repro.obs.Violation` streams,
-the same drop/loss accounting, and — because fault injection consumes the
-loss RNG in the reference engine's exact delivery order — the same
-behaviour under ``loss_p > 0`` and ``latency > 1``.  The equivalence
-suites in ``tests/test_fastpath.py``, ``tests/test_obs.py`` and
-``tests/test_causal_trace.py`` assert this across algorithms, generators
-and seeds.
+the same drop/loss accounting, and — because every
+:class:`~repro.sim.linkmodel.LinkModel` decision is a pure counter-based
+hash of ``(seed, round, edge)`` rather than a sequential RNG stream — the
+same behaviour under loss, churn, pinpoint faults and ``latency > 1``.
+The equivalence suites in ``tests/test_fastpath.py``, ``tests/test_obs.py``,
+``tests/test_causal_trace.py`` and ``tests/test_linkmodel.py`` assert this
+across algorithms, generators, seeds and scenario families.
 
 **Dispatch.**  Factories built by the ``make_*_factory`` helpers carry a
 ``factory.fastpath = (kind, params)`` tag.  :func:`try_run` executes the
@@ -48,7 +49,6 @@ per-node objects to hand back.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
@@ -56,32 +56,17 @@ import numpy as np
 
 from ..obs import CausalTrace, Profiler, RoundView, RunRecorder, RunTimeline
 from .engine import RunResult, SynchronousEngine, validate_run_args
+
+# FAULT_ENV_VAR is re-exported for backward compatibility: the hook is now
+# the PinpointFault link model (see repro.sim.linkmodel.env_fault).
+from .linkmodel import FAULT_ENV_VAR, LinkModel
 from .metrics import Metrics, RoleCost
-from .topology import Snapshot, SnapshotArrays
+from .topology import SnapshotArrays
 
 __all__ = ["FAULT_ENV_VAR", "supported_kinds", "try_run"]
 
 _U1 = np.uint64(1)
 
-#: Test-only fault hook: ``"ROUND:NODE:TOKEN"`` flips (XOR) that token bit
-#: in the named node's bitset right after the round's receive phase — a
-#: deterministic, guaranteed state perturbation the divergence-bisection
-#: tooling (``repro diff --engines``) must pinpoint exactly.  Never set in
-#: production runs.
-FAULT_ENV_VAR = "REPRO_FASTPATH_FAULT"
-
-
-def _parse_fault() -> Optional[Tuple[int, int, int]]:
-    raw = os.environ.get(FAULT_ENV_VAR, "").strip()
-    if not raw:
-        return None
-    try:
-        r, v, t = (int(part) for part in raw.split(":"))
-    except ValueError as exc:
-        raise ValueError(
-            f"{FAULT_ENV_VAR} must be 'ROUND:NODE:TOKEN', got {raw!r}"
-        ) from exc
-    return r, v, t
 _ROLE_HEAD, _ROLE_GATEWAY, _ROLE_MEMBER = 0, 1, 2
 _ROLE_NAMES = ((0, "head"), (1, "gateway"), (2, "member"))
 _ROLE_NAME_BY_CODE = {code: name for code, name in _ROLE_NAMES}
@@ -139,7 +124,7 @@ class _SendBatch:
 
     Senders appear at most once per side (every supported algorithm sends
     at most one message per node per round) and in ascending node order —
-    the reference engine's iteration order, which the loss path relies on.
+    the reference engine's iteration order.
     """
 
     __slots__ = (
@@ -549,53 +534,50 @@ def _deliveries(
     )
 
 
-def _deliveries_with_loss(
-    batch: _SendBatch,
-    snap: Snapshot,
+def _filter_batch_alive(batch: _SendBatch, alive: np.ndarray) -> _SendBatch:
+    """Drop transmissions whose sender crashed — crashed nodes never send."""
+    bk = alive[batch.bc_senders]
+    uk = alive[batch.uc_senders]
+    if bk.all() and uk.all():
+        return batch
+    return _SendBatch(
+        batch.bc_senders[bk], batch.bc_payload[bk], batch.bc_costs[bk],
+        batch.uc_senders[uk], batch.uc_dests[uk], batch.uc_ok[uk],
+        batch.uc_payload[uk], batch.uc_costs[uk],
+    )
+
+
+def _apply_link_flat(
+    flat: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    r: int,
+    link: LinkModel,
+    alive: np.ndarray,
     metrics: Metrics,
-    rng,
-    loss_p: float,
 ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Delivery under fault injection, drawing the loss RNG in the reference
-    engine's exact order: ascending sender, broadcast audiences iterated in
-    ``snap.adj[sender]`` (frozenset) order, drops consuming no randomness."""
-    b = len(batch.bc_senders)
-    payload_all = (
-        np.concatenate((batch.bc_payload, batch.uc_payload))
-        if batch.uc_senders.size
-        else batch.bc_payload
-    )
-    senders_all = np.concatenate((batch.bc_senders, batch.uc_senders))
-    order = np.argsort(senders_all, kind="stable")
-    rec_out: List[int] = []
-    snd_out: List[int] = []
-    row_out: List[int] = []
-    for i in order:
-        i = int(i)
-        s = int(senders_all[i])
-        if i < b:  # broadcast
-            for u in snap.adj[s]:
-                if rng.random() < loss_p:
-                    metrics.record_loss()
-                else:
-                    rec_out.append(u)
-                    snd_out.append(s)
-                    row_out.append(i)
-        else:  # unicast (unreachable destinations draw nothing)
-            if batch.uc_ok[i - b]:
-                if rng.random() < loss_p:
-                    metrics.record_loss()
-                else:
-                    rec_out.append(int(batch.uc_dests[i - b]))
-                    snd_out.append(s)
-                    row_out.append(i)
-    if not rec_out:
-        return None
-    return (
-        np.asarray(rec_out, dtype=np.int64),
-        np.asarray(snd_out, dtype=np.int64),
-        payload_all[np.asarray(row_out, dtype=np.int64)],
-    )
+    """Link transform over flat (receiver, sender, payload) deliveries.
+
+    Deliveries to crashed receivers are discarded silently (the reference
+    engine never offers a crashed node as a candidate); the link's deliver
+    mask then suppresses some of the survivors, each billed as a loss.
+    The counter-based link RNG keys every decision by (round, edge), so
+    masking the vectorised candidate set here is bit-identical to the
+    reference engine's per-edge ``delivers`` calls.
+    """
+    rec, snd, payload = flat
+    live = alive[rec]
+    if not live.all():
+        if not live.any():
+            return None
+        rec, snd, payload = rec[live], snd[live], payload[live]
+    mask = link.deliver_mask(r, snd, rec)
+    if mask is not None:
+        lost = int(mask.size - int(mask.sum()))
+        if lost:
+            metrics.record_loss(lost)
+            if lost == mask.size:
+                return None
+            rec, snd, payload = rec[mask], snd[mask], payload[mask]
+    return rec, snd, payload
 
 
 # ---------------------------------------------------------------------------
@@ -700,11 +682,12 @@ def try_run(
     """Execute a run on the fast path, or return ``None`` if unsupported.
 
     Supported: factories tagged with a known ``factory.fastpath`` kind, on
-    non-adaptive networks, without ``SimTrace`` recording.  Loss, latency,
-    ``obs="trace"`` causal tracing, and runtime monitors are fully
-    supported (see module docstring).  ``None`` is only ever returned
-    *before* the first round executes, so monitor state is untouched when
-    the engine falls back to the reference path.
+    non-adaptive networks, without ``SimTrace`` recording.  Link models
+    (loss/churn/pinpoint faults), latency, ``obs="trace"`` causal tracing,
+    and runtime monitors are fully supported (see module docstring).
+    ``None`` is only ever returned *before* the first round executes, so
+    monitor state is untouched when the engine falls back to the reference
+    path.
     """
     spec = getattr(factory, "fastpath", None)
     if spec is None:
@@ -745,15 +728,12 @@ def try_run(
             n, k, {v: frozenset(_row_tokens(TA[v])) for v in range(n)}
         )
         rec_known = TA.copy()
-    fault = _parse_fault()
     monitors = list(monitors) if monitors else []
-    loss_rng = None
-    if engine.loss_p > 0:
-        from .rng import make_rng
-
-        loss_rng = make_rng(engine.loss_seed)
+    link = engine.link_for("fast")
+    alive: Optional[np.ndarray] = None
+    if link is not None:
+        alive = np.ones(n, dtype=bool)
     latency = engine.latency
-    target = n * k
     in_flight: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
     executed = 0
 
@@ -779,9 +759,24 @@ def try_run(
         if recorder is not None:
             recorder.begin_round(snap)
 
+        # --- crash stage (before sends: crashed nodes never act in r) ----
+        newly_crashed: Tuple[int, ...] = ()
+        crash_tokens = 0
+        lost_before = metrics.lost_deliveries
+        if link is not None:
+            crashed = link.crashes(r, alive)
+            if len(crashed):
+                newly_crashed = tuple(int(x) for x in crashed)
+                alive[crashed] = False
+                crash_tokens = int(np.bitwise_count(kernel.TA[crashed]).sum())
+                kernel.TA[crashed] = 0
+                metrics.record_crashes(len(newly_crashed))
+
         if prof is not None:
             t0 = time.perf_counter()
         batch = kernel.send(r, arrs)
+        if batch is not None and alive is not None:
+            batch = _filter_batch_alive(batch, alive)
         if batch is not None and batch.messages:
             _account(metrics, batch, arrs, timeline)
             if recorder is not None:
@@ -802,12 +797,9 @@ def try_run(
                             int(batch.uc_dests[i]),
                             uc_tokens[i], cost,
                         )
-            if loss_rng is None:
-                flat = _deliveries(batch, arrs)
-            else:
-                flat = _deliveries_with_loss(
-                    batch, snap, metrics, loss_rng, engine.loss_p
-                )
+            flat = _deliveries(batch, arrs)
+            if flat is not None and link is not None:
+                flat = _apply_link_flat(flat, r, link, alive, metrics)
             if flat is not None:
                 in_flight.setdefault(r + latency - 1, []).append(flat)
 
@@ -824,17 +816,26 @@ def try_run(
                 rec = np.concatenate([p[0] for p in pending])
                 snd = np.concatenate([p[1] for p in pending])
                 payload = np.concatenate([p[2] for p in pending])
-            kernel.receive(r, arrs, rec, snd, payload)
+            if alive is not None and latency > 1:
+                # receivers may have crashed between transmission and landing
+                live = alive[rec]
+                if not live.all():
+                    rec, snd, payload = rec[live], snd[live], payload[live]
+            if rec.size:
+                kernel.receive(r, arrs, rec, snd, payload)
+            else:
+                rec = snd = payload = None
 
         if prof is not None:
             now = time.perf_counter()
             prof.add("receive", now - t0)
             t0 = now
-        if fault is not None and fault[0] == r:
-            # test-only perturbation (see FAULT_ENV_VAR): XOR always
-            # changes state, so divergence at exactly this round/node
-            fv, ft = fault[1], fault[2]
-            kernel.TA[fv, ft >> 6] ^= _U1 << np.uint64(ft & 63)
+        if link is not None:
+            # pinpoint perturbations (PinpointFault / FAULT_ENV_VAR): XOR
+            # always changes state, so divergence at exactly this round/node
+            for fv, ft in link.faults(r):
+                if alive is None or alive[fv]:
+                    kernel.TA[fv, ft >> 6] ^= _U1 << np.uint64(ft & 63)
         if causal is not None:
             _record_causal_round(
                 causal, r, arrs.roles, known, kernel.TA, rec, snd, payload
@@ -857,6 +858,13 @@ def try_run(
         if timeline is not None:
             timeline.end_round(coverage, nodes_complete)
         if monitors:
+            faults_info = None
+            if link is not None:
+                faults_info = {
+                    "crashed": newly_crashed,
+                    "crash_tokens": crash_tokens,
+                    "lost": metrics.lost_deliveries - lost_before,
+                }
             view = RoundView(
                 round_index=r,
                 snap=snap,
@@ -865,13 +873,15 @@ def try_run(
                 per_node=per_node.tolist(),
                 n=n,
                 k=k,
+                faults=faults_info,
             )
             for monitor in monitors:
                 monitor.observe(view)
         executed = r + 1
         if prof is not None:
             prof.add("bookkeeping", time.perf_counter() - t0)
-        if coverage == target:
+        alive_n = n if alive is None else int(alive.sum())
+        if coverage == alive_n * k and (alive is None or alive_n > 0):
             metrics.mark_complete()
             if stop_when_complete:
                 break
@@ -882,7 +892,13 @@ def try_run(
         timeline.profile.update(prof.seconds)
     token_sets = _rows_to_frozensets(kernel.TA)
     outputs = {v: token_sets[v] for v in range(n)}
-    complete = all(len(t) == k for t in outputs.values())
+    if alive is None:
+        complete = all(len(t) == k for t in outputs.values())
+    else:
+        survivors = np.nonzero(alive)[0]
+        complete = bool(survivors.size) and all(
+            len(outputs[int(v)]) == k for v in survivors
+        )
     violations = None
     if monitors:
         for monitor in monitors:

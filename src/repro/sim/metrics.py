@@ -60,8 +60,12 @@ class Metrics:
         destination never receives them, but the send is still paid for —
         the radio transmitted).
     lost_deliveries:
-        Deliveries suppressed by fault injection (the engine's ``loss_p``);
+        Deliveries suppressed by the link model (``loss_p`` / ``link=``);
         each broadcast audience member lost counts once.
+    crashed_nodes:
+        Nodes removed by crash-stop churn over the whole run (each crash
+        counts once; crashed nodes stop sending and absorbing and their
+        token sets are wiped).
     by_role:
         Token/message counters keyed by role name (``"head"``,
         ``"gateway"``, ``"member"``, or ``"flat"`` for role-less
@@ -81,6 +85,7 @@ class Metrics:
     unicasts: int = 0
     dropped_unicasts: int = 0
     lost_deliveries: int = 0
+    crashed_nodes: int = 0
     by_role: Dict[str, RoleCost] = field(default_factory=dict)
     per_round_tokens: List[int] = field(default_factory=list)
     per_round_coverage: List[int] = field(default_factory=list)
@@ -107,9 +112,13 @@ class Metrics:
         """Account a unicast whose destination was unreachable this round."""
         self.dropped_unicasts += 1
 
-    def record_loss(self) -> None:
-        """Account a delivery suppressed by fault injection."""
-        self.lost_deliveries += 1
+    def record_loss(self, count: int = 1) -> None:
+        """Account ``count`` deliveries suppressed by the link model."""
+        self.lost_deliveries += count
+
+    def record_crashes(self, count: int = 1) -> None:
+        """Account ``count`` nodes removed by crash-stop churn."""
+        self.crashed_nodes += count
 
     def end_round(self, coverage: int) -> None:
         """Close the current round, recording global (node, token) coverage."""
@@ -149,6 +158,7 @@ class Metrics:
             "unicasts": self.unicasts,
             "dropped_unicasts": self.dropped_unicasts,
             "lost_deliveries": self.lost_deliveries,
+            "crashed_nodes": self.crashed_nodes,
         }
 
     def __str__(self) -> str:

@@ -233,19 +233,22 @@ class TestDispatch:
         # reference path ran: per-node objects are present
         assert result.algorithms is not None
 
-    def test_loss_falls_back_to_fastpath(self):
+    def test_loss_runs_natively_and_matches_reference(self):
+        # the LinkModel seam runs lossy channels on the columnar tier
+        # itself (no fastpath fallback), bit-identical to the reference
         scenario = _flat(3)
         result = SynchronousEngine(engine="columnar", obs="profile",
                                    loss_p=0.25, loss_seed=11).run(
             scenario.trace, make_flood_all_factory(), scenario.k,
             scenario.initial, 10
         )
-        assert not _columnar_ran(result)
+        assert _columnar_ran(result)
         ref = SynchronousEngine(loss_p=0.25, loss_seed=11).run(
             scenario.trace, make_flood_all_factory(), scenario.k,
             scenario.initial, 10
         )
         assert result.outputs == ref.outputs
+        assert result.metrics == ref.metrics
 
     def test_latency_falls_back(self):
         scenario = _flat(3)

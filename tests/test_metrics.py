@@ -93,6 +93,7 @@ class TestCompletion:
         assert set(s) == {
             "rounds", "completion_round", "tokens_sent", "messages_sent",
             "broadcasts", "unicasts", "dropped_unicasts", "lost_deliveries",
+            "crashed_nodes",
         }
 
     def test_losses_counted(self):
@@ -100,6 +101,15 @@ class TestCompletion:
         m.record_loss()
         m.record_loss()
         assert m.lost_deliveries == 2
+        m.record_loss(count=3)
+        assert m.lost_deliveries == 5
+
+    def test_crashes_counted(self):
+        m = Metrics()
+        m.record_crashes(2)
+        m.record_crashes()
+        assert m.crashed_nodes == 3
+        assert m.summary()["crashed_nodes"] == 3
 
     def test_str_mentions_state(self):
         m = Metrics()
