@@ -1,122 +1,47 @@
-"""Shared machine-readable benchmark output.
+"""Shared machine-readable benchmark output — shim over ``repro.bench``.
 
-Benches that track the simulator's own performance (as opposed to paper
-artifacts) record their numbers here: :func:`record_bench` merges one
-case's stats into ``BENCH_engine.json`` at the repo root, so successive
-PRs accumulate a comparable throughput trajectory instead of prose claims
-buried in logs.  ``collect_report.py`` folds the file into REPORT.md.
+The implementation moved into :mod:`repro.bench.history` when the
+benchmark fleet landed, so the ``bench_*.py`` scripts, the regression
+gate and ``repro bench`` all share one timing/persistence path.  This
+module keeps the historical script-facing surface: ``BENCH_JSON`` (the
+repo-root ``BENCH_engine.json``), ``time_ms``/``time_ms_paired``, and a
+one-case :func:`record_bench` bound to that file.
 
-The file layout is ``{"meta": {...}, "cases": {case name: stats},
-"history": {commit: {case name: stats}}}``: ``cases`` always holds the
-latest snapshot (what the regression gate and REPORT.md consume), while
-``history`` accumulates one entry per commit so the throughput
-trajectory is a queryable time series rather than a lossy overwrite.
-Stats dicts are flat (numbers/strings/bools only) to stay diffable.
+The move also fixed the history-bucket semantics this shim inherits:
+buckets merge per-case instead of clobbering, and dirty-tree runs land
+under ``<sha>-dirty`` so they can never overwrite the clean commit's
+numbers.
 """
 
 from __future__ import annotations
 
-import json
-import platform
-import subprocess
-import time
+import sys
 from pathlib import Path
-from statistics import mean, median
-from typing import Callable, Dict
+from typing import Dict
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+_HERE = Path(__file__).resolve().parent
 
+try:
+    import repro  # noqa: F401  — importability probe only
+except ImportError:  # uninstalled checkout: fall back to the src layout
+    sys.path.insert(0, str(_HERE.parent / "src"))
 
-def time_ms(fn: Callable[[], object], repeats: int = 5) -> Dict[str, float]:
-    """Wall-clock one callable: best/median/mean over ``repeats`` runs, in ms.
+from repro.bench.history import (  # noqa: E402,F401  — re-exports
+    current_commit,
+    record_bucket,
+    time_ms,
+    time_ms_paired,
+)
+from repro.bench.history import record_bench as _record_bench  # noqa: E402
 
-    One untimed warm-up run first, so memoized topology caches (which any
-    real sweep would hit warm) don't distort the first sample.
-    """
-    if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
-    fn()
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append((time.perf_counter() - t0) * 1000.0)
-    return {
-        "best_ms": round(min(samples), 3),
-        "median_ms": round(median(samples), 3),
-        "mean_ms": round(mean(samples), 3),
-        "repeats": repeats,
-    }
-
-
-def time_ms_paired(
-    fn_a: Callable[[], object],
-    fn_b: Callable[[], object],
-    repeats: int = 5,
-) -> "tuple[Dict[str, float], Dict[str, float]]":
-    """Time two callables with interleaved samples (A B A B …), in ms.
-
-    Engine-vs-engine ratios measured as sequential blocks pick up
-    allocator/GC drift — whichever engine runs second inherits the first
-    one's heap state, which skews small differences by tens of percent.
-    Alternating the samples lands the drift on both sides equally, so the
-    ratio of the two medians reflects the kernels, not the ordering.
-    """
-    if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
-    fn_a()
-    fn_b()
-    samples_a, samples_b = [], []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn_a()
-        samples_a.append((time.perf_counter() - t0) * 1000.0)
-        t0 = time.perf_counter()
-        fn_b()
-        samples_b.append((time.perf_counter() - t0) * 1000.0)
-
-    def stats(samples):
-        return {
-            "best_ms": round(min(samples), 3),
-            "median_ms": round(median(samples), 3),
-            "mean_ms": round(mean(samples), 3),
-            "repeats": repeats,
-        }
-
-    return stats(samples_a), stats(samples_b)
-
-
-def _current_commit() -> str:
-    """Short hash of HEAD, or ``"unknown"`` outside a git checkout."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=BENCH_JSON.parent, capture_output=True, text=True, timeout=10,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    commit = out.stdout.strip()
-    return commit if out.returncode == 0 and commit else "unknown"
+BENCH_JSON = _HERE.parent / "BENCH_engine.json"
 
 
 def record_bench(case: str, stats: Dict[str, object]) -> Path:
-    """Merge one case's stats into ``BENCH_engine.json`` (creating it).
+    """Merge one case's stats into the repo's ``BENCH_engine.json``.
 
     The stats land twice: in ``cases`` (latest snapshot, overwritten) and
-    under ``history[<short commit>]`` (appended time series, one bucket
-    per commit — re-running on the same commit updates its bucket in
-    place rather than duplicating it).
+    merged into the current commit's history bucket (``<sha>-dirty`` on
+    an unclean tree).
     """
-    data: Dict[str, object] = {}
-    if BENCH_JSON.exists():
-        data = json.loads(BENCH_JSON.read_text())
-    data["meta"] = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "generated_by": "benchmarks/_bench_json.py",
-    }
-    data.setdefault("cases", {})[case] = stats
-    history = data.setdefault("history", {})
-    history.setdefault(_current_commit(), {})[case] = stats
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return BENCH_JSON
+    return _record_bench(BENCH_JSON, case, stats)

@@ -52,7 +52,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -65,7 +64,9 @@ try:
 except ImportError:  # uninstalled checkout: fall back to the src layout
     sys.path.insert(0, str(_HERE.parent / "src"))
 
-from _bench_json import BENCH_JSON, time_ms, time_ms_paired
+from _bench_json import BENCH_JSON  # noqa: E402  (also wires up sys.path)
+
+from repro.bench.runner import equivalent, measure_ratio  # noqa: E402
 
 Row = Dict[str, object]
 CheckResult = Tuple[List[str], List[Row]]
@@ -77,13 +78,16 @@ def _row(check: str, baseline: object, measured: object, ok: bool) -> Row:
 
 
 def _bench_instance():
-    """The shared benchmark instance: scenario + Algorithm-1 factory."""
-    from repro.core.algorithm1 import make_algorithm1_factory
-    from repro.experiments.scenarios import hinet_interval_scenario
+    """The shared benchmark instance: scenario + Algorithm-1 factory.
 
-    scenario = hinet_interval_scenario(
-        n0=100, theta=30, k=8, alpha=5, L=2, seed=47, verify=False
-    )
+    The scenario is the fleet's :func:`regression_gate_scenario` — one
+    frozen construction shared with ``repro bench`` and the ``bench_*``
+    scripts, so the gate and its producers can never drift apart.
+    """
+    from repro.bench.matrix import regression_gate_scenario
+    from repro.core.algorithm1 import make_algorithm1_factory
+
+    scenario = regression_gate_scenario()
     T = int(scenario.params["T"])
     return scenario, make_algorithm1_factory(T=T, M=7), 7 * T
 
@@ -118,29 +122,18 @@ def check_algorithm1_full_run(baseline: Dict[str, object], args) -> CheckResult:
                 "(deterministic counter drifted — engine semantics changed)"
             )
 
-    identical = (
-        fast.outputs == ref.outputs
-        and fast.metrics == ref.metrics
-        and fast.timeline == ref.timeline
-    )
+    identical = equivalent(fast, ref)
     rows.append(_row("fast == reference (outputs+metrics+timeline)",
                      True, identical, identical))
     if not identical:
         failures.append("fast path diverged from the reference engine")
-        report_path = _emit_divergence_report(scenario, factory, max_rounds,
-                                              args)
+        report_path = _emit_divergence_report(scenario, args)
         failures.append(f"divergence report written to {report_path}")
 
-    sleep_s = args.inject_slowdown_ms / 1000.0
-
-    def timed_fast():
-        if sleep_s:
-            time.sleep(sleep_s)
-        return go("fast")
-
-    ref_stats = time_ms(lambda: go("reference"), repeats=args.repeats)
-    fast_stats = time_ms(timed_fast, repeats=args.repeats)
-    speedup = ref_stats["median_ms"] / fast_stats["median_ms"]
+    ref_stats, fast_stats, speedup = measure_ratio(
+        lambda: go("reference"), lambda: go("fast"),
+        repeats=args.repeats, inject_ms=args.inject_slowdown_ms,
+    )
     base_speedup = float(baseline.get("speedup", 0.0))
     floor = base_speedup * (1.0 - threshold)
     ok = speedup >= floor
@@ -172,20 +165,15 @@ def check_columnar_vs_fast(baseline: Dict[str, object], args) -> CheckResult:
     modulo ``--threshold``.  The parity floor is what keeps "columnar ≥
     fastpath at n ≥ 10⁴" gated even if a slow baseline is ever committed.
     """
-    from repro.core.algorithm1 import make_algorithm1_factory
-    from repro.graphs.generators.static import clustered_star_arrays
+    from repro.bench.matrix import columnar_gate_instance
     from repro.sim.engine import SynchronousEngine
-    from repro.sim.topology import CSRNetwork
 
     threshold = args.threshold
-    n, theta, k = 10_000, 300, 16
-    net = CSRNetwork(clustered_star_arrays(n, theta))
-    initial = {v: frozenset({v % k}) for v in range(n)}
-    factory = make_algorithm1_factory(T=12, M=6)
+    net, factory, k, initial, rounds = columnar_gate_instance()
 
     def go(engine: str):
         return SynchronousEngine(engine=engine).run(net, factory, k,
-                                                    initial, 72)
+                                                    initial, rounds)
 
     failures: List[str] = []
     rows: List[Row] = []
@@ -204,27 +192,16 @@ def check_columnar_vs_fast(baseline: Dict[str, object], args) -> CheckResult:
                 "(deterministic counter drifted — engine semantics changed)"
             )
 
-    identical = (
-        col.outputs == fast.outputs
-        and col.metrics == fast.metrics
-        and col.timeline == fast.timeline
-    )
+    identical = equivalent(col, fast)
     rows.append(_row("columnar == fast (outputs+metrics+timeline)",
                      True, identical, identical))
     if not identical:
         failures.append("columnar tier diverged from the fast path")
 
-    sleep_s = args.inject_columnar_slowdown_ms / 1000.0
-
-    def timed_columnar():
-        if sleep_s:
-            time.sleep(sleep_s)
-        return go("columnar")
-
-    fast_stats, col_stats = time_ms_paired(
-        lambda: go("fast"), timed_columnar, repeats=args.repeats
+    fast_stats, col_stats, speedup = measure_ratio(
+        lambda: go("fast"), lambda: go("columnar"),
+        repeats=args.repeats, inject_ms=args.inject_columnar_slowdown_ms,
     )
-    speedup = fast_stats["median_ms"] / col_stats["median_ms"]
     base_speedup = float(baseline.get("speedup", 0.0))
     floor = max(base_speedup, 1.0) * (1.0 - threshold)
     ok = speedup >= floor
@@ -242,28 +219,19 @@ def check_columnar_vs_fast(baseline: Dict[str, object], args) -> CheckResult:
     return failures, rows
 
 
-def _emit_divergence_report(scenario, factory, max_rounds, args) -> str:
+def _emit_divergence_report(scenario, args) -> str:
     """Pinpoint a fast⇄reference divergence and write the full report.
 
-    Re-runs the failing instance on both engines at ``obs="record"`` and
-    bisects the two recordings to the first diverging round and node —
-    turning "fast path diverged" into an actionable location.  The report
-    is printed and written to ``--divergence-report`` (uploaded as a CI
+    Re-runs the failing instance on both engines at ``obs="record"`` via
+    :func:`repro.obs.diff_engines` — the same probe ``repro diff
+    --engines`` and the fleet's bisection use — and bisects the two
+    recordings to the first diverging round and node.  The report is
+    printed and written to ``--divergence-report`` (uploaded as a CI
     artifact when the gate fails).
     """
-    from repro.obs import diff_recordings
-    from repro.sim.engine import run
+    from repro.obs import diff_engines
 
-    def recorded(engine: str):
-        return run(
-            scenario.trace, factory, k=scenario.k, initial=scenario.initial,
-            max_rounds=max_rounds, engine=engine, obs="record",
-        ).recording
-
-    report = diff_recordings(
-        recorded("fast"), recorded("reference"),
-        label_a="fast", label_b="reference",
-    )
+    report = diff_engines("algorithm1", scenario)
     text = report.format()
     print()
     print(text)
@@ -292,13 +260,6 @@ def check_record_overhead(baseline: Dict[str, object], args) -> CheckResult:
             max_rounds=max_rounds, engine="fast", obs=obs,
         )
 
-    sleep_s = args.inject_record_overhead_ms / 1000.0
-
-    def timed_record():
-        if sleep_s:
-            time.sleep(sleep_s)
-        return go("record")
-
     # correctness first: recording must not change the run
     off, recorded = go("off"), go("record")
     same = off.metrics == recorded.metrics
@@ -323,8 +284,10 @@ def check_record_overhead(baseline: Dict[str, object], args) -> CheckResult:
             "state does not match the run's outputs"
         )
 
-    off_stats = time_ms(lambda: go("off"), repeats=args.repeats)
-    rec_stats = time_ms(timed_record, repeats=args.repeats)
+    off_stats, rec_stats, _ = measure_ratio(
+        lambda: go("off"), lambda: go("record"),
+        repeats=args.repeats, inject_ms=args.inject_record_overhead_ms,
+    )
     ratio = rec_stats["median_ms"] / off_stats["median_ms"]
     ok = ratio <= args.record_budget
     rows.append(_row(f"record overhead (budget {args.record_budget:.1f}x)",
@@ -357,13 +320,6 @@ def check_obs_overhead(baseline: Dict[str, object], args) -> CheckResult:
             max_rounds=max_rounds, engine="fast", obs=obs,
         )
 
-    sleep_s = args.inject_obs_overhead_ms / 1000.0
-
-    def timed_trace():
-        if sleep_s:
-            time.sleep(sleep_s)
-        return go("trace")
-
     # correctness first: tracing must not change the run
     off, traced = go("off"), go("trace")
     same = off.metrics == traced.metrics
@@ -378,8 +334,10 @@ def check_obs_overhead(baseline: Dict[str, object], args) -> CheckResult:
     if not covered:
         failures.append("causal trace is missing (node, token) events")
 
-    off_stats = time_ms(lambda: go("off"), repeats=args.repeats)
-    trace_stats = time_ms(timed_trace, repeats=args.repeats)
+    off_stats, trace_stats, _ = measure_ratio(
+        lambda: go("off"), lambda: go("trace"),
+        repeats=args.repeats, inject_ms=args.inject_obs_overhead_ms,
+    )
     ratio = trace_stats["median_ms"] / off_stats["median_ms"]
     ok = ratio <= args.obs_budget
     rows.append(_row(f"obs overhead (budget {args.obs_budget:.1f}x)",

@@ -1,0 +1,347 @@
+"""The declarative benchmark matrix: cases, tiers, budgets, scenarios.
+
+A :class:`BenchCase` is one cell of the fleet's matrix over
+
+    {algorithm spec} × {scenario family} × {n} × {engine tier} × {obs level}
+
+— all plain scalars, so cases pickle into process-pool workers and print
+as one row each (``repro bench --list``).  :func:`default_matrix` expands
+the axes into every *valid* combination (family supported by the spec,
+engine supported by the spec's kernel tags) and assigns each case to
+named tiers:
+
+* ``"quick"`` — the per-PR CI tier: small n, ``timeline`` telemetry,
+  both vectorised engines paired against the reference engine;
+* ``"full"`` — the nightly tier: everything in quick, plus larger n,
+  reference-engine absolute-time cases, and raised obs levels
+  (``trace``/``record``) whose overhead trajectory is worth tracking.
+
+Every case carries generous **time and memory budgets** (roughly 10×
+the expected cost on a laptop) — they exist to catch pathological
+blowups on any machine, while the machine-*portable* regression signal
+is the paired speedup ratio gated against the previous history bucket.
+
+The module also hosts the two classic gate instances
+(:func:`regression_gate_scenario`, :func:`columnar_gate_instance`) so
+``benchmarks/check_regression.py`` and the fleet measure the exact same
+workloads through the same helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..registry import AlgorithmSpec, get_spec
+
+__all__ = [
+    "BenchCase",
+    "TIERS",
+    "build_scenario",
+    "case_rows",
+    "columnar_gate_instance",
+    "default_matrix",
+    "expand",
+    "regression_gate_scenario",
+    "select",
+]
+
+#: Named tiers, cheapest first.  Every quick case is also a full case.
+TIERS = ("quick", "full")
+
+#: Fleet axes (what the default matrix expands).
+FAMILIES = ("benign", "adversarial", "lossy", "churn")
+ENGINES = ("reference", "fast", "columnar")
+OBS_LEVELS = ("timeline", "trace", "record")
+
+#: Matrix knobs: the specs worth tracking continuously (one per
+#: implementation layer + the flooding baseline that runs on every
+#: family), the per-tier sizes, and the fault parameters.
+_ALGORITHMS = ("algorithm1", "algorithm2", "flood-all")
+_QUICK_N = 48
+_FULL_NS = (48, 160)
+_K = 4
+_SEED = 2013
+_LOSS_P = 0.1
+_CHURN_RATE = 0.02
+_FAULT_SEED = 11
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark-matrix cell — everything needed to reproduce it.
+
+    ``baseline_engine`` names the engine the case is *paired* against
+    with interleaved samples: the recorded ``speedup`` (baseline median /
+    case median) is a same-machine ratio and therefore the
+    machine-portable metric the gate tracks.  ``None`` records absolute
+    wall-clock only (never gated across machines).
+    """
+
+    algorithm: str
+    family: str
+    n: int
+    engine: str
+    obs: str = "timeline"
+    k: int = _K
+    seed: int = _SEED
+    baseline_engine: Optional[str] = "reference"
+    tiers: Tuple[str, ...] = ("full",)
+    budget_ms: float = 5_000.0
+    memory_budget_mb: float = 256.0
+    #: extras for special cases (e.g. the columnar n=10⁴ gate); must stay
+    #: hashable/picklable.
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def name(self) -> str:
+        """Unique, colon-free id (colon is the ``--inject-slowdown``
+        separator): ``algorithm_family_nN_engine_obs``."""
+        return (
+            f"{self.algorithm}_{self.family}_n{self.n}"
+            f"_{self.engine}_{self.obs}"
+        )
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for ``repro bench --list`` tables."""
+        return {
+            "case": self.name,
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "engine": self.engine,
+            "obs": self.obs,
+            "vs": self.baseline_engine or "-",
+            "tiers": ",".join(self.tiers),
+            "budget_ms": self.budget_ms,
+            "mem_mb": self.memory_budget_mb,
+        }
+
+
+def _budget_ms(n: int, engine: str, obs: str) -> float:
+    """Generous per-case wall-clock budget for one timed sample.
+
+    ~10× a laptop's expected cost, so the budget only trips on
+    pathological blowups (accidental O(n²) round loops, a spin in an obs
+    hook), never on a slow CI runner.
+    """
+    base = 1_500.0 * (n / _QUICK_N) ** 1.5
+    if engine == "reference":
+        base *= 8.0
+    if obs in ("trace", "record"):
+        base *= 3.0
+    return round(base, 1)
+
+
+def _memory_budget_mb(n: int, obs: str) -> float:
+    """Generous traced-allocation budget (Python-heap peak, tracemalloc)."""
+    base = 96.0 + 0.05 * n
+    if obs == "record":
+        base *= 2.0
+    return round(base, 1)
+
+
+def _case(
+    spec: AlgorithmSpec,
+    family: str,
+    n: int,
+    engine: str,
+    obs: str,
+    tiers: Tuple[str, ...],
+    baseline: Optional[str],
+) -> BenchCase:
+    return BenchCase(
+        algorithm=spec.name,
+        family=family,
+        n=n,
+        engine=engine,
+        obs=obs,
+        baseline_engine=baseline,
+        tiers=tiers,
+        budget_ms=_budget_ms(n, engine, obs),
+        memory_budget_mb=_memory_budget_mb(n, obs),
+    )
+
+
+def _supports_engine(spec: AlgorithmSpec, engine: str) -> bool:
+    # the fast engine falls back bit-identically for non-fastpath specs,
+    # but the columnar tier is only meaningful where the spec opted in
+    return engine != "columnar" or spec.columnar
+
+
+def default_matrix() -> List[BenchCase]:
+    """Expand the fleet's axes into every valid case, tiers assigned.
+
+    Validity is registry-driven: a (spec, family) pair is skipped unless
+    the spec declares the family (``AlgorithmSpec.families``), and the
+    columnar engine only appears for specs with columnar kernels.
+    """
+    cases: List[BenchCase] = []
+    for name in _ALGORITHMS:
+        spec = get_spec(name)
+        for family in FAMILIES:
+            if family not in spec.families:
+                continue
+            for n in _FULL_NS:
+                for engine in ENGINES:
+                    if not _supports_engine(spec, engine):
+                        continue
+                    if engine == "reference":
+                        # absolute wall-clock context, nightly only
+                        cases.append(_case(spec, family, n, engine,
+                                           "timeline", ("full",), None))
+                        continue
+                    tiers = (
+                        ("quick", "full")
+                        if n == _QUICK_N
+                        else ("full",)
+                    )
+                    cases.append(_case(spec, family, n, engine,
+                                       "timeline", tiers, "reference"))
+            # raised obs levels: track telemetry overhead trajectories on
+            # the benign fast path (one engine is enough for a ratio)
+            for obs in ("trace", "record"):
+                if family == "benign":
+                    cases.append(_case(spec, family, _QUICK_N, "fast", obs,
+                                       ("full",), "reference"))
+    return cases
+
+
+def expand(tier: Optional[str] = None,
+           matrix: Optional[Sequence[BenchCase]] = None) -> List[BenchCase]:
+    """The matrix filtered to one named tier (``None`` = every case)."""
+    if tier is not None and tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {', '.join(TIERS)}")
+    cases = list(default_matrix() if matrix is None else matrix)
+    if tier is None:
+        return cases
+    return [case for case in cases if tier in case.tiers]
+
+
+def select(names: Sequence[str],
+           matrix: Optional[Sequence[BenchCase]] = None) -> List[BenchCase]:
+    """Resolve case names against the matrix; unknown names raise."""
+    cases = list(default_matrix() if matrix is None else matrix)
+    by_name = {case.name: case for case in cases}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise KeyError(
+            f"unknown fleet case(s) {missing}; see 'repro bench --list'"
+        )
+    return [by_name[name] for name in names]
+
+
+def case_rows(cases: Sequence[BenchCase]) -> List[Dict[str, object]]:
+    """``--list`` table rows for a set of cases."""
+    return [case.row() for case in cases]
+
+
+# -- scenario construction ----------------------------------------------------
+
+def _base_kind(spec: AlgorithmSpec) -> str:
+    """The benign scenario family matching a spec's model class (the same
+    mapping the CLI's ``--scenario auto`` applies)."""
+    if spec.family == "multihop":
+        return "dhop"
+    if spec.model_class.startswith("(T"):
+        return "hinet-interval"
+    if spec.model_class.startswith("(1"):
+        return "hinet-one"
+    if spec.model_class.startswith("T-interval"):
+        return "klo-interval"
+    return "one-interval"
+
+
+@lru_cache(maxsize=64)
+def _benign_scenario(kind: str, n: int, k: int, seed: int):
+    """Deterministic benign base scenario for one matrix cell, memoized so
+    engine siblings of the same cell share one build per process.
+
+    Builders run unverified (``verify=False``): the generators are
+    property-tested, and a fleet re-verifying every cell would time the
+    checkers, not the engines.
+    """
+    from ..experiments import scenarios as sc
+
+    alpha, L = 3, 2
+    theta = max(n * 3 // 10, alpha)
+    if kind == "hinet-interval":
+        return sc.hinet_interval_scenario(n0=n, theta=theta, k=k, alpha=alpha,
+                                          L=L, seed=seed, verify=False)
+    if kind == "hinet-one":
+        return sc.hinet_one_scenario(n0=n, theta=theta, k=k, L=L, seed=seed,
+                                     verify=False)
+    if kind == "klo-interval":
+        return sc.klo_interval_scenario(n0=n, k=k, alpha=alpha, L=L,
+                                        seed=seed, verify=False)
+    if kind == "dhop":
+        return sc.dhop_scenario(n0=n, k=k, L=L, seed=seed)
+    return sc.one_interval_scenario(n0=n, k=k, seed=seed, verify=False)
+
+
+@lru_cache(maxsize=64)
+def _adversarial_scenario(n: int, k: int, seed: int):
+    from ..experiments.scenarios import haeupler_kuhn_scenario
+
+    # verify=False: certification is the scenario suite's job; the fleet
+    # times engines on the already-property-tested materialization
+    return haeupler_kuhn_scenario(n0=n, k=k, seed=seed, verify=False)
+
+
+def build_scenario(case: BenchCase):
+    """The scenario one case runs on — deterministic in the case alone."""
+    spec = get_spec(case.algorithm)
+    if case.family == "adversarial":
+        return _adversarial_scenario(case.n, case.k, case.seed)
+    base = _benign_scenario(_base_kind(spec), case.n, case.k, case.seed)
+    if case.family == "lossy":
+        from ..experiments.scenarios import lossy_scenario
+
+        return lossy_scenario(base, _LOSS_P, seed=_FAULT_SEED)
+    if case.family == "churn":
+        from ..experiments.scenarios import churn_scenario
+
+        return churn_scenario(base, _CHURN_RATE, seed=_FAULT_SEED)
+    return base
+
+
+# -- the classic gate instances ----------------------------------------------
+
+def regression_gate_scenario():
+    """The committed-baseline Algorithm-1 instance behind
+    ``algorithm1_full_run_n100_r126`` (scenario of ``BENCH_engine.json``'s
+    oldest tracked case) — shared by ``check_regression.py`` and the
+    bench scripts so gate and producer can never drift."""
+    from ..experiments.scenarios import hinet_interval_scenario
+
+    return hinet_interval_scenario(
+        n0=100, theta=30, k=8, alpha=5, L=2, seed=47, verify=False
+    )
+
+
+def columnar_gate_instance():
+    """The ``columnar_vs_fast_alg1_n10000`` gate workload.
+
+    Returns ``(net, factory, k, initial, rounds)`` — a clustered-star
+    CSR topology at the columnar tier's n ≥ 10⁴ gate floor, run through
+    :class:`~repro.sim.engine.SynchronousEngine` directly (the instance
+    predates the Scenario wrapper and its counters are committed
+    baselines, so its construction is frozen here).
+    """
+    from ..core.algorithm1 import make_algorithm1_factory
+    from ..graphs.generators.static import clustered_star_arrays
+    from ..sim.topology import CSRNetwork
+
+    n, theta, k = 10_000, 300, 16
+    net = CSRNetwork(clustered_star_arrays(n, theta))
+    initial = {v: frozenset({v % k}) for v in range(n)}
+    factory = make_algorithm1_factory(T=12, M=6)
+    return net, factory, k, initial, 72
+
+
+def quick_gate_case() -> BenchCase:
+    """The per-PR fleet case mirroring the classic full-run gate."""
+    return replace(
+        select(["algorithm1_benign_n48_fast_timeline"])[0],
+    )

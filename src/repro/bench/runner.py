@@ -1,0 +1,337 @@
+"""Fleet execution: measure matrix cases, gate them against history.
+
+:func:`measure_case` runs one :class:`~repro.bench.matrix.BenchCase`
+through the one true pipeline — :func:`repro.experiments.runner.execute`
+— and produces a flat stats dict:
+
+* **counters** (``rounds``/``tokens_sent``/``messages_sent``) from a
+  single canonical run (optionally through a
+  :class:`~repro.experiments.cache.ResultCache`, so a warm CI cache
+  skips recomputation; timing never touches the cache);
+* **equivalence** against the case's ``baseline_engine`` — outputs,
+  metrics and timeline must be bit-identical, the registry-wide
+  engine-tier contract;
+* **paired timing** via :func:`~repro.bench.history.time_ms_paired`
+  (interleaved samples) yielding the machine-portable ``speedup`` ratio;
+  reference-only cases record absolute wall-clock instead;
+* **peak traced memory** (tracemalloc) from a separate *untimed* run, so
+  instrumentation never distorts the timing samples.
+
+:func:`run_fleet` maps that over the matrix with
+:func:`repro.experiments.parallel.parallel_map` (cases are plain frozen
+dataclasses, so they pickle into worker processes), and
+:func:`gate_fleet` turns the results + the previous history bucket into
+:class:`GateViolation`\\ s — the five gate kinds are ``equivalence``,
+``counter`` (exact match vs history), ``speedup`` (ratio floor vs
+history), ``budget`` and ``memory`` (absolute per-case ceilings).
+
+The module also exports the two primitives the classic per-PR gate
+(``benchmarks/check_regression.py``) is built from — :func:`equivalent`
+and :func:`measure_ratio` — so the gate and the fleet share one
+measurement path.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .history import time_ms, time_ms_paired
+from .matrix import BenchCase, build_scenario
+
+__all__ = [
+    "CaseResult",
+    "GateViolation",
+    "equivalent",
+    "fleet_rows",
+    "gate_fleet",
+    "measure_case",
+    "measure_ratio",
+    "run_fleet",
+]
+
+#: History stat keys gated as exact-match deterministic counters.
+COUNTER_KEYS = ("rounds", "tokens_sent", "messages_sent")
+
+
+def equivalent(a, b) -> bool:
+    """The engine-tier bit-identity contract: two :class:`RunResult`\\ s
+    agree on outputs, metrics and the telemetry timeline."""
+    return (
+        a.outputs == b.outputs
+        and a.metrics == b.metrics
+        and a.timeline == b.timeline
+    )
+
+
+def measure_ratio(
+    fn_base: Callable[[], object],
+    fn_case: Callable[[], object],
+    repeats: int = 5,
+    inject_ms: float = 0.0,
+) -> Tuple[Dict[str, float], Dict[str, float], float]:
+    """Paired timing of case-vs-baseline: ``(base_stats, case_stats, speedup)``.
+
+    Samples interleave (:func:`time_ms_paired`) so allocator drift lands
+    on both sides; ``speedup`` is baseline median / case median.
+    ``inject_ms`` sleeps inside the *case* callable only — the testing
+    hook behind ``--inject-slowdown`` and the gate's self-tests.
+    """
+    sleep_s = inject_ms / 1000.0
+
+    def timed_case():
+        if sleep_s:
+            time.sleep(sleep_s)
+        return fn_case()
+
+    base_stats, case_stats = time_ms_paired(fn_base, timed_case,
+                                            repeats=repeats)
+    return base_stats, case_stats, base_stats["median_ms"] / case_stats["median_ms"]
+
+
+@dataclass
+class CaseResult:
+    """One measured matrix case: the case plus its flat stats dict
+    (exactly what lands in the history bucket)."""
+
+    case: BenchCase
+    stats: Dict[str, object]
+
+    @property
+    def name(self) -> str:
+        return self.case.name
+
+    def row(self) -> Dict[str, object]:
+        """Fixed-width table row for the CLI run summary."""
+        stats = self.stats
+        speedup = stats.get("speedup")
+        return {
+            "case": self.name,
+            "rounds": stats.get("rounds"),
+            "tokens": stats.get("tokens_sent"),
+            "median_ms": stats.get("median_ms"),
+            "speedup": f"{speedup:.2f}x" if speedup is not None else "-",
+            "peak_mb": stats.get("peak_mb"),
+            "identical": stats.get("identical", "-"),
+        }
+
+
+def fleet_rows(results: Sequence[CaseResult]) -> List[Dict[str, object]]:
+    return [result.row() for result in results]
+
+
+def measure_case(
+    case: BenchCase,
+    repeats: int = 3,
+    inject_ms: float = 0.0,
+    cache=None,
+    memory: bool = True,
+) -> CaseResult:
+    """Measure one matrix case end to end (see module docstring).
+
+    ``cache`` (directory or :class:`ResultCache`) backs the *counter*
+    run only; the timing/memory runs always execute fresh
+    (``cache=False``) — a cached replay has no kernel cost to measure.
+    """
+    from ..experiments.runner import execute
+
+    scenario = build_scenario(case)
+
+    def run(engine: str, use_cache=False):
+        return execute(
+            case.algorithm,
+            scenario,
+            engine=engine,
+            obs=case.obs,
+            cache=cache if (use_cache and cache is not None) else False,
+        )
+
+    record = run(case.engine, use_cache=True)
+    stats: Dict[str, object] = {
+        "engine": case.engine,
+        "obs": case.obs,
+        "n": record.n,
+        "rounds": record.rounds,
+        "tokens_sent": record.tokens_sent,
+        "messages_sent": record.messages_sent,
+        "complete": record.complete,
+    }
+
+    baseline = case.baseline_engine
+    if baseline is not None:
+        base_record = run(baseline, use_cache=True)
+        stats["identical"] = equivalent(record.result, base_record.result)
+        base_stats, case_stats, speedup = measure_ratio(
+            lambda: run(baseline),
+            lambda: run(case.engine),
+            repeats=repeats,
+            inject_ms=inject_ms,
+        )
+        stats["baseline_engine"] = baseline
+        stats["baseline_median_ms"] = base_stats["median_ms"]
+        stats["speedup"] = round(speedup, 4)
+        timing = case_stats
+    else:
+        sleep_s = inject_ms / 1000.0
+
+        def timed():
+            if sleep_s:
+                time.sleep(sleep_s)
+            return run(case.engine)
+
+        timing = time_ms(timed, repeats=repeats)
+    stats["best_ms"] = timing["best_ms"]
+    stats["median_ms"] = timing["median_ms"]
+    stats["mean_ms"] = timing["mean_ms"]
+    stats["repeats"] = timing["repeats"]
+
+    if memory:
+        # separate untimed run: tracing allocations slows execution, so it
+        # must never share a run with the timing samples
+        tracemalloc.start()
+        try:
+            run(case.engine)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        stats["peak_mb"] = round(peak / (1024 * 1024), 3)
+    return CaseResult(case=case, stats=stats)
+
+
+def _fleet_task(item) -> CaseResult:
+    """Module-level worker (``parallel_map``'s pickling contract)."""
+    case, repeats, inject_ms, cache_dir, memory = item
+    return measure_case(case, repeats=repeats, inject_ms=inject_ms,
+                        cache=cache_dir, memory=memory)
+
+
+def run_fleet(
+    cases: Sequence[BenchCase],
+    repeats: int = 3,
+    processes: Optional[int] = 1,
+    inject: Optional[Dict[str, float]] = None,
+    cache=None,
+    memory: bool = True,
+) -> List[CaseResult]:
+    """Measure a set of cases, optionally across worker processes.
+
+    ``processes`` defaults to 1 (serial): paired timing wants an
+    otherwise-idle machine, so process-parallelism is an explicit opt-in
+    for counter-heavy sweeps on large runners.  ``inject`` maps case
+    names to artificial slowdowns in ms (the ``--inject-slowdown``
+    hook).  Results come back in input order.
+    """
+    from ..experiments.parallel import parallel_map
+
+    inject = inject or {}
+    cache_dir = cache if isinstance(cache, (str, type(None))) else str(cache)
+    items = [
+        (case, repeats, float(inject.get(case.name, 0.0)), cache_dir, memory)
+        for case in cases
+    ]
+    return parallel_map(_fleet_task, items, processes=processes)
+
+
+@dataclass
+class GateViolation:
+    """One tripped fleet gate, attributable to a (case, engine) pair."""
+
+    case: str
+    engine: str
+    kind: str  # "equivalence" | "counter" | "speedup" | "budget" | "memory"
+    message: str
+    measured: object = None
+    expected: object = None
+    metric: str = field(default="")
+
+    def format(self) -> str:
+        return f"[{self.kind}] {self.case} (engine={self.engine}): {self.message}"
+
+
+def gate_fleet(
+    results: Sequence[CaseResult],
+    previous_cases: Optional[Dict[str, Dict[str, object]]] = None,
+    threshold: float = 0.5,
+) -> List[GateViolation]:
+    """Gate fleet results against budgets and the previous history bucket.
+
+    Absolute gates (no history needed): engine equivalence, per-case time
+    and memory budgets.  History gates (``previous_cases`` is the
+    previous bucket's case dict): deterministic counters must match
+    **exactly**, and the speedup ratio must stay above
+    ``previous · (1 − threshold)``.  The default threshold is deliberately
+    loose (50%) — the fleet runs small-n cases on shared CI runners, and
+    its job is catching cliffs, not 10% noise; the classic
+    ``check_regression.py`` gate keeps the tight 25% threshold on its
+    big-n cases.
+    """
+    previous_cases = previous_cases or {}
+    violations: List[GateViolation] = []
+    for result in results:
+        case, stats = result.case, result.stats
+        if stats.get("identical") is False:
+            violations.append(GateViolation(
+                case=case.name, engine=case.engine, kind="equivalence",
+                message=(
+                    f"engine {case.engine!r} diverged from "
+                    f"{case.baseline_engine!r} (outputs/metrics/timeline)"
+                ),
+                measured=False, expected=True, metric="identical",
+            ))
+        median = stats.get("median_ms")
+        if isinstance(median, (int, float)) and median > case.budget_ms:
+            violations.append(GateViolation(
+                case=case.name, engine=case.engine, kind="budget",
+                message=(
+                    f"median {median:.1f} ms blew the {case.budget_ms:.0f} ms "
+                    "case budget"
+                ),
+                measured=median, expected=case.budget_ms, metric="median_ms",
+            ))
+        peak = stats.get("peak_mb")
+        if isinstance(peak, (int, float)) and peak > case.memory_budget_mb:
+            violations.append(GateViolation(
+                case=case.name, engine=case.engine, kind="memory",
+                message=(
+                    f"peak traced memory {peak:.1f} MB blew the "
+                    f"{case.memory_budget_mb:.0f} MB case budget"
+                ),
+                measured=peak, expected=case.memory_budget_mb,
+                metric="peak_mb",
+            ))
+
+        previous = previous_cases.get(case.name)
+        if not isinstance(previous, dict):
+            continue
+        for key in COUNTER_KEYS:
+            want, got = previous.get(key), stats.get(key)
+            if want is not None and got is not None and got != want:
+                violations.append(GateViolation(
+                    case=case.name, engine=case.engine, kind="counter",
+                    message=(
+                        f"{key} drifted: measured {got} != {want} recorded "
+                        "last bucket (deterministic counter — engine "
+                        "semantics changed)"
+                    ),
+                    measured=got, expected=want, metric=key,
+                ))
+        prev_speedup = previous.get("speedup")
+        speedup = stats.get("speedup")
+        if (
+            isinstance(prev_speedup, (int, float))
+            and isinstance(speedup, (int, float))
+        ):
+            floor = float(prev_speedup) * (1.0 - threshold)
+            if speedup < floor:
+                violations.append(GateViolation(
+                    case=case.name, engine=case.engine, kind="speedup",
+                    message=(
+                        f"speedup regressed: {speedup:.2f}x < floor "
+                        f"{floor:.2f}x (last bucket {prev_speedup:.2f}x, "
+                        f"threshold {threshold:.0%})"
+                    ),
+                    measured=speedup, expected=floor, metric="speedup",
+                ))
+    return violations

@@ -1,0 +1,144 @@
+"""Cross-commit trend dashboards over the ``BENCH_*.json`` history series.
+
+:func:`render_trend` turns the append-only per-commit buckets
+(:func:`repro.bench.history.ordered_history`) into the ``repro bench
+--report`` dashboard: per case, the tracked metric's trajectory across
+commits as an ASCII sparkbar column plus nearest-rank percentile bands —
+the same ``_percentile`` / ``_bar`` primitives the ``repro report``
+progress dashboard uses (:mod:`repro.obs.aggregate`), so the two
+dashboards read the same way.
+
+The tracked metric is ``speedup`` where the case records one (the
+machine-portable ratio) and ``median_ms`` otherwise (absolute-wall-clock
+cases: meaningful *within* one machine's history, labelled as such).
+``markdown=True`` emits a pipe table for ``$GITHUB_STEP_SUMMARY``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.aggregate import _bar, _percentile
+from .history import ordered_history
+
+__all__ = ["render_trend", "trend_series"]
+
+
+def trend_series(
+    data: Dict[str, object],
+    cases: Optional[Sequence[str]] = None,
+) -> Dict[str, Tuple[str, List[Tuple[str, float]]]]:
+    """Per-case metric trajectories: ``{case: (metric, [(label, value)…])}``.
+
+    Buckets are in recording order; a case absent from a bucket simply
+    skips it (partial fleet runs leave gaps, not zeros).  ``cases``
+    filters (and orders) the output; default is every case seen in any
+    bucket, alphabetically.
+    """
+    buckets = ordered_history(data)
+    series: Dict[str, List[Tuple[str, float]]] = {}
+    metric_for: Dict[str, str] = {}
+    for label, bucket_cases, _meta in buckets:
+        for case, stats in bucket_cases.items():
+            if not isinstance(stats, dict):
+                continue
+            value = stats.get("speedup")
+            metric = "speedup"
+            if not isinstance(value, (int, float)):
+                value, metric = stats.get("median_ms"), "median_ms"
+            if not isinstance(value, (int, float)):
+                continue
+            # a case that ever recorded a speedup is tracked by speedup
+            if metric_for.get(case) == "speedup" and metric != "speedup":
+                continue
+            if metric_for.get(case) != metric:
+                if metric == "speedup" and case in series:
+                    series[case] = []  # upgrade: drop ms points
+                metric_for[case] = metric
+            series.setdefault(case, []).append((label, float(value)))
+    wanted = list(cases) if cases is not None else sorted(series)
+    return {
+        case: (metric_for[case], series[case])
+        for case in wanted
+        if case in series and series[case]
+    }
+
+
+def _fmt(metric: str, value: float) -> str:
+    return f"{value:.2f}x" if metric == "speedup" else f"{value:.1f}ms"
+
+
+def _delta(values: List[float]) -> Optional[float]:
+    """Fractional change of the latest point vs the one before it."""
+    if len(values) < 2 or values[-2] == 0:
+        return None
+    return (values[-1] - values[-2]) / values[-2]
+
+
+def render_trend(
+    data: Dict[str, object],
+    cases: Optional[Sequence[str]] = None,
+    markdown: bool = False,
+    width: int = 24,
+) -> str:
+    """The ``repro bench --report`` dashboard (see module docstring)."""
+    buckets = ordered_history(data)
+    all_series = trend_series(data, cases=cases)
+    if not buckets or not all_series:
+        return ("no history buckets recorded yet — run 'repro bench --quick' "
+                "to record one")
+
+    header = (
+        f"benchmark trend — {len(buckets)} bucket(s), "
+        f"oldest → newest: {' '.join(label for label, _, _ in buckets)}"
+    )
+    note = (
+        "single bucket so far — trends need >= 2; showing latest values"
+        if len(buckets) < 2 else None
+    )
+
+    if markdown:
+        lines = ["### Benchmark fleet trend", "", header, ""]
+        if note:
+            lines += [f"_{note}_", ""]
+        lines += [
+            "| case | metric | points | p10 | p50 | p90 | latest | Δ vs prev |",
+            "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for case, (metric, points) in all_series.items():
+            values = sorted(value for _, value in points)
+            latest = points[-1][1]
+            delta = _delta([value for _, value in points])
+            delta_s = "-" if delta is None else f"{delta:+.1%}"
+            lines.append(
+                f"| {case} | {metric} | {len(points)} "
+                f"| {_fmt(metric, _percentile(values, 0.10))} "
+                f"| {_fmt(metric, _percentile(values, 0.50))} "
+                f"| {_fmt(metric, _percentile(values, 0.90))} "
+                f"| {_fmt(metric, latest)} | {delta_s} |"
+            )
+        return "\n".join(lines)
+
+    lines = [header]
+    if note:
+        lines.append(f"({note})")
+    for case, (metric, points) in all_series.items():
+        lines.append("")
+        lines.append(f"{case}  [{metric}]")
+        peak = max(value for _, value in points)
+        label_w = max(len(label) for label, _ in points)
+        for label, value in points:
+            lines.append(
+                f"  {label:<{label_w}}  {_fmt(metric, value):>10}  "
+                f"{_bar(value, peak, width)}"
+            )
+        values = sorted(value for _, value in points)
+        delta = _delta([value for _, value in points])
+        delta_s = "" if delta is None else f"  Δ vs prev {delta:+.1%}"
+        lines.append(
+            f"  p10 {_fmt(metric, _percentile(values, 0.10))}"
+            f"  p50 {_fmt(metric, _percentile(values, 0.50))}"
+            f"  p90 {_fmt(metric, _percentile(values, 0.90))}"
+            f"  latest {_fmt(metric, points[-1][1])}{delta_s}"
+        )
+    return "\n".join(lines)

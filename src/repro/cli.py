@@ -16,6 +16,9 @@ without writing a script:
    $ python -m repro replay run.json --at 5 --node 3   # time-travel state
    $ python -m repro diff a.json b.json     # first diverging round/node
    $ python -m repro diff --engines algorithm1  # fast vs reference bisect
+   $ python -m repro bench --quick          # per-PR benchmark fleet + gate
+   $ python -m repro bench --list           # expanded matrix, budgets, tiers
+   $ python -m repro bench --report         # cross-commit trend dashboard
    $ python -m repro table3                 # analytic Table 3 + deviations
    $ python -m repro table3 --simulate      # measured counterpart
    $ python -m repro fig3                   # Algorithm-1 walkthrough
@@ -267,6 +270,60 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--n0", type=int, default=50)
     pa.add_argument("--k", type=int, default=5)
     _add_cache_flag(pa)
+
+    bn = sub.add_parser(
+        "bench",
+        help="continuous benchmark fleet: run the matrixed tier, append a "
+        "commit-keyed history bucket, gate vs the previous bucket, and "
+        "bisect regressions to the offending (case, engine) pair",
+    )
+    tier = bn.add_mutually_exclusive_group()
+    tier.add_argument("--quick", action="store_true",
+                      help="the per-PR CI tier (default)")
+    tier.add_argument("--full", action="store_true",
+                      help="the nightly tier: larger n, reference-engine "
+                      "absolute cases, raised obs levels")
+    bn.add_argument("--list", action="store_true",
+                    help="print the expanded matrix with budgets and tiers "
+                    "without running anything")
+    bn.add_argument("--report", action="store_true",
+                    help="render the cross-commit trend dashboard from the "
+                    "recorded history instead of running")
+    bn.add_argument("--markdown", action="store_true",
+                    help="with --report: emit a markdown table (suitable for "
+                    "$GITHUB_STEP_SUMMARY)")
+    bn.add_argument("--json", default=None, metavar="PATH",
+                    help="bench file to read/append (default: the repo's "
+                    "BENCH_engine.json, found walking up from cwd)")
+    bn.add_argument("--cases", nargs="+", default=None, metavar="NAME",
+                    help="run only these matrix cases (names from --list)")
+    bn.add_argument("--repeats", type=int, default=3,
+                    help="paired timing repeats per case (default: 3)")
+    bn.add_argument("--processes", type=int, default=1,
+                    help="worker processes (default 1: paired timing wants "
+                    "an otherwise-idle machine)")
+    bn.add_argument("--threshold", type=float, default=0.5,
+                    help="allowed fractional speedup regression vs the "
+                    "previous bucket (default: 0.5)")
+    bn.add_argument("--commit", default=None, metavar="LABEL",
+                    help="override the history bucket label (default: short "
+                    "git commit, '-dirty'-suffixed on an unclean tree)")
+    bn.add_argument("--inject-slowdown", action="append", default=[],
+                    metavar="CASE:MS",
+                    help="testing hook: sleep MS inside the named case's "
+                    "timed callable (repeatable)")
+    bn.add_argument("--no-gate", action="store_true",
+                    help="record the bucket but skip gating (seeding a "
+                    "fresh history)")
+    bn.add_argument("--bisect", action="store_true",
+                    help="on gate failure, re-measure engine siblings and "
+                    "name the offending (case, engine) pair")
+    bn.add_argument("--bisect-report", default=None, metavar="PATH",
+                    help="with --bisect: also write the bisection report "
+                    "(and any divergence report) here")
+    bn.add_argument("--no-memory", action="store_true",
+                    help="skip the tracemalloc peak-memory pass")
+    _add_cache_flag(bn)
 
     return parser
 
@@ -736,6 +793,121 @@ def _cmd_diff(args):
     return text, (0 if report.identical else 1)
 
 
+def _parse_inject(entries: List[str]) -> dict:
+    """``CASE:MS`` pairs → {case: ms}; case names never contain colons."""
+    inject = {}
+    for entry in entries:
+        name, _, ms = entry.rpartition(":")
+        if not name:
+            raise SystemExit(
+                f"--inject-slowdown wants CASE:MS, got {entry!r}"
+            )
+        try:
+            inject[name] = float(ms)
+        except ValueError:
+            raise SystemExit(
+                f"--inject-slowdown wants a numeric MS, got {entry!r}"
+            )
+    return inject
+
+
+def _cmd_bench(args):
+    """Returns ``(text, exit_code)`` — 0 clean, 1 on gate violations."""
+    from pathlib import Path
+
+    from .bench import (
+        bisect_regression,
+        current_commit,
+        default_bench_path,
+        expand,
+        gate_fleet,
+        load_bench,
+        previous_bucket,
+        record_bucket,
+        render_trend,
+        run_fleet,
+        select,
+    )
+    from .bench.matrix import case_rows
+    from .bench.runner import fleet_rows
+
+    tier = "full" if args.full else "quick"
+    matrix = expand(None)
+    cases = select(args.cases, matrix) if args.cases else expand(tier, matrix)
+    path = Path(args.json) if args.json else default_bench_path()
+
+    if args.list:
+        head = (f"benchmark matrix — tier {tier!r}: {len(cases)} case(s) "
+                f"(full matrix: {len(matrix)})")
+        return head + "\n\n" + format_records(case_rows(cases)), 0
+
+    if args.report:
+        data = load_bench(path)
+        return render_trend(data, cases=args.cases,
+                            markdown=args.markdown), 0
+
+    inject = _parse_inject(args.inject_slowdown)
+    unknown = set(inject) - {case.name for case in matrix}
+    if unknown:
+        raise SystemExit(
+            f"--inject-slowdown names unknown case(s): {sorted(unknown)}"
+        )
+
+    results = run_fleet(cases, repeats=args.repeats,
+                        processes=args.processes, inject=inject,
+                        cache=args.cache, memory=not args.no_memory)
+
+    # resolve the gate baseline *before* recording this run's bucket —
+    # a same-label re-run must not gate against itself
+    label = args.commit or current_commit(path.parent)
+    previous = previous_bucket(load_bench(path), label)
+    record_bucket(
+        path,
+        {result.name: result.stats for result in results},
+        commit=args.commit,
+        bucket_meta={"tier": tier, "repeats": args.repeats},
+    )
+
+    parts = [
+        f"benchmark fleet — tier {tier!r}, {len(results)} case(s), "
+        f"bucket {label!r} -> {path}",
+        "",
+        format_records(fleet_rows(results)),
+    ]
+    if args.no_gate:
+        parts.append("\ngate skipped (--no-gate)")
+        return "\n".join(parts), 0
+
+    prev_cases = previous[1] if previous else {}
+    if previous:
+        parts.append(f"\ngating against bucket {previous[0]!r}")
+    else:
+        parts.append("\nno previous bucket — absolute gates only "
+                     "(budgets, equivalence)")
+    violations = gate_fleet(results, prev_cases, threshold=args.threshold)
+    if not violations:
+        parts.append(f"OK: {len(results)} case(s) within budgets and "
+                     f"threshold {args.threshold:.0%}")
+        return "\n".join(parts), 0
+
+    parts.append("")
+    for violation in violations:
+        parts.append(f"FAIL: {violation.format()}")
+    if args.bisect:
+        reports = bisect_regression(
+            violations, matrix, prev_cases,
+            repeats=max(args.repeats, 3), inject=inject,
+            threshold=args.threshold,
+        )
+        report_text = "\n\n".join(report.format() for report in reports)
+        parts += ["", report_text]
+        if args.bisect_report:
+            Path(args.bisect_report).write_text(report_text + "\n")
+            parts.append(f"\n(bisection report written to "
+                         f"{args.bisect_report})")
+    return "\n".join(parts), 1
+
+
 def _cmd_mobility(args) -> str:
     from .baselines.klo import make_klo_one_factory
     from .clustering import hierarchy_stats, maintain_clustering
@@ -810,6 +982,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_replay(args))
     elif args.command == "diff":
         text, code = _cmd_diff(args)
+        print(text)
+        return code
+    elif args.command == "bench":
+        text, code = _cmd_bench(args)
         print(text)
         return code
     elif args.command == "table2":

@@ -1,0 +1,261 @@
+"""Benchmark fleet: matrix, history series, trends, gating and bisection."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    bisect_regression,
+    default_matrix,
+    expand,
+    gate_fleet,
+    load_bench,
+    ordered_history,
+    previous_bucket,
+    record_bucket,
+    render_trend,
+    run_fleet,
+    select,
+)
+from repro.bench.history import current_commit, record_bench
+from repro.bench.matrix import TIERS, build_scenario
+from repro.cli import main
+from repro.registry import get_spec
+
+FAST_CASE = "algorithm1_benign_n48_fast_timeline"
+COL_CASE = "algorithm1_benign_n48_columnar_timeline"
+
+
+def _load_bench_json_shim():
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "_bench_json.py"
+    spec = importlib.util.spec_from_file_location("_bench_json", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("_bench_json", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestMatrix:
+    def test_expansion_is_valid_and_unique(self):
+        matrix = default_matrix()
+        names = [case.name for case in matrix]
+        assert len(set(names)) == len(names)
+        for case in matrix:
+            spec = get_spec(case.algorithm)
+            assert case.family in spec.families
+            if case.engine == "columnar":
+                assert spec.columnar
+            assert ":" not in case.name  # the --inject-slowdown separator
+            assert case.budget_ms > 0 and case.memory_budget_mb > 0
+            assert set(case.tiers) <= set(TIERS)
+
+    def test_quick_tier_is_a_subset_of_full(self):
+        quick = {case.name for case in expand("quick")}
+        full = {case.name for case in expand("full")}
+        assert quick and quick < full
+        assert full == {case.name for case in default_matrix()}
+
+    def test_unknown_tier_and_case_raise(self):
+        with pytest.raises(ValueError):
+            expand("hourly")
+        with pytest.raises(KeyError):
+            select(["no_such_case"])
+
+    def test_scenarios_match_case_axes(self):
+        for name in (FAST_CASE, "flood-all_adversarial_n48_fast_timeline",
+                     "algorithm2_lossy_n48_columnar_timeline"):
+            case = select([name])[0]
+            scenario = build_scenario(case)
+            assert scenario.n == case.n
+            assert scenario.k == case.k
+            assert scenario.family == case.family
+
+
+class TestHistory:
+    def test_bucket_merge_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        record_bucket(path, {"a": {"median_ms": 1.0}}, commit="c1")
+        record_bucket(path, {"b": {"median_ms": 2.0}}, commit="c1")
+        # same case again: stat keys merge instead of clobbering
+        record_bucket(path, {"a": {"speedup": 3.0}}, commit="c1")
+        data = load_bench(path)
+        bucket = data["history"]["c1"]
+        assert bucket["a"] == {"median_ms": 1.0, "speedup": 3.0}
+        assert bucket["b"] == {"median_ms": 2.0}
+
+    def test_ordered_history_uses_seq_not_json_order(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        # labels chosen so sort_keys order (aaa < zzz) fights seq order
+        record_bucket(path, {"a": {"median_ms": 1.0}}, commit="zzz")
+        record_bucket(path, {"a": {"median_ms": 2.0}}, commit="aaa")
+        data = load_bench(path)
+        labels = [label for label, _, _ in ordered_history(data)]
+        assert labels == ["zzz", "aaa"]
+        prev = previous_bucket(data, "aaa")
+        assert prev is not None and prev[0] == "zzz"
+        # a run never gates against its own label, only other buckets
+        assert previous_bucket(data, "zzz")[0] == "aaa"
+        assert previous_bucket({"history": {}}, "zzz") is None
+
+    def test_dirty_tree_gets_its_own_bucket(self, tmp_path, monkeypatch):
+        from repro.bench import history
+
+        outputs = {
+            ("rev-parse", "--short", "HEAD"): "abc1234\n",
+            ("status", "--porcelain"): " M src/file.py\n",
+        }
+        monkeypatch.setattr(
+            history, "_git", lambda args, cwd: outputs.get(tuple(args))
+        )
+        assert current_commit(tmp_path) == "abc1234-dirty"
+        outputs[("status", "--porcelain")] = ""
+        assert current_commit(tmp_path) == "abc1234"
+        path = tmp_path / "BENCH_engine.json"
+        record_bucket(path, {"a": {"median_ms": 1.0}})  # clean
+        outputs[("status", "--porcelain")] = " M x\n"
+        record_bucket(path, {"a": {"median_ms": 9.0}})  # dirty
+        history_data = load_bench(path)["history"]
+        assert history_data["abc1234"]["a"]["median_ms"] == 1.0
+        assert history_data["abc1234-dirty"]["a"]["median_ms"] == 9.0
+
+    def test_record_bench_snapshots_latest_case(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        record_bench(path, "case", {"median_ms": 5.0})
+        data = load_bench(path)
+        assert data["cases"]["case"]["median_ms"] == 5.0
+        assert any("case" in cases for _, cases, _ in ordered_history(data))
+
+    def test_bench_json_shim_round_trip(self, tmp_path, monkeypatch):
+        shim = _load_bench_json_shim()
+        monkeypatch.setattr(shim, "BENCH_JSON", tmp_path / "BENCH_engine.json")
+        shim.record_bench("case", {"median_ms": 5.0})
+        shim.record_bench("case", {"speedup": 2.0})
+        data = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        assert data["cases"]["case"] == {"speedup": 2.0}  # latest snapshot
+        merged = [bucket["case"] for label, bucket in data["history"].items()
+                  if "case" in bucket]
+        assert {"median_ms": 5.0, "speedup": 2.0} in merged
+
+
+def _synthetic_history(tmp_path) -> Path:
+    path = tmp_path / "BENCH_engine.json"
+    for label, speedup in (("c1", 2.0), ("c2", 2.2), ("c3", 1.1)):
+        record_bucket(
+            path,
+            {
+                FAST_CASE: {"speedup": speedup, "median_ms": 10.0 / speedup},
+                "abs_case": {"median_ms": 100.0},
+            },
+            commit=label,
+        )
+    return path
+
+
+class TestTrend:
+    def test_text_dashboard(self, tmp_path):
+        text = render_trend(load_bench(_synthetic_history(tmp_path)))
+        assert "c1 c2 c3" in text
+        assert FAST_CASE in text and "[speedup]" in text
+        assert "abs_case" in text and "[median_ms]" in text
+        assert "Δ vs prev -50.0%" in text  # 2.2 -> 1.1
+        assert "p50" in text and "latest 1.10x" in text
+
+    def test_markdown_dashboard(self, tmp_path):
+        text = render_trend(load_bench(_synthetic_history(tmp_path)),
+                            markdown=True)
+        assert text.startswith("### Benchmark fleet trend")
+        assert f"| {FAST_CASE} | speedup | 3 " in text
+        assert "-50.0%" in text
+
+    def test_empty_and_single_bucket(self, tmp_path):
+        assert "no history" in render_trend({"history": {}})
+        path = tmp_path / "BENCH_engine.json"
+        record_bucket(path, {FAST_CASE: {"speedup": 2.0}}, commit="only")
+        text = render_trend(load_bench(path))
+        assert "single bucket" in text
+
+
+class TestFleetEndToEnd:
+    def test_quick_run_appends_commit_keyed_bucket(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        rc = main(["bench", "--cases", FAST_CASE, COL_CASE,
+                   "--repeats", "1", "--no-memory",
+                   "--commit", "c1", "--json", str(path)])
+        assert rc == 0
+        data = load_bench(path)
+        bucket = data["history"]["c1"]
+        assert set(bucket) == {"_meta", FAST_CASE, COL_CASE}
+        stats = bucket[FAST_CASE]
+        assert stats["identical"] is True
+        assert stats["rounds"] > 0 and stats["speedup"] > 0
+        assert bucket["_meta"]["tier"] == "quick"
+        out = capsys.readouterr().out
+        assert "no previous bucket" in out and "OK" in out
+
+    def test_injected_slowdown_fails_gate_and_bisect_names_pair(
+            self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        assert main(["bench", "--cases", FAST_CASE, COL_CASE,
+                     "--repeats", "1", "--no-memory",
+                     "--commit", "c1", "--json", str(path)]) == 0
+        capsys.readouterr()
+        report = tmp_path / "bisect.txt"
+        rc = main(["bench", "--cases", FAST_CASE, COL_CASE,
+                   "--repeats", "1", "--no-memory",
+                   "--commit", "c2", "--json", str(path),
+                   "--inject-slowdown", f"{FAST_CASE}:200",
+                   "--bisect", "--bisect-report", str(report)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL: [speedup]" in out
+        assert f"offender: case={FAST_CASE} engine=fast" in out
+        text = report.read_text()
+        assert f"case={FAST_CASE} engine=fast" in text
+        # the clean sibling is exonerated in the evidence table
+        assert COL_CASE in text
+        # both runs landed as separate buckets
+        assert set(load_bench(path)["history"]) == {"c1", "c2"}
+
+    def test_counter_drift_trips_gate_and_attaches_divergence(self, tmp_path):
+        results = run_fleet(select([FAST_CASE]), repeats=1, memory=False)
+        stats = dict(results[0].stats)
+        previous = {FAST_CASE: dict(stats, tokens_sent=stats["tokens_sent"] + 1)}
+        violations = gate_fleet(results, previous)
+        assert [v.kind for v in violations] == ["counter"]
+        reports = bisect_regression(violations, default_matrix(), previous,
+                                    repeats=1)
+        assert reports[0].kind == "counter"
+        assert reports[0].divergence is not None
+        # engines actually agree here, and the probe says so
+        assert "identical" in reports[0].divergence
+
+    def test_gate_passes_against_own_history(self, tmp_path):
+        cases = select([FAST_CASE])
+        baseline = run_fleet(cases, repeats=2, memory=False)
+        previous = {r.name: dict(r.stats) for r in baseline}
+        fresh = run_fleet(cases, repeats=2, memory=False)
+        assert gate_fleet(fresh, previous, threshold=0.9) == []
+
+    def test_list_needs_no_execution(self, capsys):
+        assert main(["bench", "--list", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "budget_ms" in out
+        assert FAST_CASE in out
+        assert "algorithm1_benign_n160_fast_timeline" in out  # full-only
+
+    def test_report_renders_from_two_buckets(self, tmp_path, capsys):
+        path = _synthetic_history(tmp_path)
+        assert main(["bench", "--report", "--json", str(path)]) == 0
+        assert "c1 c2 c3" in capsys.readouterr().out
+
+    def test_bad_inject_spec_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--cases", FAST_CASE, "--json",
+                  str(tmp_path / "b.json"), "--inject-slowdown", "nocolon"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--cases", FAST_CASE, "--json",
+                  str(tmp_path / "b.json"),
+                  "--inject-slowdown", "unknown_case:50"])
