@@ -1,0 +1,239 @@
+"""Evaluate symbolic envelopes against a resolved (scenario, plan) pair.
+
+:func:`predict` is the numeric half of the cost-model engine: it plans a
+run exactly as :func:`repro.experiments.runner.execute` would (same spec,
+same overrides), binds every symbol the spec's
+:class:`~repro.analysis.envelopes.CostEnvelope` consumes from the
+scenario parameters and the resolved :class:`~repro.registry.RunPlan`,
+and returns integer bounds a measured run can be compared against.
+
+:func:`argmin_bound` answers parameter-space queries ("which α minimises
+Algorithm 1's round bound at n=100?") by evaluating the algebra over a
+grid — no simulation time is burned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import sympy
+
+from ..registry import AlgorithmSpec, RunPlan, get_spec
+from .envelopes import CostEnvelope, envelope_for
+from .symbols import SYMBOLS
+
+__all__ = ["Prediction", "argmin_bound", "evaluate", "predict"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Numeric envelope for one planned (algorithm, scenario) execution.
+
+    ``rounds``/``messages``/``tokens`` are the evaluated upper bounds the
+    run's measured counters must stay inside; ``tokens_form`` records
+    whether the token bound is the paper's ``"table2"`` expression or the
+    ``"structural"`` fallback.  ``budget`` is the resolved
+    ``RunPlan.max_rounds`` (for ``"theorem"`` envelopes with no override
+    it equals ``rounds``).  ``rounds_floor`` is the Haeupler–Kuhn lower
+    envelope where one applies.
+    """
+
+    algorithm: str
+    scenario: str
+    kind: str
+    n: int
+    k: int
+    rounds: int
+    messages: int
+    tokens: int
+    tokens_form: str
+    budget: int
+    rounds_floor: Optional[int] = None
+    bindings: Mapping[str, Union[int, float]] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table formatters."""
+        return {
+            "algorithm": self.algorithm,
+            "kind": self.kind,
+            "rounds_bound": self.rounds,
+            "messages_bound": self.messages,
+            "tokens_bound": self.tokens,
+            "tokens_form": self.tokens_form,
+            "floor": self.rounds_floor if self.rounds_floor is not None else "-",
+        }
+
+
+def _as_number(value: Union[int, float]) -> sympy.Expr:
+    """Exact sympy number: ints stay Integer, floats become Rational."""
+    if isinstance(value, bool):  # guard: bools are ints in Python
+        return sympy.Integer(int(value))
+    if isinstance(value, int):
+        return sympy.Integer(value)
+    return sympy.Rational(str(value))
+
+
+def evaluate(expr: sympy.Expr, bindings: Mapping[str, Union[int, float]]) -> int:
+    """Substitute named bindings into ``expr`` and return ``⌈value⌉``.
+
+    Raises ``ValueError`` when the bindings leave free symbols — the
+    caller decides whether a fallback expression applies.
+    """
+    subs = {
+        SYMBOLS[name]: _as_number(value)
+        for name, value in bindings.items()
+        if name in SYMBOLS and isinstance(value, (int, float))
+    }
+    value = sympy.sympify(expr).subs(subs)
+    free = value.free_symbols
+    if free:
+        missing = ", ".join(sorted(str(s) for s in free))
+        raise ValueError(
+            f"cannot evaluate bound {sympy.sstr(expr)}: unbound symbol(s) "
+            f"{missing} (bound: {sorted(bindings)})"
+        )
+    return int(sympy.ceiling(value))
+
+
+def _bindings(spec: AlgorithmSpec, scenario, plan: RunPlan) -> Dict[str, Union[int, float]]:
+    """Symbol bindings from a scenario plus its resolved plan.
+
+    Scenario model parameters bind first; the resolved plan supplies the
+    phase count ``M``, the budget ``R`` and any plan-level knobs (``A``,
+    ``T``) the scenario does not carry.
+    """
+    binds: Dict[str, Union[int, float]] = {
+        "n": int(scenario.n),
+        "k": int(scenario.k),
+        "R": int(plan.max_rounds),
+    }
+    param_map = (
+        ("T", "T"), ("L", "L"), ("alpha", "alpha"), ("theta", "theta"),
+        ("nm", "nm"), ("nr", "nr"), ("num_heads", "H"), ("d", "d"),
+        ("phases", "M"),
+    )
+    for key, name in param_map:
+        value = scenario.params.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            binds[name] = value
+    for key, name in (("M", "M"), ("A", "A"), ("T", "T")):
+        value = plan.key_params.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            binds.setdefault(name, value)
+    if plan.phase_length:
+        binds.setdefault("T", int(plan.phase_length))
+    return binds
+
+
+def predict(
+    algorithm: Union[str, AlgorithmSpec],
+    scenario,
+    plan: Optional[RunPlan] = None,
+    **overrides,
+) -> Prediction:
+    """Evaluate an algorithm's analytical envelope on one scenario.
+
+    ``overrides`` are the same spec knobs :func:`~repro.experiments.runner.execute`
+    accepts (``rounds=…``, ``seed=…``, ``A=…``), so prediction and
+    execution resolve the *same* :class:`~repro.registry.RunPlan`.  Pass
+    ``plan=`` to reuse an already-resolved plan (the monitor-assembly
+    path) instead of re-planning.
+
+    Raises ``LookupError`` when the spec has no registered envelope and
+    ``ValueError`` when the scenario cannot bind every symbol a bound
+    needs (after fallbacks).
+    """
+    spec = algorithm if isinstance(algorithm, AlgorithmSpec) else get_spec(algorithm)
+    env = envelope_for(spec.name)
+    if env is None:
+        raise LookupError(
+            f"no analytical envelope registered for algorithm {spec.name!r}"
+        )
+    if plan is None:
+        spec.validate_scenario(scenario)
+        plan = spec.plan(scenario, **overrides)
+    binds = _bindings(spec, scenario, plan)
+
+    rounds_bound = evaluate(env.rounds, binds)
+    messages_bound = evaluate(env.messages, binds)
+    try:
+        tokens_bound = evaluate(env.tokens, binds)
+        tokens_form = "structural" if env.tokens_fallback is None else "table2"
+    except ValueError:
+        if env.tokens_fallback is None:
+            raise
+        tokens_bound = evaluate(env.tokens_fallback, binds)
+        tokens_form = "structural"
+
+    floor = None
+    if env.rounds_floor is not None and scenario.n > 1:
+        floor = evaluate(env.rounds_floor, binds)
+
+    return Prediction(
+        algorithm=spec.name,
+        scenario=getattr(scenario, "name", "?"),
+        kind=env.kind,
+        n=int(scenario.n),
+        k=int(scenario.k),
+        rounds=rounds_bound,
+        messages=messages_bound,
+        tokens=tokens_bound,
+        tokens_form=tokens_form,
+        budget=int(plan.max_rounds),
+        rounds_floor=floor,
+        bindings=binds,
+    )
+
+
+def argmin_bound(
+    algorithm: Union[str, AlgorithmSpec, CostEnvelope],
+    metric: str = "rounds",
+    vary: Optional[Mapping[str, Iterable[Union[int, float]]]] = None,
+    **fixed: Union[int, float],
+) -> Tuple[Dict[str, Union[int, float]], int]:
+    """Minimise one envelope bound over a discrete parameter grid.
+
+    Pure algebra — no simulation runs.  ``vary`` maps symbol names to
+    candidate values; ``fixed`` pins the rest.  Returns
+    ``(best_assignment, best_value)``; grid points that leave the bound
+    unevaluable are skipped, and an empty feasible grid raises
+    ``ValueError``.
+
+    >>> argmin_bound("algorithm1", "rounds",
+    ...              vary={"alpha": range(1, 9)},
+    ...              n=100, k=8, theta=30, L=2, T=18)[0]["alpha"]
+    8
+    """
+    if isinstance(algorithm, CostEnvelope):
+        env = algorithm
+    else:
+        name = algorithm if isinstance(algorithm, str) else algorithm.name
+        env = envelope_for(name)
+        if env is None:
+            raise LookupError(f"no analytical envelope for {name!r}")
+    expr = getattr(env, metric, None)
+    if not isinstance(expr, sympy.Expr):
+        raise ValueError(
+            f"envelope {env.name!r} has no symbolic metric {metric!r} "
+            "(pick rounds, messages or tokens)"
+        )
+    vary = dict(vary or {})
+    names = sorted(vary)
+    best: Optional[Tuple[Dict[str, Union[int, float]], int]] = None
+    for combo in itertools.product(*(list(vary[name]) for name in names)):
+        binds = dict(fixed)
+        binds.update(zip(names, combo))
+        try:
+            value = evaluate(expr, binds)
+        except ValueError:
+            continue
+        if best is None or value < best[1]:
+            best = (dict(zip(names, combo)), value)
+    if best is None:
+        raise ValueError(
+            f"no grid point could evaluate {metric!r} for {env.name!r} — "
+            "bind more symbols"
+        )
+    return best

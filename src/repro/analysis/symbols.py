@@ -1,0 +1,91 @@
+"""The Table 1/2 notation as first-class sympy symbols.
+
+Every analytical envelope in :mod:`repro.analysis.envelopes` is built
+from the symbols below, so a bound is inspectable algebra — printable,
+substitutable, differentiable — instead of an opaque Python closure.
+:data:`SYMBOL_TABLE` documents each symbol's meaning and where
+:func:`repro.analysis.predict` binds its value from when a concrete
+(scenario, plan) pair is substituted in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import sympy
+
+__all__ = ["SYMBOLS", "SYMBOL_TABLE", "symbol"]
+
+# Integer-valued model parameters.  ``positive=True`` lets sympy simplify
+# ceilings and Min/Max without case splits.
+n = sympy.Symbol("n", integer=True, positive=True)
+k = sympy.Symbol("k", integer=True, positive=True)
+T = sympy.Symbol("T", integer=True, positive=True)
+L = sympy.Symbol("L", integer=True, positive=True)
+alpha = sympy.Symbol("alpha", integer=True, positive=True)
+theta = sympy.Symbol("theta", integer=True, positive=True)
+H = sympy.Symbol("H", integer=True, positive=True)
+A = sympy.Symbol("A", integer=True, positive=True)
+M = sympy.Symbol("M", integer=True, positive=True)
+R = sympy.Symbol("R", integer=True, positive=True)
+d = sympy.Symbol("d", integer=True, positive=True)
+Delta = sympy.Symbol("Delta", integer=True, positive=True)
+
+# The empirical hierarchy statistics are means, so they bind to rationals.
+nm = sympy.Symbol("nm", nonnegative=True)
+nr = sympy.Symbol("nr", nonnegative=True)
+
+#: Name → symbol, the binding namespace :func:`repro.analysis.predict` uses.
+SYMBOLS: Dict[str, sympy.Symbol] = {
+    "n": n, "k": k, "T": T, "L": L, "alpha": alpha, "theta": theta,
+    "H": H, "A": A, "M": M, "R": R, "d": d, "Delta": Delta,
+    "nm": nm, "nr": nr,
+}
+
+#: Human-readable symbol table (rendered in ``docs/analysis.md``).
+SYMBOL_TABLE: List[Dict[str, str]] = [
+    {"symbol": "n", "meaning": "network size n0",
+     "bound_from": "Scenario.n"},
+    {"symbol": "k", "meaning": "token count",
+     "bound_from": "Scenario.k"},
+    {"symbol": "T", "meaning": "phase length / stability interval "
+     "(k + alpha*L in the Table 2 regime)",
+     "bound_from": "scenario params['T'] or RunPlan.phase_length"},
+    {"symbol": "L", "meaning": "cluster-head backbone hop bound",
+     "bound_from": "scenario params['L']"},
+    {"symbol": "alpha", "meaning": "per-phase progress parameter",
+     "bound_from": "scenario params['alpha']"},
+    {"symbol": "theta", "meaning": "upper bound on cluster-head count",
+     "bound_from": "scenario params['theta']"},
+    {"symbol": "H", "meaning": "stable head count |V_h| (Remark 1)",
+     "bound_from": "scenario params['num_heads']"},
+    {"symbol": "A", "meaning": "activity budget per token (A-active flood)",
+     "bound_from": "RunPlan.key_params['A']"},
+    {"symbol": "M", "meaning": "resolved phase count",
+     "bound_from": "RunPlan.key_params['M'] / params['phases']"},
+    {"symbol": "R", "meaning": "resolved round budget (theorem bound or "
+     "measurement horizon)",
+     "bound_from": "RunPlan.max_rounds"},
+    {"symbol": "d", "meaning": "cluster radius (multihop extension)",
+     "bound_from": "scenario params['d']"},
+    {"symbol": "Delta", "meaning": "per-round degree bound; the Table 2 "
+     "rows are degree-free (transmissions are counted once per broadcast), "
+     "so Delta only enters derived delivered-message bounds "
+     "(deliveries <= Delta * messages)",
+     "bound_from": "(reserved)"},
+    {"symbol": "nm", "meaning": "mean plain cluster members per round",
+     "bound_from": "scenario params['nm']"},
+    {"symbol": "nr", "meaning": "mean re-affiliations per member",
+     "bound_from": "scenario params['nr']"},
+]
+
+
+def symbol(name: str) -> sympy.Symbol:
+    """Look up a symbol by its table name (raises on unknown names)."""
+    try:
+        return SYMBOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cost-model symbol {name!r} "
+            f"(known: {', '.join(sorted(SYMBOLS))})"
+        ) from None

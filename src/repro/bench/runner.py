@@ -21,9 +21,12 @@ through the one true pipeline — :func:`repro.experiments.runner.execute`
 :func:`repro.experiments.parallel.parallel_map` (cases are plain frozen
 dataclasses, so they pickle into worker processes), and
 :func:`gate_fleet` turns the results + the previous history bucket into
-:class:`GateViolation`\\ s — the five gate kinds are ``equivalence``,
+:class:`GateViolation`\\ s — the six gate kinds are ``equivalence``,
 ``counter`` (exact match vs history), ``speedup`` (ratio floor vs
-history), ``budget`` and ``memory`` (absolute per-case ceilings).
+history), ``budget`` and ``memory`` (absolute per-case ceilings), and
+``envelope`` (benign-family counters must stay inside the analytical
+bounds :func:`repro.analysis.predict` evaluates for the case, and the
+measured/predicted ratio must not drift vs the previous bucket).
 
 The module also exports the two primitives the classic per-PR gate
 (``benchmarks/check_regression.py``) is built from — :func:`equivalent`
@@ -54,6 +57,13 @@ __all__ = [
 
 #: History stat keys gated as exact-match deterministic counters.
 COUNTER_KEYS = ("rounds", "tokens_sent", "messages_sent")
+
+#: (stat ratio key, measured counter key) pairs the envelope gate tracks.
+ENVELOPE_KEYS = (
+    ("envelope_ratio_rounds", "rounds"),
+    ("envelope_ratio_messages", "messages_sent"),
+    ("envelope_ratio_tokens", "tokens_sent"),
+)
 
 
 def equivalent(a, b) -> bool:
@@ -122,12 +132,45 @@ def fleet_rows(results: Sequence[CaseResult]) -> List[Dict[str, object]]:
     return [result.row() for result in results]
 
 
+def _envelope_stats(case: BenchCase, scenario, stats: Dict[str, object],
+                    inject_envelope: float) -> None:
+    """Attach analytical-envelope columns to a benign case's stats.
+
+    ``inject_envelope`` scales the measured/predicted *ratios* only
+    (never the counters, which stay gated as exact history matches) — a
+    factor > 1/ratio pushes the case outside its envelope, the testing
+    hook behind ``--inject-envelope`` and the gate's self-tests.
+    """
+    if case.family != "benign":
+        return
+    try:
+        from ..analysis import predict
+        pred = predict(case.algorithm, scenario)
+    except Exception:
+        return  # no envelope registered / unbound symbols / sympy absent
+    stats["envelope_rounds"] = pred.rounds
+    stats["envelope_messages"] = pred.messages
+    stats["envelope_tokens"] = pred.tokens
+    ratios = {}
+    for key, bound in (("rounds", pred.rounds),
+                       ("messages_sent", pred.messages),
+                       ("tokens_sent", pred.tokens)):
+        measured = stats.get(key)
+        if isinstance(measured, (int, float)) and bound:
+            ratios[key] = round(measured * inject_envelope / bound, 4)
+    stats["envelope_ratio_rounds"] = ratios.get("rounds")
+    stats["envelope_ratio_messages"] = ratios.get("messages_sent")
+    stats["envelope_ratio_tokens"] = ratios.get("tokens_sent")
+    stats["envelope_ok"] = all(r <= 1.0 for r in ratios.values())
+
+
 def measure_case(
     case: BenchCase,
     repeats: int = 3,
     inject_ms: float = 0.0,
     cache=None,
     memory: bool = True,
+    inject_envelope: float = 1.0,
 ) -> CaseResult:
     """Measure one matrix case end to end (see module docstring).
 
@@ -158,6 +201,7 @@ def measure_case(
         "messages_sent": record.messages_sent,
         "complete": record.complete,
     }
+    _envelope_stats(case, scenario, stats, inject_envelope)
 
     baseline = case.baseline_engine
     if baseline is not None:
@@ -202,9 +246,10 @@ def measure_case(
 
 def _fleet_task(item) -> CaseResult:
     """Module-level worker (``parallel_map``'s pickling contract)."""
-    case, repeats, inject_ms, cache_dir, memory = item
+    case, repeats, inject_ms, cache_dir, memory, inject_env = item
     return measure_case(case, repeats=repeats, inject_ms=inject_ms,
-                        cache=cache_dir, memory=memory)
+                        cache=cache_dir, memory=memory,
+                        inject_envelope=inject_env)
 
 
 def run_fleet(
@@ -214,6 +259,7 @@ def run_fleet(
     inject: Optional[Dict[str, float]] = None,
     cache=None,
     memory: bool = True,
+    inject_envelope: Optional[Dict[str, float]] = None,
 ) -> List[CaseResult]:
     """Measure a set of cases, optionally across worker processes.
 
@@ -221,14 +267,18 @@ def run_fleet(
     otherwise-idle machine, so process-parallelism is an explicit opt-in
     for counter-heavy sweeps on large runners.  ``inject`` maps case
     names to artificial slowdowns in ms (the ``--inject-slowdown``
-    hook).  Results come back in input order.
+    hook); ``inject_envelope`` maps case names to ratio-inflation
+    factors (the ``--inject-envelope`` hook).  Results come back in
+    input order.
     """
     from ..experiments.parallel import parallel_map
 
     inject = inject or {}
+    inject_envelope = inject_envelope or {}
     cache_dir = cache if isinstance(cache, (str, type(None))) else str(cache)
     items = [
-        (case, repeats, float(inject.get(case.name, 0.0)), cache_dir, memory)
+        (case, repeats, float(inject.get(case.name, 0.0)), cache_dir, memory,
+         float(inject_envelope.get(case.name, 1.0)))
         for case in cases
     ]
     return parallel_map(_fleet_task, items, processes=processes)
@@ -240,7 +290,8 @@ class GateViolation:
 
     case: str
     engine: str
-    kind: str  # "equivalence" | "counter" | "speedup" | "budget" | "memory"
+    # "equivalence" | "counter" | "speedup" | "budget" | "memory" | "envelope"
+    kind: str
     message: str
     measured: object = None
     expected: object = None
@@ -254,23 +305,43 @@ def gate_fleet(
     results: Sequence[CaseResult],
     previous_cases: Optional[Dict[str, Dict[str, object]]] = None,
     threshold: float = 0.5,
+    envelope_drift: float = 0.25,
 ) -> List[GateViolation]:
     """Gate fleet results against budgets and the previous history bucket.
 
     Absolute gates (no history needed): engine equivalence, per-case time
-    and memory budgets.  History gates (``previous_cases`` is the
-    previous bucket's case dict): deterministic counters must match
-    **exactly**, and the speedup ratio must stay above
-    ``previous · (1 − threshold)``.  The default threshold is deliberately
-    loose (50%) — the fleet runs small-n cases on shared CI runners, and
-    its job is catching cliffs, not 10% noise; the classic
-    ``check_regression.py`` gate keeps the tight 25% threshold on its
-    big-n cases.
+    and memory budgets, and the analytical envelope — a benign case whose
+    measured counters exceed the Table 2 bounds
+    (``envelope_ok == False``) fails outright.  History gates
+    (``previous_cases`` is the previous bucket's case dict):
+    deterministic counters must match **exactly**, the speedup ratio must
+    stay above ``previous · (1 − threshold)``, and each
+    measured/predicted envelope ratio must stay within
+    ``envelope_drift`` (relative) of the previous bucket's ratio.  The
+    default speedup threshold is deliberately loose (50%) — the fleet
+    runs small-n cases on shared CI runners, and its job is catching
+    cliffs, not 10% noise; the classic ``check_regression.py`` gate
+    keeps the tight 25% threshold on its big-n cases.
     """
     previous_cases = previous_cases or {}
     violations: List[GateViolation] = []
     for result in results:
         case, stats = result.case, result.stats
+        if stats.get("envelope_ok") is False:
+            bad = [
+                f"{counter} at {stats.get(key):.2f}x of bound"
+                for key, counter in ENVELOPE_KEYS
+                if isinstance(stats.get(key), (int, float))
+                and stats[key] > 1.0
+            ]
+            violations.append(GateViolation(
+                case=case.name, engine=case.engine, kind="envelope",
+                message=(
+                    "measured trajectory exited the analytical envelope: "
+                    + "; ".join(bad)
+                ),
+                measured=False, expected=True, metric="envelope_ok",
+            ))
         if stats.get("identical") is False:
             violations.append(GateViolation(
                 case=case.name, engine=case.engine, kind="equivalence",
@@ -333,5 +404,24 @@ def gate_fleet(
                         f"threshold {threshold:.0%})"
                     ),
                     measured=speedup, expected=floor, metric="speedup",
+                ))
+        for key, counter in ENVELOPE_KEYS:
+            prev_ratio, ratio = previous.get(key), stats.get(key)
+            if (
+                not isinstance(prev_ratio, (int, float))
+                or not isinstance(ratio, (int, float))
+                or prev_ratio <= 0
+            ):
+                continue
+            drift = abs(ratio - prev_ratio) / prev_ratio
+            if drift > envelope_drift:
+                violations.append(GateViolation(
+                    case=case.name, engine=case.engine, kind="envelope",
+                    message=(
+                        f"measured/predicted {counter} ratio drifted "
+                        f"{drift:.0%} vs last bucket ({prev_ratio:.3f} -> "
+                        f"{ratio:.3f}; allowed {envelope_drift:.0%})"
+                    ),
+                    measured=ratio, expected=prev_ratio, metric=key,
                 ))
     return violations

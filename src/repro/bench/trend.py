@@ -11,7 +11,11 @@ dashboards read the same way.
 The tracked metric is ``speedup`` where the case records one (the
 machine-portable ratio) and ``median_ms`` otherwise (absolute-wall-clock
 cases: meaningful *within* one machine's history, labelled as such).
-``markdown=True`` emits a pipe table for ``$GITHUB_STEP_SUMMARY``.
+Cases that record analytical-envelope columns
+(:func:`repro.bench.runner.measure_case` on benign families) additionally
+show the latest measured/predicted token ratio and whether the case sat
+inside its envelope.  ``markdown=True`` emits a pipe table for
+``$GITHUB_STEP_SUMMARY``.
 """
 
 from __future__ import annotations
@@ -68,6 +72,22 @@ def _fmt(metric: str, value: float) -> str:
     return f"{value:.2f}x" if metric == "speedup" else f"{value:.1f}ms"
 
 
+def _latest_envelope(
+    data: Dict[str, object], case: str
+) -> Optional[Tuple[float, Optional[bool]]]:
+    """The newest recorded ``(envelope_ratio_tokens, envelope_ok)`` for a
+    case, or ``None`` when no bucket ever recorded envelope columns."""
+    for _label, bucket_cases, _meta in reversed(ordered_history(data)):
+        stats = bucket_cases.get(case)
+        if not isinstance(stats, dict):
+            continue
+        ratio = stats.get("envelope_ratio_tokens")
+        if isinstance(ratio, (int, float)):
+            ok = stats.get("envelope_ok")
+            return float(ratio), (bool(ok) if ok is not None else None)
+    return None
+
+
 def _delta(values: List[float]) -> Optional[float]:
     """Fractional change of the latest point vs the one before it."""
     if len(values) < 2 or values[-2] == 0:
@@ -102,20 +122,28 @@ def render_trend(
         if note:
             lines += [f"_{note}_", ""]
         lines += [
-            "| case | metric | points | p10 | p50 | p90 | latest | Δ vs prev |",
-            "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: |",
+            "| case | metric | points | p10 | p50 | p90 | latest "
+            "| Δ vs prev | env ratio | in env |",
+            "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: "
+            "| ---: | --- |",
         ]
         for case, (metric, points) in all_series.items():
             values = sorted(value for _, value in points)
             latest = points[-1][1]
             delta = _delta([value for _, value in points])
             delta_s = "-" if delta is None else f"{delta:+.1%}"
+            env = _latest_envelope(data, case)
+            env_ratio = "-" if env is None else f"{env[0]:.3f}"
+            env_ok = "-"
+            if env is not None and env[1] is not None:
+                env_ok = "yes" if env[1] else "**NO**"
             lines.append(
                 f"| {case} | {metric} | {len(points)} "
                 f"| {_fmt(metric, _percentile(values, 0.10))} "
                 f"| {_fmt(metric, _percentile(values, 0.50))} "
                 f"| {_fmt(metric, _percentile(values, 0.90))} "
-                f"| {_fmt(metric, latest)} | {delta_s} |"
+                f"| {_fmt(metric, latest)} | {delta_s} "
+                f"| {env_ratio} | {env_ok} |"
             )
         return "\n".join(lines)
 
@@ -141,4 +169,11 @@ def render_trend(
             f"  p90 {_fmt(metric, _percentile(values, 0.90))}"
             f"  latest {_fmt(metric, points[-1][1])}{delta_s}"
         )
+        env = _latest_envelope(data, case)
+        if env is not None:
+            ratio, ok = env
+            ok_s = "" if ok is None else ("  inside" if ok else "  OUTSIDE")
+            lines.append(
+                f"  envelope: measured/predicted tokens {ratio:.3f}{ok_s}"
+            )
     return "\n".join(lines)

@@ -79,6 +79,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-algorithms",
                    help="every registered algorithm spec, one row each")
 
+    vm = sub.add_parser(
+        "validate-model",
+        help="sweep the registry: run every spec on its benign scenario "
+        "family and report measured/predicted ratios against the symbolic "
+        "Table 2 envelopes (exit 1 if any benign case escapes its bounds)",
+    )
+    vm.add_argument("--n0", type=int, default=40, help="network size")
+    vm.add_argument("--k", type=int, default=5, help="token count")
+    vm.add_argument("--engine",
+                    choices=["columnar", "fast", "reference"],
+                    default="fast")
+    vm.add_argument("--algorithms", nargs="+", default=None, metavar="NAME",
+                    help="restrict the sweep to these registry names")
+    vm.add_argument("--adversarial", action="store_true",
+                    help="also sweep the Haeupler-Kuhn adversarial family "
+                    "and report the Omega(nk/log n) floor (never gated)")
+    vm.add_argument("--markdown", action="store_true",
+                    help="emit a markdown table instead of fixed-width text")
+    vm.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the full ratio table (with per-role "
+                    "token totals) as a repro-envelope-ratios JSON document")
+    _add_cache_flag(vm)
+
     def _add_scenario_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--scenario", choices=_SCENARIOS, default="auto",
                          help="scenario family; 'auto' picks the algorithm's "
@@ -312,6 +335,15 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="CASE:MS",
                     help="testing hook: sleep MS inside the named case's "
                     "timed callable (repeatable)")
+    bn.add_argument("--inject-envelope", action="append", default=[],
+                    metavar="CASE:FACTOR",
+                    help="testing hook: inflate the named case's "
+                    "measured/predicted envelope ratios by FACTOR "
+                    "(repeatable; a factor pushing a ratio past 1.0 trips "
+                    "the envelope gate)")
+    bn.add_argument("--envelope-drift", type=float, default=0.25,
+                    help="allowed relative drift of a measured/predicted "
+                    "envelope ratio vs the previous bucket (default: 0.25)")
     bn.add_argument("--no-gate", action="store_true",
                     help="record the bucket but skip gating (seeding a "
                     "fresh history)")
@@ -613,7 +645,20 @@ def _cmd_report(args) -> str:
     bands = merge_timelines([r.result.timeline for r in records])
     title = (f"{spec.display_name} on {kind} "
              f"(n0={args.n0}, k={args.k}, {args.replications} seeds)")
-    return render_dashboard(bands, title=title, markdown=args.markdown)
+    # predicted analytical band: one representative scenario stands in for
+    # the replication cell (seeds vary the trace, not the bound symbols)
+    envelope = None
+    try:
+        from .analysis import predict
+
+        pred = predict(spec, builder(seed=args.seed, **kwargs),
+                       **_spec_overrides(args, spec))
+        envelope = {"rounds": pred.rounds, "messages": pred.messages,
+                    "tokens": pred.tokens}
+    except Exception:
+        pass  # no envelope / unbound symbols — dashboard renders without
+    return render_dashboard(bands, title=title, markdown=args.markdown,
+                            envelope=envelope)
 
 
 def _cmd_profile(args) -> str:
@@ -793,22 +838,77 @@ def _cmd_diff(args):
     return text, (0 if report.identical else 1)
 
 
-def _parse_inject(entries: List[str]) -> dict:
-    """``CASE:MS`` pairs → {case: ms}; case names never contain colons."""
+def _parse_inject(entries: List[str], flag: str = "--inject-slowdown",
+                  unit: str = "MS") -> dict:
+    """``CASE:VALUE`` pairs → {case: value}; case names never contain
+    colons.  Shared by the fleet's fault-injection hooks."""
     inject = {}
     for entry in entries:
-        name, _, ms = entry.rpartition(":")
+        name, _, value = entry.rpartition(":")
         if not name:
             raise SystemExit(
-                f"--inject-slowdown wants CASE:MS, got {entry!r}"
+                f"{flag} wants CASE:{unit}, got {entry!r}"
             )
         try:
-            inject[name] = float(ms)
+            inject[name] = float(value)
         except ValueError:
             raise SystemExit(
-                f"--inject-slowdown wants a numeric MS, got {entry!r}"
+                f"{flag} wants a numeric {unit}, got {entry!r}"
             )
     return inject
+
+
+def _cmd_validate_model(args):
+    """Returns ``(text, exit_code)`` — 0 clean, 1 when any benign case
+    escaped its analytical envelope."""
+    from .analysis import failures, table_rows, validate_model
+
+    try:
+        specs = ([_resolve_spec(name).name for name in args.algorithms]
+                 if args.algorithms else None)
+        rows = validate_model(
+            n0=args.n0, k=args.k, seed=args.seed, engine=args.engine,
+            cache=args.cache, algorithms=specs,
+            include_adversarial=args.adversarial,
+        )
+    except ImportError as exc:  # pragma: no cover — sympy is a declared dep
+        raise SystemExit(f"validate-model needs the analysis tier: {exc}")
+
+    if args.json:
+        from .io import save_ratio_table
+
+        save_ratio_table(rows, args.json, meta={
+            "n0": args.n0, "k": args.k, "seed": args.seed,
+            "engine": args.engine, "adversarial": bool(args.adversarial),
+        })
+
+    flat = table_rows(rows)
+    if args.markdown:
+        keys = list(flat[0].keys()) if flat else []
+        lines = ["| " + " | ".join(keys) + " |",
+                 "| " + " | ".join("---" for _ in keys) + " |"]
+        lines += ["| " + " | ".join(str(row.get(k, "-")) for k in keys) + " |"
+                  for row in flat]
+        table = "\n".join(lines)
+    else:
+        table = format_records(flat)
+
+    bad = failures(rows)
+    head = (f"validate-model — {len(rows)} case(s) at n0={args.n0}, "
+            f"k={args.k}, engine={args.engine!r}")
+    parts = [head, "", table, ""]
+    if bad:
+        for row in bad:
+            over = [m for m in ("rounds", "messages", "tokens")
+                    if row[f"{m}_ratio"] > 1.0]
+            reason = (f"{', '.join(over)} over bound" if over
+                      else "guaranteed spec finished incomplete")
+            parts.append(
+                f"FAIL: {row['algorithm']} on {row['scenario']}: {reason}"
+            )
+        return "\n".join(parts), 1
+    parts.append("OK: every benign-family case inside its Table 2 envelope")
+    return "\n".join(parts), 0
 
 
 def _cmd_bench(args):
@@ -847,15 +947,21 @@ def _cmd_bench(args):
                             markdown=args.markdown), 0
 
     inject = _parse_inject(args.inject_slowdown)
-    unknown = set(inject) - {case.name for case in matrix}
-    if unknown:
-        raise SystemExit(
-            f"--inject-slowdown names unknown case(s): {sorted(unknown)}"
-        )
+    inject_env = _parse_inject(args.inject_envelope,
+                               flag="--inject-envelope", unit="FACTOR")
+    known = {case.name for case in matrix}
+    for flag, mapping in (("--inject-slowdown", inject),
+                          ("--inject-envelope", inject_env)):
+        unknown = set(mapping) - known
+        if unknown:
+            raise SystemExit(
+                f"{flag} names unknown case(s): {sorted(unknown)}"
+            )
 
     results = run_fleet(cases, repeats=args.repeats,
                         processes=args.processes, inject=inject,
-                        cache=args.cache, memory=not args.no_memory)
+                        cache=args.cache, memory=not args.no_memory,
+                        inject_envelope=inject_env)
 
     # resolve the gate baseline *before* recording this run's bucket —
     # a same-label re-run must not gate against itself
@@ -884,7 +990,8 @@ def _cmd_bench(args):
     else:
         parts.append("\nno previous bucket — absolute gates only "
                      "(budgets, equivalence)")
-    violations = gate_fleet(results, prev_cases, threshold=args.threshold)
+    violations = gate_fleet(results, prev_cases, threshold=args.threshold,
+                            envelope_drift=args.envelope_drift)
     if not violations:
         parts.append(f"OK: {len(results)} case(s) within budgets and "
                      f"threshold {args.threshold:.0%}")
@@ -968,6 +1075,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "list-algorithms":
         print(format_records([spec.row() for spec in all_specs()]))
+    elif args.command == "validate-model":
+        text, code = _cmd_validate_model(args)
+        print(text)
+        return code
     elif args.command == "run":
         print(_cmd_run(args))
     elif args.command == "explain":

@@ -45,17 +45,21 @@ __all__ = [
     "SCHEMA_VERSION",
     "causal_trace_from_dict",
     "causal_trace_to_dict",
+    "load_ratio_table",
     "load_recording",
     "load_scenario",
     "load_trace",
     "metrics_from_dict",
     "metrics_to_dict",
+    "ratio_table_from_dict",
+    "ratio_table_to_dict",
     "recording_from_dict",
     "recording_to_dict",
     "run_record_from_dict",
     "run_record_to_dict",
     "run_result_from_dict",
     "run_result_to_dict",
+    "save_ratio_table",
     "save_recording",
     "save_scenario",
     "save_trace",
@@ -547,3 +551,43 @@ def run_record_from_dict(data: Dict[str, Any]):
         complete=bool(data["complete"]),
         result=run_result_from_dict(data["result"]),
     )
+
+
+def ratio_table_to_dict(rows: List[Dict[str, Any]],
+                        meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Encode a ``repro validate-model`` measured/predicted ratio table.
+
+    ``rows`` are the sweep dicts :func:`repro.analysis.validate_model`
+    returns (already JSON-scalar apart from nested role breakdowns, which
+    are plain dicts); ``meta`` records the sweep parameters (n0, k, seed,
+    engine) so an archived table is reproducible.
+    """
+    return {
+        "format": "repro-envelope-ratios",
+        "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "rows": [dict(row) for row in rows],
+    }
+
+
+def ratio_table_from_dict(data: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Decode a ratio table written by :func:`ratio_table_to_dict`."""
+    _require_format(data, "repro-envelope-ratios")
+    rows = data.get("rows")
+    if not isinstance(rows, list):
+        raise ValueError("repro-envelope-ratios document has no rows list")
+    return [dict(row) for row in rows]
+
+
+def save_ratio_table(rows: List[Dict[str, Any]], path: Union[str, Path],
+                     meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write a validate-model ratio table to ``path`` as JSON."""
+    p = Path(path)
+    p.write_text(json.dumps(ratio_table_to_dict(rows, meta=meta), indent=1))
+    return p
+
+
+def load_ratio_table(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a ratio table previously written by :func:`save_ratio_table`."""
+    return ratio_table_from_dict(json.loads(Path(path).read_text()))

@@ -30,6 +30,7 @@ from .diff import DivergenceReport, NodeDivergence, diff_engines, diff_recording
 from .monitors import (
     BudgetMonitor,
     CoverageMonotonicityMonitor,
+    EnvelopeMonitor,
     HeadProgressMonitor,
     Monitor,
     RoundView,
@@ -65,6 +66,7 @@ __all__ = [
     "BudgetMonitor",
     "CausalTrace",
     "CoverageMonotonicityMonitor",
+    "EnvelopeMonitor",
     "DivergenceReport",
     "HeadProgressMonitor",
     "LearnEvent",

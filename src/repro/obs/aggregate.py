@@ -115,17 +115,46 @@ def _bar(value: int, peak: int, width: int = 24) -> str:
     return "#" * filled + "." * (width - filled)
 
 
+def _envelope_lines(envelope: Dict[str, object], rounds: int,
+                    markdown: bool) -> List[str]:
+    """The predicted analytical band, rendered under the completion line.
+
+    ``envelope`` is a plain dict with any of ``rounds``/``messages``/
+    ``tokens`` bounds (``repro report`` builds it from
+    :func:`repro.analysis.predict`).  The round bound is compared to the
+    bands' median run length so the dashboard states, in one line,
+    whether the replicated trajectory sat inside the analysis.
+    """
+    parts = [
+        f"{metric} <= {envelope[metric]}"
+        for metric in ("rounds", "messages", "tokens")
+        if isinstance(envelope.get(metric), (int, float))
+    ]
+    if not parts:
+        return []
+    line = "analytical envelope: " + ", ".join(parts)
+    bound = envelope.get("rounds")
+    if isinstance(bound, (int, float)) and bound > 0:
+        ratio = rounds / bound
+        verdict = "inside" if ratio <= 1.0 else "OUTSIDE"
+        line += f" — median run at {ratio:.2f}x of round bound ({verdict})"
+    return [f"_{line}_", ""] if markdown else [line, ""]
+
+
 def render_dashboard(
     bands: ProgressBands,
     *,
     title: Optional[str] = None,
     markdown: bool = False,
     points: int = 12,
+    envelope: Optional[Dict[str, object]] = None,
 ) -> str:
     """Render bands as the ``repro report`` dashboard.
 
     Plain text: a progress table with a median-coverage bar chart.
     Markdown: the same tables in GitHub-flavoured pipe syntax.
+    ``envelope`` adds the predicted analytical band (see
+    :func:`_envelope_lines`).
     """
     out: List[str] = []
     heading = title or f"{bands.runs} runs, {bands.rounds} rounds"
@@ -141,6 +170,8 @@ def render_dashboard(
             f"median {comp['p50']}, max {comp['max']}."
         )
         out.append("")
+        if envelope:
+            out.extend(_envelope_lines(envelope, comp["p50"], markdown=True))
         out.append("| round | coverage p10 | p50 | p90 | complete p50 |")
         out.append("| ---: | ---: | ---: | ---: | ---: |")
         for r in sampled:
@@ -165,6 +196,8 @@ def render_dashboard(
             f"median {comp['p50']}  max {comp['max']}"
         )
         out.append("")
+        if envelope:
+            out.extend(_envelope_lines(envelope, comp["p50"], markdown=False))
         out.append(f"{'round':>6} {'p10':>8} {'p50':>8} {'p90':>8}  coverage (p50)")
         for r in sampled:
             out.append(

@@ -25,7 +25,12 @@ Built-in monitors (assembled per algorithm by :func:`default_monitors`):
   :class:`~repro.registry.RunPlan` round budget;
 * :class:`StabilityMonitor` — the declared (T, L) model properties
   actually persist: hierarchy constant per T-block, members adjacent to
-  their heads, and each block's head backbone connected within L hops.
+  their heads, and each block's head backbone connected within L hops;
+* :class:`EnvelopeMonitor` — the run's cumulative transmission/token
+  counters stay inside the analytical envelope
+  :func:`repro.analysis.predict` evaluated for this (scenario, plan)
+  pair, checked live every round (the counters are monotone, so any
+  mid-run excursion already refutes the end-of-run bound).
 
 Surface: ``repro run --monitor``, ``execute(..., monitor=True)``, and the
 nightly equivalence workflow (``REPRO_EQUIV_MONITORS=1``).
@@ -39,6 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 __all__ = [
     "BudgetMonitor",
     "CoverageMonotonicityMonitor",
+    "EnvelopeMonitor",
     "HeadProgressMonitor",
     "Monitor",
     "RoundView",
@@ -83,11 +89,14 @@ class RoundView:
     """
 
     __slots__ = ("round_index", "snap", "coverage", "nodes_complete",
-                 "per_node", "n", "k", "faults")
+                 "per_node", "n", "k", "faults", "tokens_sent",
+                 "messages_sent")
 
     def __init__(self, round_index: int, snap, coverage: int,
                  nodes_complete: int, per_node: Sequence[int],
                  n: int, k: int, faults: Optional[Mapping[str, object]] = None,
+                 tokens_sent: Optional[int] = None,
+                 messages_sent: Optional[int] = None,
                  ) -> None:
         self.round_index = round_index
         self.snap = snap
@@ -97,6 +106,10 @@ class RoundView:
         self.n = n
         self.k = k
         self.faults = faults
+        # Cumulative run counters at end of round (None when the engine
+        # does not surface them — the envelope monitor then stays idle).
+        self.tokens_sent = tokens_sent
+        self.messages_sent = messages_sent
 
 
 class Monitor:
@@ -235,6 +248,72 @@ class BudgetMonitor(Monitor):
             )
 
 
+class EnvelopeMonitor(Monitor):
+    """The measured trajectory stays inside the analytical envelope.
+
+    Bounds come from :func:`repro.analysis.predict` evaluated on the
+    run's own (scenario, plan) pair — Table 2's claims turned into live
+    assertions.  Because ``rounds``/``messages_sent``/``tokens_sent``
+    are all monotone over a run, the end-of-run upper bound is a valid
+    check against the cumulative counters at *every* round: the first
+    excursion is flagged (once per metric) with the measured value and
+    the violated bound in the diagnosis.
+
+    ``finish`` additionally flags a guaranteed algorithm that was still
+    incomplete when its theorem-bound budget elapsed — the regime where
+    Table 2's round count no longer explains the run.
+    """
+
+    name = "analytical-envelope"
+
+    def __init__(self, rounds_bound: int,
+                 messages_bound: Optional[int] = None,
+                 tokens_bound: Optional[int] = None,
+                 guaranteed: bool = False) -> None:
+        super().__init__()
+        if rounds_bound < 1:
+            raise ValueError(f"rounds_bound must be >= 1, got {rounds_bound}")
+        self.rounds_bound = rounds_bound
+        self.messages_bound = messages_bound
+        self.tokens_bound = tokens_bound
+        self.guaranteed = guaranteed
+        self._flagged: set = set()
+
+    def _check(self, view: RoundView, metric: str, measured: Optional[int],
+               bound: Optional[int]) -> None:
+        if bound is None or measured is None or metric in self._flagged:
+            return
+        if measured > bound:
+            self._flagged.add(metric)
+            self.emit(
+                view.round_index,
+                f"cumulative {metric} {measured} exceeded the analytical "
+                f"bound {bound}",
+                metric=metric, measured=measured, bound=bound,
+            )
+
+    def observe(self, view: RoundView) -> None:
+        self._check(view, "rounds", view.round_index + 1, self.rounds_bound)
+        self._check(view, "messages", view.messages_sent, self.messages_bound)
+        self._check(view, "tokens", view.tokens_sent, self.tokens_bound)
+
+    def finish(self, rounds: int, complete: bool) -> None:
+        if rounds > self.rounds_bound and "rounds" not in self._flagged:
+            self._flagged.add("rounds")
+            self.emit(-1, f"ran {rounds} rounds, over the analytical bound "
+                      f"{self.rounds_bound}",
+                      metric="rounds", measured=rounds,
+                      bound=self.rounds_bound)
+        if self.guaranteed and not complete and rounds >= self.rounds_bound:
+            self.emit(
+                -1,
+                f"incomplete after the analytical {self.rounds_bound}-round "
+                "envelope (theorem bound does not explain this run)",
+                metric="completion", measured=rounds,
+                bound=self.rounds_bound,
+            )
+
+
 class StabilityMonitor(Monitor):
     """The declared (T, L) stability properties, verified as the run unfolds.
 
@@ -342,9 +421,28 @@ def default_monitors(spec=None, plan=None, scenario=None) -> List[Monitor]:
     Coverage monotonicity always applies; the budget monitor applies to
     ``guarantee="guaranteed"`` specs; head progress applies when the plan
     declares a phase structure (``phase_length`` + ``progress_alpha``);
-    stability applies when the scenario is clustered and declares (T, L).
+    stability applies when the scenario is clustered and declares (T, L);
+    the analytical envelope applies on benign scenarios whose spec has a
+    registered :class:`~repro.analysis.CostEnvelope` that the scenario
+    can fully bind (fault-family runs are legitimately outside Table 2).
     """
     monitors: List[Monitor] = [CoverageMonotonicityMonitor()]
+    if (spec is not None and plan is not None and scenario is not None
+            and getattr(scenario, "family", "benign") == "benign"):
+        try:
+            from ..analysis import predict
+            pred = predict(spec, scenario, plan=plan)
+        except Exception:
+            pred = None  # no envelope / unbound symbols / sympy absent
+        if pred is not None:
+            monitors.append(
+                EnvelopeMonitor(
+                    rounds_bound=pred.rounds,
+                    messages_bound=pred.messages,
+                    tokens_bound=pred.tokens,
+                    guaranteed=spec.guarantee == "guaranteed",
+                )
+            )
     if plan is not None and plan.phase_length and plan.progress_alpha:
         monitors.append(HeadProgressMonitor(plan.phase_length, plan.progress_alpha))
     if spec is not None and plan is not None and spec.guarantee == "guaranteed":

@@ -191,8 +191,30 @@ class AlgorithmSpec:
                 f"available: {sorted(scenario.params)})"
             )
 
+    def envelope(self):
+        """The spec's analytical :class:`~repro.analysis.CostEnvelope`.
+
+        Imported lazily so the registry stays dependency-light; returns
+        ``None`` when no envelope is registered (or sympy is absent).
+        """
+        try:
+            from .analysis import envelope_for
+        except ImportError:  # pragma: no cover - sympy is a declared dep
+            return None
+        return envelope_for(self.name)
+
     def row(self) -> Dict[str, object]:
         """Flat dict for ``repro list-algorithms`` output."""
+        env = self.envelope()
+        phase_length = alpha = bound = "-"
+        if env is not None:
+            import sympy
+
+            bound = f"{env.kind}: {sympy.sstr(env.rounds)}"
+            if env.phase_length is not None:
+                phase_length = sympy.sstr(env.phase_length)
+            if env.alpha is not None:
+                alpha = sympy.sstr(env.alpha)
         return {
             "name": self.name,
             "family": self.family,
@@ -203,6 +225,9 @@ class AlgorithmSpec:
             "fastpath": self.fastpath,
             "columnar": self.columnar,
             "families": ",".join(self.families),
+            "phase_length": phase_length,
+            "alpha": alpha,
+            "bound": bound,
             "version": self.version,
         }
 

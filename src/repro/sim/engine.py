@@ -475,6 +475,8 @@ class ActiveRun:
                 n=n,
                 k=k,
                 faults=faults_info,
+                tokens_sent=self.metrics.tokens_sent,
+                messages_sent=self.metrics.messages_sent,
             )
             for monitor in self.monitors:
                 monitor.observe(view)

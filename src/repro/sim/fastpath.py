@@ -874,6 +874,8 @@ def try_run(
                 n=n,
                 k=k,
                 faults=faults_info,
+                tokens_sent=metrics.tokens_sent,
+                messages_sent=metrics.messages_sent,
             )
             for monitor in monitors:
                 monitor.observe(view)

@@ -41,6 +41,7 @@ see :class:`BurstyLoss`) — the engines never change.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -402,6 +403,11 @@ def link_from_spec(spec: Dict[str, object]) -> LinkModel:
     return build(spec)
 
 
+# One warning per process: the env hook fires on every effective_link()
+# call, which happens per delivery batch inside the round loop.
+_FAULT_WARNED = False
+
+
 def env_fault() -> Optional[PinpointFault]:
     """Deprecated ``REPRO_FASTPATH_FAULT=ROUND:NODE:TOKEN`` alias.
 
@@ -413,6 +419,16 @@ def env_fault() -> Optional[PinpointFault]:
     raw = os.environ.get(FAULT_ENV_VAR)
     if not raw:
         return None
+    global _FAULT_WARNED
+    if not _FAULT_WARNED:
+        _FAULT_WARNED = True
+        warnings.warn(
+            f"{FAULT_ENV_VAR} is a deprecated alias; pass "
+            "link=PinpointFault(round, node, token, "
+            "tiers=('fast', 'columnar')) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     try:
         r, v, t = (int(part) for part in raw.split(":"))
     except ValueError:

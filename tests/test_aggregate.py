@@ -65,6 +65,43 @@ class TestMergeTimelines:
         bands = merge_timelines([_timeline([1] * r) for r in (2, 5, 9)])
         assert bands.completion_summary() == {"min": 2, "p50": 5, "max": 9}
 
+    def test_single_run_percentile_ranks_pin_to_the_one_value(self):
+        # nearest-rank with one sample: every q maps to rank 1
+        bands = merge_timelines([_timeline([7])])
+        assert bands.coverage_p10 == bands.coverage_p50 \
+            == bands.coverage_p90 == [7]
+        assert bands.completion_summary() == {"min": 1, "p50": 1, "max": 1}
+
+    def test_zero_round_runs_merge_to_empty_bands(self):
+        bands = merge_timelines([RunTimeline(), RunTimeline()])
+        assert bands.runs == 2 and bands.rounds == 0
+        assert bands.coverage_p10 == [] and bands.complete_p50 == []
+        assert bands.completion_rounds == [0, 0]
+        assert bands.completion_summary() == {"min": 0, "p50": 0, "max": 0}
+
+    def test_zero_round_run_pads_as_zero_coverage(self):
+        # an empty run merged with a real one contributes 0-coverage
+        # columns, not an exception
+        bands = merge_timelines([RunTimeline(), _timeline([4, 8])])
+        assert bands.rounds == 2
+        assert bands.coverage_p10 == [0, 0]
+        assert bands.coverage_p90 == [4, 8]
+        assert bands.completion_rounds == [0, 2]
+
+    def test_unequal_run_lengths_keep_percentiles_observed(self):
+        # three runs of lengths 1/2/4: every band value must still be a
+        # value some run actually reported (after final-state padding)
+        tls = [_timeline([10]), _timeline([2, 6]), _timeline([1, 3, 5, 7])]
+        bands = merge_timelines(tls)
+        assert bands.rounds == 4
+        observed = {0, 1, 2, 3, 5, 6, 7, 10}
+        for series in (bands.coverage_p10, bands.coverage_p50,
+                       bands.coverage_p90):
+            assert set(series) <= observed
+        assert bands.coverage_p90 == [10, 10, 10, 10]
+        # round 3 sorts padded columns [6, 7, 10]: p10 takes rank 1 (= 6)
+        assert bands.coverage_p10 == [1, 3, 5, 6]
+
 
 class TestRenderDashboard:
     def _bands(self):
@@ -85,6 +122,33 @@ class TestRenderDashboard:
         assert out.startswith("## demo")
         assert "| round | coverage p10 | p50 | p90 | complete p50 |" in out
         assert "| head |" in out
+
+    def test_envelope_line_inside_and_outside(self):
+        bands = self._bands()  # median run length 3
+        out = render_dashboard(
+            bands, envelope={"rounds": 36, "messages": 864, "tokens": 207})
+        assert ("analytical envelope: rounds <= 36, messages <= 864, "
+                "tokens <= 207") in out
+        assert "median run at 0.08x of round bound (inside)" in out
+        tight = render_dashboard(bands, envelope={"rounds": 2})
+        assert "median run at 1.50x of round bound (OUTSIDE)" in tight
+
+    def test_envelope_line_markdown_and_partial_bounds(self):
+        out = render_dashboard(self._bands(), markdown=True,
+                               envelope={"tokens": 99})
+        assert "_analytical envelope: tokens <= 99_" in out
+        # no round bound -> no verdict clause
+        assert "round bound" not in out
+        # nothing numeric -> the line is omitted entirely
+        empty = render_dashboard(self._bands(), envelope={"rounds": None})
+        assert "analytical envelope" not in empty
+
+    def test_report_cli_shows_envelope_band(self, capsys):
+        assert cli.main(["report", "algorithm2", "--n0", "16", "--theta", "5",
+                         "--k", "3", "--replications", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical envelope:" in out
+        assert "(inside)" in out
 
     def test_sampling_keeps_first_and_last_round(self):
         bands = merge_timelines([_timeline(list(range(1, 101)))])

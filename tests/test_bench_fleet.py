@@ -259,3 +259,83 @@ class TestFleetEndToEnd:
             main(["bench", "--cases", FAST_CASE, "--json",
                   str(tmp_path / "b.json"),
                   "--inject-slowdown", "unknown_case:50"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--cases", FAST_CASE, "--json",
+                  str(tmp_path / "b.json"),
+                  "--inject-envelope", "unknown_case:50"])
+
+
+class TestEnvelopeGate:
+    def test_benign_case_carries_envelope_columns(self):
+        results = run_fleet(select([FAST_CASE]), repeats=1, memory=False)
+        stats = results[0].stats
+        assert stats["envelope_ok"] is True
+        assert stats["envelope_tokens"] >= stats["tokens_sent"]
+        for key, counter in (("envelope_ratio_rounds", "rounds"),
+                             ("envelope_ratio_messages", "messages_sent"),
+                             ("envelope_ratio_tokens", "tokens_sent")):
+            assert 0 < stats[key] <= 1.0
+            assert stats[key] == pytest.approx(
+                stats[counter] / stats[f"envelope_{counter.split('_')[0]}"],
+                abs=1e-4)
+
+    def test_adversarial_case_has_no_envelope_gate(self):
+        results = run_fleet(select(["flood-all_adversarial_n48_fast_timeline"]),
+                            repeats=1, memory=False)
+        assert "envelope_ok" not in results[0].stats
+
+    def test_injected_excursion_fails_absolute_gate(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        rc = main(["bench", "--cases", FAST_CASE, "--repeats", "1",
+                   "--no-memory", "--commit", "c1", "--json", str(path),
+                   "--inject-envelope", f"{FAST_CASE}:100"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL: [envelope]" in out
+        assert "exited the analytical envelope" in out
+        # the injection scales ratios only: counters stay truthful
+        stats = load_bench(path)["history"]["c1"][FAST_CASE]
+        assert stats["tokens_sent"] <= stats["envelope_tokens"]
+        assert stats["envelope_ratio_tokens"] > 1.0
+
+    def test_ratio_drift_vs_previous_bucket_trips_gate(self):
+        results = run_fleet(select([FAST_CASE]), repeats=1, memory=False)
+        stats = dict(results[0].stats)
+        previous = {FAST_CASE: dict(
+            stats,
+            envelope_ratio_tokens=stats["envelope_ratio_tokens"] / 2,
+        )}
+        violations = gate_fleet(results, previous)
+        assert [v.kind for v in violations] == ["envelope"]
+        assert "ratio drifted 100%" in violations[0].message
+        # a wider allowance waves the same drift through
+        assert gate_fleet(results, previous, envelope_drift=1.5) == []
+
+    def test_trend_dashboard_shows_envelope_columns(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        record_bucket(path, {FAST_CASE: {
+            "speedup": 2.0, "envelope_ratio_tokens": 0.62,
+            "envelope_ok": True,
+        }}, commit="c1")
+        record_bucket(path, {FAST_CASE: {
+            "speedup": 2.1, "envelope_ratio_tokens": 1.31,
+            "envelope_ok": False,
+        }}, commit="c2")
+        text = render_trend(load_bench(path))
+        assert "envelope: measured/predicted tokens 1.310  OUTSIDE" in text
+        md = render_trend(load_bench(path), markdown=True)
+        assert "| env ratio | in env |" in md
+        assert "1.31" in md and "**NO**" in md
+
+    def test_report_without_history_prints_message(self, tmp_path, capsys):
+        """Satellite: an empty or missing history file yields a clear
+        one-liner, not a traceback."""
+        rc = main(["bench", "--report",
+                   "--json", str(tmp_path / "missing.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no history buckets recorded yet" in out
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"history": {}}')
+        assert main(["bench", "--report", "--json", str(empty)]) == 0
+        assert "no history buckets" in capsys.readouterr().out

@@ -101,6 +101,34 @@ class TestRegistryCommands:
             assert name in out, name
         assert "guaranteed" in out and "best-effort" in out
 
+    def test_list_algorithms_envelope_columns(self, capsys):
+        """Satellite: phase_length / alpha / bound columns from the
+        symbolic cost model."""
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for column in ("phase_length", "alpha", "bound"):
+            assert column in out, column
+        assert "theorem: n - 1" in out  # algorithm2's closed-form bound
+        assert "horizon: R" in out  # best-effort specs measure a window
+
+    def test_validate_model_sweeps_registry(self, capsys, tmp_path):
+        ratios = tmp_path / "ratios.json"
+        assert main(["validate-model", "--n0", "24", "--k", "3",
+                     "--json", str(ratios)]) == 0
+        out = capsys.readouterr().out
+        assert "every benign-family case inside its Table 2 envelope" in out
+        assert "algorithm1" in out and "tokens_ratio" in out
+        from repro.io import load_ratio_table
+
+        rows = load_ratio_table(ratios)
+        assert rows and all(row["within"] is True for row in rows)
+
+    def test_validate_model_markdown_and_subset(self, capsys):
+        assert main(["validate-model", "--n0", "24", "--k", "3",
+                     "--algorithms", "algorithm1", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n| algorithm1 |") == 1 or "| algorithm1" in out
+
     def test_run_auto_scenario(self, capsys):
         assert main(["run", "algorithm1", "--n0", "24", "--theta", "7",
                      "--k", "3"]) == 0

@@ -363,6 +363,39 @@ class TestPinpointFault:
         with pytest.raises(ValueError, match=FAULT_ENV_VAR):
             env_fault()
 
+    def test_env_alias_warns_deprecation_once(self, monkeypatch):
+        """Satellite: the legacy env hook emits one DeprecationWarning
+        per process and keeps returning the exact same fault."""
+        import warnings
+
+        from repro.sim import linkmodel
+
+        monkeypatch.setenv(FAULT_ENV_VAR, "2:1:0")
+        monkeypatch.setattr(linkmodel, "_FAULT_WARNED", False)
+        with pytest.warns(DeprecationWarning, match="deprecated alias"):
+            first = env_fault()
+        assert isinstance(first, PinpointFault)
+        assert (first.round, first.node, first.token) == (2, 1, 0)
+        assert first.tiers == ("fast", "columnar")
+        # second call: warning suppressed, behaviour unchanged
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            again = env_fault()
+        assert (again.round, again.node, again.token, again.tiers) == \
+            (first.round, first.node, first.token, first.tiers)
+
+    def test_unset_env_never_warns(self, monkeypatch):
+        import warnings
+
+        from repro.sim import linkmodel
+
+        monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+        monkeypatch.setattr(linkmodel, "_FAULT_WARNED", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert env_fault() is None
+        assert linkmodel._FAULT_WARNED is False
+
     def test_identity_base_class_is_inert(self):
         m = LinkModel()
         alive = np.ones(4, dtype=bool)

@@ -20,6 +20,7 @@ from repro.graphs.trace import GraphTrace
 from repro.obs import (
     BudgetMonitor,
     CoverageMonotonicityMonitor,
+    EnvelopeMonitor,
     HeadProgressMonitor,
     RoundView,
     StabilityMonitor,
@@ -152,25 +153,89 @@ class TestStability:
         assert any("Definition 5" in v.message for v in mon.violations)
 
 
+class TestEnvelopeMonitor:
+    def _view_with_counters(self, r, snap, tokens, messages):
+        return RoundView(round_index=r, snap=snap, coverage=0,
+                         nodes_complete=0, per_node=[0] * 3, n=3, k=2,
+                         tokens_sent=tokens, messages_sent=messages)
+
+    def test_rounds_bound_validated(self):
+        with pytest.raises(ValueError):
+            EnvelopeMonitor(rounds_bound=0)
+
+    def test_idle_when_engine_omits_counters(self):
+        mon = EnvelopeMonitor(rounds_bound=50, messages_bound=1,
+                              tokens_bound=1)
+        mon.observe(_view(0, _clustered_snap()))  # counters default to None
+        assert mon.violations == []
+
+    def test_each_metric_flagged_once_at_first_excursion(self):
+        snap = _clustered_snap()
+        mon = EnvelopeMonitor(rounds_bound=2, messages_bound=10,
+                              tokens_bound=4)
+        mon.observe(self._view_with_counters(0, snap, tokens=3, messages=3))
+        assert mon.violations == []
+        mon.observe(self._view_with_counters(2, snap, tokens=9, messages=3))
+        assert [v.context["metric"] for v in mon.violations] == [
+            "rounds", "tokens"]
+        assert mon.violations[1].context["bound"] == 4
+        # later rounds over the same bounds stay silent: one flag per metric
+        mon.observe(self._view_with_counters(3, snap, tokens=11, messages=3))
+        assert len(mon.violations) == 2
+
+    def test_finish_flags_guaranteed_incompleteness(self):
+        mon = EnvelopeMonitor(rounds_bound=4, guaranteed=True)
+        mon.finish(rounds=4, complete=False)
+        assert [v.context["metric"] for v in mon.violations] == ["completion"]
+        clean = EnvelopeMonitor(rounds_bound=4, guaranteed=True)
+        clean.finish(rounds=3, complete=True)
+        assert clean.violations == []
+
+    def test_doctored_bounds_engine_identical_violations(self):
+        """Acceptance: the same artificially tight envelope produces
+        identical non-empty violation streams on all three engines."""
+        from repro.sim.engine import SynchronousEngine
+
+        scenario = _healthy_scenario()
+        spec = get_spec("algorithm1")
+        plan = spec.plan(scenario)
+        streams = {}
+        for engine in ("reference", "fast", "columnar"):
+            mon = EnvelopeMonitor(rounds_bound=3, messages_bound=40,
+                                  tokens_bound=40)
+            result = SynchronousEngine(engine=engine).run(
+                scenario.trace, plan.factory, k=scenario.k,
+                initial=scenario.initial, max_rounds=plan.max_rounds,
+                monitors=[mon])
+            assert result.violations is not None
+            streams[engine] = result.violations
+        assert streams["reference"], "tight bounds produced no violations"
+        assert {v.context["metric"] for v in streams["reference"]} == {
+            "rounds", "messages", "tokens"}
+        assert streams["fast"] == streams["reference"]
+        assert streams["columnar"] == streams["reference"]
+
+
 class TestDefaultMonitors:
     def _plan(self, name, scenario):
         spec = get_spec(name)
         return spec, spec.plan(scenario)
 
-    def test_algorithm1_gets_all_four(self):
+    def test_algorithm1_gets_all_five(self):
         scenario = hinet_interval_scenario(n0=24, theta=7, k=3, alpha=3, L=2,
                                            seed=5, verify=False)
         spec, plan = self._plan("algorithm1", scenario)
         kinds = {type(m) for m in
                  default_monitors(spec=spec, plan=plan, scenario=scenario)}
         assert kinds == {CoverageMonotonicityMonitor, HeadProgressMonitor,
-                         BudgetMonitor, StabilityMonitor}
+                         BudgetMonitor, StabilityMonitor, EnvelopeMonitor}
 
-    def test_flat_probabilistic_gets_coverage_only(self):
+    def test_flat_probabilistic_gets_coverage_and_envelope(self):
         scenario = one_interval_scenario(n0=12, k=3, seed=1, verify=False)
         spec, plan = self._plan("gossip", scenario)
         monitors = default_monitors(spec=spec, plan=plan, scenario=scenario)
-        assert [type(m) for m in monitors] == [CoverageMonotonicityMonitor]
+        assert [type(m) for m in monitors] == [CoverageMonotonicityMonitor,
+                                               EnvelopeMonitor]
 
     def test_dhop_relaxes_member_adjacency(self):
         from repro.experiments.scenarios import dhop_scenario
