@@ -24,7 +24,14 @@ baseline:
 * the **recording overhead budget** (``record_overhead_vs_off``,
   likewise baseline-free): an ``obs="record"`` run must cost at most
   ``--record-budget`` times the ``obs="off"`` run, must not change the
-  run's metrics, and must actually produce a replayable recording.
+  run's metrics, and must actually produce a replayable recording;
+* the **streaming overhead budget** (``stream_overhead_vs_off``,
+  likewise baseline-free): attaching a live
+  :class:`~repro.obs.TelemetryBus` to an ``obs="timeline"`` run may cost
+  at most ``--stream-budget`` times the bus-free run, must not change
+  any run metric on any engine tier, must publish round events
+  byte-identical to the post-hoc ``timeline.events()`` encoding, and
+  must drop nothing into an unbounded in-process sink.
 
 On an equivalence failure the gate does not stop at a bare assert: it
 re-runs both engines at ``obs="record"``, bisects the recordings to the
@@ -350,6 +357,89 @@ def check_obs_overhead(baseline: Dict[str, object], args) -> CheckResult:
     return failures, rows
 
 
+def check_stream_overhead(baseline: Dict[str, object], args) -> CheckResult:
+    """Streaming overhead budget: timeline run + bus vs timeline run.
+
+    The telemetry bus must stay cheap enough to leave attached on every
+    observed run: a fast-path ``obs="timeline"`` run publishing every
+    round to an in-process sink may take at most ``--stream-budget``
+    times the same run without a bus (a machine-portable ratio, measured
+    fresh both ways in this process — no baseline entry needed).
+
+    Correctness first, across all three engine tiers: attaching the bus
+    must not change a single run metric, the live round events must be
+    byte-identical to the post-hoc ``timeline.events()`` encoding, and
+    nothing may be dropped (an unbounded in-process sink never sheds).
+    """
+    from repro.obs import BufferSink, TelemetryBus
+    from repro.sim.engine import run
+
+    scenario, factory, max_rounds = _bench_instance()
+
+    def go(engine: str, stream=None, obs: str = "timeline"):
+        return run(
+            scenario.trace, factory, k=scenario.k, initial=scenario.initial,
+            max_rounds=max_rounds, engine=engine, obs=obs, stream=stream,
+        )
+
+    failures: List[str] = []
+    rows: List[Row] = []
+    for engine in ("reference", "fast", "columnar"):
+        plain = go(engine)
+        sink = BufferSink()
+        bus = TelemetryBus([sink])
+        streamed = go(engine, stream=bus)
+        bus.close()
+
+        same = plain.metrics == streamed.metrics
+        rows.append(_row(f"{engine}: streamed metrics == plain metrics",
+                         True, same, same))
+        if not same:
+            failures.append(
+                f"attaching the telemetry bus changed the {engine} "
+                "engine's run metrics"
+            )
+        live = sink.of_type("round")
+        posthoc = [e for e in streamed.timeline.events()
+                   if e["type"] == "round"]
+        match = live == posthoc
+        rows.append(_row(f"{engine}: live events == timeline.events()",
+                         True, match, match))
+        if not match:
+            failures.append(
+                f"{engine}: live round events diverged from the post-hoc "
+                "timeline encoding (prefix stability broken)"
+            )
+        rows.append(_row(f"{engine}: stream drops", 0, bus.drops,
+                         bus.drops == 0))
+        if bus.drops:
+            failures.append(
+                f"{engine}: unbounded in-process sink dropped "
+                f"{bus.drops} event(s)"
+            )
+
+    def timed_streamed():
+        bus = TelemetryBus([BufferSink()])
+        out = go("fast", stream=bus)
+        bus.close()
+        return out
+
+    plain_stats, stream_stats, _ = measure_ratio(
+        lambda: go("fast"), timed_streamed,
+        repeats=args.repeats, inject_ms=args.inject_stream_overhead_ms,
+    )
+    ratio = stream_stats["median_ms"] / plain_stats["median_ms"]
+    ok = ratio <= args.stream_budget
+    rows.append(_row(f"stream overhead (budget {args.stream_budget:.2f}x)",
+                     f"<= {args.stream_budget:.2f}x", f"{ratio:.2f}x", ok))
+    if not ok:
+        failures.append(
+            f"telemetry-bus overhead blew the budget: {ratio:.2f}x > "
+            f"{args.stream_budget:.2f}x the bus-free obs='timeline' run"
+        )
+    return failures, rows
+
+
 #: Baseline cases this gate knows how to re-run.  Cases absent here carry
 #: only absolute wall-clock stats and are skipped (not machine-portable).
 CHECKS = {
@@ -362,6 +452,7 @@ CHECKS = {
 SYNTHETIC_CHECKS = {
     "obs_overhead_trace_vs_off": check_obs_overhead,
     "record_overhead_vs_off": check_record_overhead,
+    "stream_overhead_vs_off": check_stream_overhead,
 }
 
 
@@ -397,6 +488,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject-record-overhead-ms", type=float, default=0.0,
                         help="testing hook: sleep this long inside the timed "
                         "obs='record' callable")
+    parser.add_argument("--stream-budget", type=float, default=1.15,
+                        help="max allowed streamed / bus-free obs='timeline' "
+                        "wall-clock ratio (default: 1.15)")
+    parser.add_argument("--inject-stream-overhead-ms", type=float,
+                        default=0.0,
+                        help="testing hook: sleep this long inside the timed "
+                        "streamed callable")
     parser.add_argument("--divergence-report", default="divergence_report.txt",
                         metavar="PATH",
                         help="where to write the fast⇄reference divergence "

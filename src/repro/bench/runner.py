@@ -252,6 +252,19 @@ def _fleet_task(item) -> CaseResult:
                         inject_envelope=inject_env)
 
 
+def _stall_limit_ms(case: BenchCase, repeats: int, memory: bool) -> float:
+    """Default mid-run stall threshold for one fleet case.
+
+    :func:`measure_case` executes the scenario many times (counter +
+    baseline runs, ``2·repeats`` paired timing samples, the memory
+    pass), so the threshold is the per-run ``budget_ms`` scaled by a
+    generous execution count — a case flagged here is far beyond
+    blowing its budget, not merely noisy.
+    """
+    executions = 3 + 2 * repeats + (1 if memory else 0)
+    return max(10_000.0, case.budget_ms * 2.0 * executions)
+
+
 def run_fleet(
     cases: Sequence[BenchCase],
     repeats: int = 3,
@@ -260,6 +273,8 @@ def run_fleet(
     cache=None,
     memory: bool = True,
     inject_envelope: Optional[Dict[str, float]] = None,
+    heartbeat: Optional[Callable[[Dict[str, object]], None]] = None,
+    stall_after_ms: Optional[float] = None,
 ) -> List[CaseResult]:
     """Measure a set of cases, optionally across worker processes.
 
@@ -270,6 +285,15 @@ def run_fleet(
     hook); ``inject_envelope`` maps case names to ratio-inflation
     factors (the ``--inject-envelope`` hook).  Results come back in
     input order.
+
+    ``heartbeat`` receives one ``case`` event as each case starts and
+    finishes (``{"type": "case", "case": name, "status": "start" |
+    "done" | "stall", …}``) — live per-case progress instead of fleet
+    silence.  While a heartbeat is attached, a watchdog flags any case
+    still running past ``stall_after_ms`` (default: a generous multiple
+    of the case's ``budget_ms`` via :func:`_stall_limit_ms`) with a
+    ``"stall"`` event *while it runs* — the case is not killed, just
+    surfaced.
     """
     from ..experiments.parallel import parallel_map
 
@@ -281,7 +305,75 @@ def run_fleet(
          float(inject_envelope.get(case.name, 1.0)))
         for case in cases
     ]
-    return parallel_map(_fleet_task, items, processes=processes)
+    if heartbeat is None:
+        return parallel_map(_fleet_task, items, processes=processes)
+
+    import threading
+
+    cases = list(cases)
+    lock = threading.Lock()
+    running: Dict[int, float] = {}
+    flagged: set = set()
+
+    def case_event(event: Dict[str, object]) -> None:
+        if event.get("type") != "task":
+            heartbeat(event)
+            return
+        idx = event.get("item")
+        case = cases[idx]
+        out: Dict[str, object] = {
+            "type": "case",
+            "case": case.name,
+            "status": event.get("status"),
+        }
+        for key in ("pid", "ms", "elapsed_s"):
+            if key in event:
+                out[key] = event[key]
+        with lock:
+            if out["status"] == "start":
+                running[idx] = time.monotonic()
+            elif out["status"] == "done":
+                running.pop(idx, None)
+        heartbeat(out)
+
+    stop = threading.Event()
+
+    def watchdog() -> None:
+        while not stop.wait(0.05):
+            now = time.monotonic()
+            stalls = []
+            with lock:
+                for idx, t0 in running.items():
+                    if idx in flagged:
+                        continue
+                    limit = (
+                        stall_after_ms
+                        if stall_after_ms is not None
+                        else _stall_limit_ms(cases[idx], repeats, memory)
+                    )
+                    elapsed_ms = (now - t0) * 1000.0
+                    if elapsed_ms > limit:
+                        flagged.add(idx)
+                        stalls.append((idx, elapsed_ms, limit))
+            for idx, elapsed_ms, limit in stalls:
+                heartbeat({
+                    "type": "case",
+                    "case": cases[idx].name,
+                    "status": "stall",
+                    "elapsed_ms": round(elapsed_ms, 1),
+                    "stall_after_ms": round(limit, 1),
+                    "budget_ms": cases[idx].budget_ms,
+                })
+
+    watcher = threading.Thread(target=watchdog, daemon=True)
+    watcher.start()
+    try:
+        return parallel_map(
+            _fleet_task, items, processes=processes, heartbeat=case_event
+        )
+    finally:
+        stop.set()
+        watcher.join(timeout=2.0)
 
 
 @dataclass

@@ -7,7 +7,9 @@ without writing a script:
 
    $ python -m repro list-algorithms        # the algorithm registry
    $ python -m repro run algorithm1 --n0 40 # any registered algorithm
-   $ python -m repro run algorithm1 --events out.jsonl  # + JSONL telemetry
+   $ python -m repro run algorithm1 --events out.jsonl  # streamed JSONL
+   $ python -m repro run algorithm1 --live  # terminal dashboard on stderr
+   $ python -m repro watch out.jsonl --follow  # tail a streamed run live
    $ python -m repro run algorithm1 --monitor  # live invariant monitors
    $ python -m repro explain algorithm1 --token 2  # causal provenance chain
    $ python -m repro report algorithm1 --replications 20  # progress bands
@@ -146,8 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_scenario_flags(rn)
     rn.add_argument("--events", default=None, metavar="PATH",
-                    help="write the run's telemetry timeline as JSONL "
-                    "structured events (one object per line)")
+                    help="stream the run's telemetry as JSONL structured "
+                    "events (one object per line, written incrementally: "
+                    "header first, flushed per round — an interrupted run "
+                    "leaves a valid partial file)")
     rn.add_argument("--obs",
                     choices=["timeline", "trace", "record", "profile", "off"],
                     default="timeline",
@@ -158,7 +162,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attach the spec's runtime invariant monitors and "
                     "report any violations (coverage monotonicity, phase "
                     "progress, round budget, (T,L) stability)")
+    rn.add_argument("--live", action="store_true",
+                    help="render a live terminal dashboard on stderr while "
+                    "the run executes (ANSI in-place on a TTY, periodic "
+                    "text lines otherwise)")
+    rn.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write a Prometheus-textfile snapshot of the "
+                    "stream's counters (updated while running, final at "
+                    "exit) for external scrapers")
+    rn.add_argument("--stream-decimate", type=int, default=1, metavar="N",
+                    help="publish every N-th round to the stream sinks "
+                    "(default 1 = every round; the final round is always "
+                    "published)")
     _add_cache_flag(rn)
+
+    wt = sub.add_parser(
+        "watch",
+        help="live terminal view of a streamed --events JSONL file: "
+        "progress bars, per-role rates, monitor alerts and worker lag, "
+        "following the file as a concurrent run appends to it",
+    )
+    wt.add_argument("events", metavar="EVENTS_JSONL",
+                    help="events file written by 'repro run --events' "
+                    "(may still be growing)")
+    wt.add_argument("--follow", action="store_true",
+                    help="keep watching for new events after EOF until the "
+                    "summary footer arrives (or --idle-timeout expires)")
+    wt.add_argument("--interval", type=float, default=0.5, metavar="S",
+                    help="dashboard refresh / follow poll interval in "
+                    "seconds (default: 0.5)")
+    wt.add_argument("--idle-timeout", type=float, default=30.0, metavar="S",
+                    help="with --follow: give up after S seconds without "
+                    "new events (default: 30)")
+    wt.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="also maintain a Prometheus-textfile snapshot of "
+                    "the watched counters")
 
     ex = sub.add_parser(
         "explain",
@@ -355,6 +393,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "(and any divergence report) here")
     bn.add_argument("--no-memory", action="store_true",
                     help="skip the tracemalloc peak-memory pass")
+    bn.add_argument("--heartbeat", action="store_true",
+                    help="print per-case progress heartbeats to stderr "
+                    "([bench] case NAME start/done lines) and flag mid-run "
+                    "stalls that exceed the case's budget-derived limit")
+    bn.add_argument("--stall-after-ms", type=float, default=None,
+                    metavar="MS",
+                    help="with --heartbeat: flag a case as stalled after MS "
+                    "milliseconds (default: derived from the case budget)")
     _add_cache_flag(bn)
 
     return parser
@@ -483,9 +529,43 @@ def _cmd_run(args) -> str:
 
     spec = _resolve_spec(args.algorithm)
     scenario = _build_scenario(args, spec)
-    record = execute(spec, scenario, engine=args.engine, cache=args.cache,
-                     obs=args.obs, monitor=args.monitor,
-                     **_spec_overrides(args, spec))
+    streaming = args.events or args.live or args.metrics_out
+    if streaming and args.obs == "off":
+        raise SystemExit(
+            "--events/--live/--metrics-out require telemetry; drop --obs off"
+        )
+    bus = events_sink = None
+    if streaming:
+        from .obs import (
+            JsonlStreamSink,
+            LiveDashboard,
+            MetricsExporter,
+            TelemetryBus,
+        )
+
+        sinks = []
+        if args.events:
+            events_sink = JsonlStreamSink(args.events, run_info={
+                "algorithm": spec.display_name,
+                "scenario": scenario.name,
+                "n": scenario.n,
+                "k": scenario.k,
+                "engine": args.engine,
+            })
+            sinks.append(events_sink)
+        if args.live:
+            sinks.append(LiveDashboard(out=sys.stderr))
+        if args.metrics_out:
+            sinks.append(MetricsExporter(args.metrics_out))
+        bus = TelemetryBus(sinks, decimate=max(1, args.stream_decimate))
+    try:
+        record = execute(spec, scenario, engine=args.engine, cache=args.cache,
+                         obs=args.obs, monitor=args.monitor, stream=bus,
+                         **_spec_overrides(args, spec))
+    finally:
+        # an interrupted run still leaves a valid (partial) events file
+        if bus is not None:
+            bus.close()
     out = f"scenario: {scenario.name}\n\n" + format_records([record.row()])
     if args.monitor:
         violations = record.result.violations or []
@@ -494,27 +574,82 @@ def _cmd_run(args) -> str:
             out += "\n".join(f"  {v}" for v in violations)
         else:
             out += "\n\nmonitors: no invariant violations"
-    if args.events:
-        from .obs import write_events
-
-        timeline = record.result.timeline
-        if timeline is None:
-            raise SystemExit("--events requires telemetry; drop --obs off")
-        lines = write_events(
-            args.events,
-            timeline,
-            run_info={
-                "algorithm": record.algorithm,
-                "scenario": record.scenario,
-                "n": record.n,
-                "k": record.k,
-                "engine": args.engine,
-            },
-            summary=record.result.metrics.summary(),
-            causal=record.result.causal_trace,
-        )
-        out += f"\n\nwrote {lines} events to {args.events}"
+    if events_sink is not None:
+        out += (f"\n\nstreamed {events_sink.lines} events to {args.events}")
+        if bus.drops:
+            out += f" ({bus.drops} dropped under backpressure)"
+    if args.metrics_out:
+        out += f"\nmetrics textfile at {args.metrics_out}"
     return out
+
+
+def _cmd_watch(args) -> str:
+    import json
+    import time
+
+    from .obs import EVENTS_SCHEMA_VERSION, LiveDashboard, MetricsExporter
+
+    sinks = [LiveDashboard(out=sys.stdout, interval=args.interval)]
+    if args.metrics_out:
+        sinks.append(MetricsExporter(args.metrics_out))
+
+    def feed(event):
+        for sink in sinks:
+            sink.emit(event)
+
+    deadline = time.monotonic() + args.idle_timeout
+    fh = None
+    try:
+        while fh is None:
+            try:
+                fh = open(args.events, "r", encoding="utf-8")
+            except FileNotFoundError:
+                if not args.follow or time.monotonic() > deadline:
+                    raise SystemExit(f"events file not found: {args.events}")
+                time.sleep(args.interval)
+        seen = 0
+        buffer = ""
+        done = False
+        while not done:
+            chunk = fh.read()
+            if chunk:
+                deadline = time.monotonic() + args.idle_timeout
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    if not line.strip():
+                        continue
+                    event = json.loads(line)
+                    if seen == 0:
+                        if event.get("type") != "run":
+                            raise SystemExit(
+                                f"{args.events}: not an events file "
+                                "(first line must be a 'run' header)")
+                        version = event.get("schema_version")
+                        if version != EVENTS_SCHEMA_VERSION:
+                            raise SystemExit(
+                                f"{args.events}: schema_version {version!r} "
+                                f"(this build reads "
+                                f"{EVENTS_SCHEMA_VERSION})")
+                    feed(event)
+                    seen += 1
+                    if event.get("type") == "summary":
+                        done = True
+                        break
+            elif not args.follow:
+                break
+            elif time.monotonic() > deadline:
+                break
+            else:
+                time.sleep(args.interval)
+    finally:
+        if fh is not None:
+            fh.close()
+        for sink in sinks:
+            sink.close()
+    status = "complete" if done else (
+        "idle timeout" if args.follow else "partial")
+    return f"watched {seen} events from {args.events} ({status})"
 
 
 def _format_chain(causal, chain) -> List[str]:
@@ -958,10 +1093,28 @@ def _cmd_bench(args):
                 f"{flag} names unknown case(s): {sorted(unknown)}"
             )
 
+    heartbeat = None
+    if args.heartbeat:
+        def heartbeat(event):
+            if event.get("type") != "case":
+                return
+            status = event.get("status")
+            if status == "done":
+                detail = f" ({event.get('ms', 0.0):.0f} ms)"
+            elif status == "stall":
+                detail = (f" STALL: {event.get('elapsed_ms', 0.0):.0f} ms "
+                          f"without a result "
+                          f"(limit {event.get('stall_after_ms', 0.0):.0f} ms)")
+            else:
+                detail = ""
+            print(f"[bench] case {event.get('case')} {status}{detail}",
+                  file=sys.stderr, flush=True)
+
     results = run_fleet(cases, repeats=args.repeats,
                         processes=args.processes, inject=inject,
                         cache=args.cache, memory=not args.no_memory,
-                        inject_envelope=inject_env)
+                        inject_envelope=inject_env, heartbeat=heartbeat,
+                        stall_after_ms=args.stall_after_ms)
 
     # resolve the gate baseline *before* recording this run's bucket —
     # a same-label re-run must not gate against itself
@@ -1081,6 +1234,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "watch":
+        print(_cmd_watch(args))
     elif args.command == "explain":
         print(_cmd_explain(args))
     elif args.command == "report":

@@ -11,43 +11,264 @@ Everything submitted must be picklable: module-level functions and plain
 argument tuples, not closures — the usual `concurrent.futures` contract.
 Results are returned **in input order** regardless of completion order,
 so parallel and serial runs are interchangeable.
+
+Workers used to be opaque while running; two introspection seams fix
+that:
+
+* **Heartbeats** — :func:`parallel_map` accepts a ``heartbeat`` callback
+  and forwards per-item ``task`` events (``start`` / ``done``, with pid
+  and wall milliseconds) from the workers over a multiprocessing queue;
+  :class:`ShardPool` carries an optional ``telemetry`` queue that shard
+  kernels write through :func:`emit_worker_event` and the parent drains
+  between rounds.  Both transports are non-blocking with drop counting —
+  a slow parent never stalls a worker.
+* **Stall detection** — ``parallel_map(timeout_s=…)`` (default from the
+  :data:`TIMEOUT_ENV_VAR` environment, off when unset/0) turns a hung
+  worker into a diagnosed :class:`RuntimeError` naming the stuck item
+  and elapsed time instead of an indefinite hang.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, TypeVar
+import queue as queue_mod
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 from ..sim.rng import SeedLike, derive_seed
 from .replication import MetricSummary, summarize
 
-__all__ = ["ShardPool", "parallel_map", "parallel_replicate"]
+__all__ = [
+    "TIMEOUT_ENV_VAR",
+    "ShardPool",
+    "emit_worker_event",
+    "parallel_map",
+    "parallel_replicate",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Default worker-stall timeout (seconds) for :func:`parallel_map`;
+#: unset or ``0`` disables the watchdog (the historical behaviour).
+TIMEOUT_ENV_VAR = "REPRO_PARALLEL_TIMEOUT_S"
+
+# Per-worker-process telemetry channel, installed by the executor
+# initializer: events flow parent-ward without any worker-side blocking.
+_WORKER_QUEUE: Optional[Any] = None
+_WORKER_DROPS = 0
+
+
+def _worker_init(telemetry) -> None:
+    """Executor initializer: install the telemetry queue in this worker."""
+    global _WORKER_QUEUE, _WORKER_DROPS
+    _WORKER_QUEUE = telemetry
+    _WORKER_DROPS = 0
+
+
+def emit_worker_event(event: Dict[str, Any]) -> None:
+    """Send one telemetry event parent-ward from a worker process.
+
+    No-op outside an instrumented pool.  Stamps the worker ``pid`` and
+    its cumulative ``drops`` (events shed because the queue was full —
+    backpressure never blocks the worker's kernel).
+    """
+    global _WORKER_DROPS
+    q = _WORKER_QUEUE
+    if q is None:
+        return
+    event = dict(event)
+    event.setdefault("pid", os.getpid())
+    if _WORKER_DROPS:
+        event["drops"] = _WORKER_DROPS
+    try:
+        q.put_nowait(event)
+    except Exception:
+        _WORKER_DROPS += 1
+
+
+def _traced_call(fn: Callable[[T], R], index: int, item: T) -> R:
+    """Run one item inside a worker, bracketed by ``task`` heartbeats."""
+    emit_worker_event({"type": "task", "item": index, "status": "start"})
+    t0 = time.perf_counter()
+    out = fn(item)
+    emit_worker_event({
+        "type": "task",
+        "item": index,
+        "status": "done",
+        "ms": round((time.perf_counter() - t0) * 1000.0, 3),
+    })
+    return out
+
+
+def _env_timeout() -> Optional[float]:
+    raw = os.environ.get(TIMEOUT_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {raw!r}"
+        ) from exc
+    return value if value > 0 else None
+
+
+def _drain_into(telemetry, heartbeat, starts: Dict[int, float]) -> None:
+    """Forward queued worker events to the heartbeat, tracking live items."""
+    while True:
+        try:
+            event = telemetry.get_nowait()
+        except queue_mod.Empty:
+            return
+        except Exception:
+            return
+        if event.get("type") == "task":
+            idx = event.get("item")
+            if event.get("status") == "start":
+                starts[idx] = time.monotonic()
+            elif event.get("status") == "done":
+                starts.pop(idx, None)
+        if heartbeat is not None:
+            heartbeat(event)
 
 
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     processes: Optional[int] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> List[R]:
     """Apply a picklable ``fn`` over ``items`` across worker processes.
 
     ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` (or a
     single item) runs serially in-process — handy for debugging, since
     tracebacks then surface directly.
+
+    ``heartbeat`` receives per-item ``task`` events as workers pick
+    items up and finish them (``{"type": "task", "item": i, "status":
+    "start" | "done", "pid": …, "ms": …}``); on the serial path the same
+    events are delivered synchronously, so consumers need no special
+    case.  ``timeout_s`` (default: the :data:`TIMEOUT_ENV_VAR`
+    environment, off when unset) bounds how long any single item may run
+    without finishing: a worker stuck past the limit gets its pool torn
+    down and a diagnosed :class:`RuntimeError` raised, naming the stuck
+    item, the elapsed time, and the knob to raise.
     """
     items = list(items)
     if processes is None:
         processes = os.cpu_count() or 1
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    if timeout_s is None:
+        timeout_s = _env_timeout()
+    if timeout_s is not None and timeout_s <= 0:
+        timeout_s = None
     if processes == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(processes, len(items))) as pool:
-        return list(pool.map(fn, items))
+        results = []
+        for i, item in enumerate(items):
+            if heartbeat is not None:
+                heartbeat({
+                    "type": "task", "item": i, "status": "start",
+                    "pid": os.getpid(),
+                })
+            t0 = time.perf_counter()
+            results.append(fn(item))
+            if heartbeat is not None:
+                heartbeat({
+                    "type": "task", "item": i, "status": "done",
+                    "pid": os.getpid(),
+                    "ms": round((time.perf_counter() - t0) * 1000.0, 3),
+                })
+        return results
+    workers = min(processes, len(items))
+    if timeout_s is None and heartbeat is None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    return _instrumented_map(fn, items, workers, timeout_s, heartbeat)
+
+
+def _instrumented_map(
+    fn: Callable[[T], R],
+    items: List[T],
+    workers: int,
+    timeout_s: Optional[float],
+    heartbeat: Optional[Callable[[Dict[str, Any]], None]],
+) -> List[R]:
+    """The heartbeat/watchdog execution path of :func:`parallel_map`.
+
+    Submits every item wrapped in :func:`_traced_call`, then polls:
+    drain worker events → forward to the heartbeat → check each *live*
+    item's elapsed wall-clock against ``timeout_s``.  Item start times
+    come from the workers' own ``start`` events, so queue wait does not
+    count against the budget.
+    """
+    telemetry = mp.Queue()
+    starts: Dict[int, float] = {}
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(telemetry,),
+    )
+    try:
+        futures = {
+            pool.submit(_traced_call, fn, i, item): i
+            for i, item in enumerate(items)
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending, timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                future.result()  # surface worker exceptions eagerly
+            _drain_into(telemetry, heartbeat, starts)
+            if timeout_s is None or not starts:
+                continue
+            now = time.monotonic()
+            for idx, t0 in starts.items():
+                elapsed = now - t0
+                if elapsed <= timeout_s:
+                    continue
+                if heartbeat is not None:
+                    heartbeat({
+                        "type": "task", "item": idx, "status": "stall",
+                        "elapsed_s": round(elapsed, 3),
+                    })
+                for future in pending:
+                    future.cancel()
+                # the stuck worker will never return — kill, don't wait
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+                pool.shutdown(wait=False)
+                raise RuntimeError(
+                    f"parallel_map worker stalled: item {idx} "
+                    f"({items[idx]!r}) has run {elapsed:.1f}s with no "
+                    f"result (timeout {timeout_s:g}s). The worker was "
+                    f"terminated; raise the limit via timeout_s= or the "
+                    f"{TIMEOUT_ENV_VAR} environment variable, or 0 to "
+                    f"disable."
+                )
+        results = [None] * len(items)
+        for future, i in futures.items():
+            results[i] = future.result()
+        _drain_into(telemetry, heartbeat, starts)
+        return results
+    finally:
+        pool.shutdown(wait=False)
 
 
 class ShardPool:
@@ -62,21 +283,48 @@ class ShardPool:
 
     Same pickling contract as :func:`parallel_map`: module-level
     functions and array/tuple arguments only.
+
+    ``telemetry`` (optional) is a ``multiprocessing.Queue`` installed in
+    every worker, where mapped functions may publish events through
+    :func:`emit_worker_event`; the parent collects them with
+    :meth:`drain` between rounds.  The columnar tier uses this for its
+    per-worker profile sections and live per-shard kernel timings.
     """
 
-    def __init__(self, processes: Optional[int] = None) -> None:
+    def __init__(
+        self, processes: Optional[int] = None, *, telemetry=None
+    ) -> None:
         if processes is None:
             processes = os.cpu_count() or 1
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         self.processes = processes
+        self.telemetry = telemetry
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` over ``items`` on the persistent workers, in order."""
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.processes)
+            if self.telemetry is not None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.processes,
+                    initializer=_worker_init,
+                    initargs=(self.telemetry,),
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.processes)
         return list(self._pool.map(fn, items))
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop every telemetry event currently queued (non-blocking)."""
+        events: List[Dict[str, Any]] = []
+        if self.telemetry is None:
+            return events
+        while True:
+            try:
+                events.append(self.telemetry.get_nowait())
+            except Exception:
+                return events
 
     def close(self) -> None:
         """Shut the workers down (idempotent)."""

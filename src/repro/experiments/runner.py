@@ -88,6 +88,7 @@ def execute(
     record_knowledge: bool = False,
     obs: str = "timeline",
     monitor: bool = False,
+    stream=None,
     **overrides,
 ) -> RunRecord:
     """Run one registered algorithm on a scenario for its proven budget.
@@ -135,6 +136,13 @@ def execute(
         violations into ``record.result.violations``.  Monitored runs
         bypass the cache: violations are live diagnostics and are not
         archived, so replaying a cached record would silently drop them.
+    stream:
+        A live :class:`~repro.obs.TelemetryBus` fed while the engine
+        runs (round events, monitor alerts, the closing summary; see
+        :mod:`repro.obs.stream`).  Streaming is cache-compatible: a
+        cache hit *replays* the archived timeline through the bus, so
+        consumers see the same event stream either way.  Requires
+        ``obs != "off"``.
     **overrides:
         Spec-specific knobs (``rounds=…``, ``strict=…``, ``A=…``,
         ``seed=…`` …); anything the spec does not declare raises
@@ -175,6 +183,11 @@ def execute(
         )
         hit = store.get(key)
         if hit is not None:
+            if stream is not None:
+                timeline = hit.result.timeline
+                if timeline is not None:
+                    stream.replay(timeline)
+                stream.end_run(hit.result)
             return hit
 
     monitors = None
@@ -193,6 +206,7 @@ def execute(
         engine=engine,
         obs=obs,
         monitors=monitors,
+        stream=stream,
     )
     phase_length = plan.phase_length
     if phase_length is None:
@@ -228,6 +242,7 @@ def _execute(
     engine: str = "fast",
     obs: str = "timeline",
     monitors=None,
+    stream=None,
 ) -> RunRecord:
     link = None
     link_spec = getattr(scenario, "link", None)
@@ -241,6 +256,7 @@ def _execute(
         engine=engine,
         obs=obs,
         link=link,
+        stream=stream,
     )
     result = sync.run(
         scenario.trace,

@@ -22,7 +22,13 @@ Layered by cost, selected with the engines' ``obs`` parameter
   (:class:`Monitor` / :func:`default_monitors`) emitting structured
   :class:`Violation` diagnostics, surfaced by ``repro run --monitor``;
 * :mod:`repro.obs.aggregate` — cross-run percentile progress bands
-  (:func:`merge_timelines`) behind the ``repro report`` dashboard.
+  (:func:`merge_timelines`) behind the ``repro report`` dashboard;
+* :mod:`repro.obs.stream` — live streaming: an in-process pub/sub
+  :class:`TelemetryBus` fed per round by all three engine tiers, with
+  drop-counting backpressure sinks (:class:`BufferSink`,
+  :class:`QueueSink`), incremental JSONL (:class:`JsonlStreamSink`),
+  the ``repro watch`` terminal view (:class:`LiveDashboard`), and a
+  Prometheus-textfile :class:`MetricsExporter`.
 """
 
 from .aggregate import ProgressBands, merge_timelines, render_dashboard
@@ -47,6 +53,15 @@ from .recorder import (
     SpilledRounds,
     to_chrome_trace,
 )
+from .stream import (
+    BufferSink,
+    JsonlStreamSink,
+    LiveDashboard,
+    MetricsExporter,
+    QueueSink,
+    TelemetryBus,
+    TelemetrySink,
+)
 from .timeline import (
     EVENTS_SCHEMA_VERSION,
     OBS_LEVELS,
@@ -64,17 +79,22 @@ __all__ = [
     "ORIGIN_ROLE",
     "SPILL_ENV_VAR",
     "BudgetMonitor",
+    "BufferSink",
     "CausalTrace",
     "CoverageMonotonicityMonitor",
     "EnvelopeMonitor",
     "DivergenceReport",
     "HeadProgressMonitor",
+    "JsonlStreamSink",
     "LearnEvent",
+    "LiveDashboard",
     "MessageRecord",
+    "MetricsExporter",
     "Monitor",
     "NodeDivergence",
     "ProgressBands",
     "Profiler",
+    "QueueSink",
     "RoundDelta",
     "RoundView",
     "RunRecorder",
@@ -82,6 +102,8 @@ __all__ = [
     "RunTimeline",
     "SpilledRounds",
     "StabilityMonitor",
+    "TelemetryBus",
+    "TelemetrySink",
     "Violation",
     "default_monitors",
     "diff_engines",

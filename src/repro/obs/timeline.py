@@ -233,31 +233,46 @@ class RunTimeline:
             rows.append(row)
         return rows
 
+    def round_event(self, r: int) -> Dict[str, Any]:
+        """Encode round ``r`` as its JSON-ready ``round`` event dict.
+
+        The single encoding shared by post-hoc export (:meth:`events` /
+        :func:`write_events`) and live streaming
+        (:class:`~repro.obs.stream.TelemetryBus`), so streamed counters
+        are bit-identical to the written file by construction.  The
+        encoding is *prefix-stable* — it depends only on rounds ≤ ``r``,
+        never on roles that first appear later — which is why
+        ``by_role`` lists only the roles that actually sent in round
+        ``r`` (a silent round omits the key entirely).
+        """
+        event: Dict[str, Any] = {
+            "type": "round",
+            "round": r,
+            "coverage": self.coverage[r],
+            "nodes_complete": self.nodes_complete[r],
+            "messages": self.messages[r],
+            "tokens": self.tokens[r],
+        }
+        by_role = {}
+        for role in sorted(self.role_messages):
+            messages = self.role_messages[role][r]
+            tokens_col = self.role_tokens.get(role)
+            tokens = tokens_col[r] if tokens_col is not None else 0
+            if messages or tokens:
+                by_role[role] = {"messages": messages, "tokens": tokens}
+        if by_role:
+            event["by_role"] = by_role
+        if self.populations:
+            event["populations"] = {
+                role: column[r]
+                for role, column in sorted(self.populations.items())
+            }
+        return event
+
     def events(self) -> Iterator[Dict[str, Any]]:
         """Yield one JSON-ready ``round`` event per recorded round."""
         for r in range(self.rounds):
-            event: Dict[str, Any] = {
-                "type": "round",
-                "round": r,
-                "coverage": self.coverage[r],
-                "nodes_complete": self.nodes_complete[r],
-                "messages": self.messages[r],
-                "tokens": self.tokens[r],
-            }
-            if self.role_messages:
-                event["by_role"] = {
-                    role: {
-                        "messages": self.role_messages[role][r],
-                        "tokens": self.role_tokens.get(role, [0] * self.rounds)[r],
-                    }
-                    for role in sorted(self.role_messages)
-                }
-            if self.populations:
-                event["populations"] = {
-                    role: column[r]
-                    for role, column in sorted(self.populations.items())
-                }
-            yield event
+            yield self.round_event(r)
 
     def profile_rows(self) -> List[Dict[str, object]]:
         """Profile sections as table rows (ms and share), largest first."""

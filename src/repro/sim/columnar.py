@@ -218,6 +218,32 @@ def _shard_deliver(
     return _segment_or(local_starts, seg_indices, degrees, payload_sub, edge_keep)
 
 
+def _shard_deliver_traced(
+    item: Tuple[int, int, Tuple],
+) -> np.ndarray:
+    """Instrumented :func:`_shard_deliver` for telemetry-wired pools.
+
+    Times the reduce and emits one ``shard`` event (round, shard index,
+    kernel milliseconds) over the worker's telemetry queue — the source
+    of the parent's per-worker profile sections and the ``repro watch``
+    per-shard lag view.  The returned array is identical to the untimed
+    variant; only used when the pool carries a telemetry queue.
+    """
+    from ..experiments.parallel import emit_worker_event  # avoids a cycle
+
+    r, shard_idx, base = item
+    t0 = time.perf_counter()
+    out = _shard_deliver(base)
+    emit_worker_event({
+        "type": "shard",
+        "round": r,
+        "shard": shard_idx,
+        "status": "deliver",
+        "ms": round((time.perf_counter() - t0) * 1000.0, 3),
+    })
+    return out
+
+
 def _shard_plan(
     arrs: SnapshotArrays, shards: int
 ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
@@ -453,6 +479,30 @@ def _arrays_for_round(network, r: int, n: int) -> SnapshotArrays:
     return arrs
 
 
+def _absorb_shard_events(
+    events: Iterable[Dict[str, object]],
+    prof: Optional[Profiler],
+    stream,
+    worker_ids: Dict[int, int],
+) -> None:
+    """Fold drained worker ``shard`` events into the profiler and bus.
+
+    Worker pids are mapped to stable small indices in arrival order, so a
+    profiled sharded run grows ``worker0_deliver``, ``worker1_deliver``, …
+    sections holding each process's cumulative kernel wall-clock — the
+    breakdown of what used to be opaque inside ``shard_merge``.
+    """
+    for event in events:
+        pid = event.get("pid")
+        if pid is not None and pid not in worker_ids:
+            worker_ids[pid] = len(worker_ids)
+        ms = event.get("ms")
+        if prof is not None and isinstance(ms, (int, float)):
+            prof.add(f"worker{worker_ids.get(pid, 0)}_deliver", ms / 1000.0)
+        if stream is not None:
+            stream.publish(event)
+
+
 def run_columnar(
     engine: SynchronousEngine,
     network,
@@ -492,11 +542,20 @@ def run_columnar(
     if shard_processes is None:
         shard_processes = _env_int(SHARD_PROCESSES_ENV_VAR)
     sharded = shards is not None and shards > 1
+    stream = getattr(engine, "stream", None)
     pool = None
+    telemetry_q = None
+    worker_ids: Dict[int, int] = {}
     if sharded and shard_processes is not None and shard_processes > 1:
         from ..experiments.parallel import ShardPool  # lazy: avoids a cycle
 
-        pool = ShardPool(processes=min(shard_processes, shards))
+        if engine.obs == "profile" or stream is not None:
+            import multiprocessing as mp
+
+            telemetry_q = mp.Queue()
+        pool = ShardPool(
+            processes=min(shard_processes, shards), telemetry=telemetry_q
+        )
 
     metrics = Metrics()
     timeline = RunTimeline() if engine.obs != "off" else None
@@ -623,7 +682,16 @@ def run_columnar(
                         prof.add("shard_merge", now - t0)
                         t0 = now
                     if pool is not None:
-                        outs = pool.map(_shard_deliver, items)
+                        if telemetry_q is not None:
+                            outs = pool.map(
+                                _shard_deliver_traced,
+                                [(r, i, it) for i, it in enumerate(items)],
+                            )
+                            _absorb_shard_events(
+                                pool.drain(), prof, stream, worker_ids
+                            )
+                        else:
+                            outs = pool.map(_shard_deliver, items)
                     else:
                         outs = [_shard_deliver(item) for item in items]
                     if prof is not None:
@@ -675,6 +743,8 @@ def run_columnar(
             metrics.end_round(coverage)
             if timeline is not None:
                 timeline.end_round(coverage, nodes_complete)
+                if stream is not None:
+                    stream.on_round(timeline)
             executed = r + 1
             if prof is not None:
                 prof.add("bookkeeping", time.perf_counter() - t0)
@@ -687,6 +757,9 @@ def run_columnar(
                 break
     finally:
         if pool is not None:
+            if telemetry_q is not None:
+                # catch straggler events still in the queue's feeder pipe
+                _absorb_shard_events(pool.drain(), prof, stream, worker_ids)
             pool.close()
 
     if timeline is not None and prof is not None:

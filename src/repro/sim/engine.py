@@ -57,6 +57,7 @@ from ..obs import (
     RunRecorder,
     RunRecording,
     RunTimeline,
+    TelemetryBus,
     validate_obs,
 )
 from ..obs.monitors import Monitor, Violation
@@ -456,8 +457,11 @@ class ActiveRun:
             if held == k:
                 nodes_complete += 1
         self.metrics.end_round(coverage)
+        stream = self.engine.stream
         if timeline is not None:
             timeline.end_round(coverage, nodes_complete)
+            if stream is not None:
+                stream.on_round(timeline)
         if self.monitors:
             faults_info = None
             if link is not None:
@@ -479,7 +483,11 @@ class ActiveRun:
                 messages_sent=self.metrics.messages_sent,
             )
             for monitor in self.monitors:
+                before = len(monitor.violations) if stream is not None else 0
                 monitor.observe(view)
+                if stream is not None:
+                    for violation in monitor.violations[before:]:
+                        stream.alert(violation)
         if round_trace is not None and self.engine.record_knowledge:
             round_trace.knowledge = {
                 v: frozenset(self.algorithms[v].TA) for v in range(n)
@@ -608,6 +616,15 @@ class SynchronousEngine:
         nothing.  Both execution paths feed the same counters, trace
         events and recordings, so timelines, causal traces *and*
         recordings join the fast-path equivalence guarantee.
+    stream:
+        A :class:`~repro.obs.stream.TelemetryBus` fed live while the run
+        executes: one ``round`` event after every executed round (all
+        three tiers publish the same
+        :meth:`~repro.obs.RunTimeline.round_event` dicts), an ``alert``
+        per fresh monitor violation, and the closing ``summary`` when
+        :meth:`run` returns.  Requires ``obs != "off"`` (round events
+        are derived from the timeline).  Publishing never mutates run
+        state, so results are bit-identical with streaming on or off.
     """
 
     def __init__(
@@ -620,6 +637,7 @@ class SynchronousEngine:
         engine: str = "reference",
         obs: str = "timeline",
         link: Optional[LinkModel] = None,
+        stream: Optional["TelemetryBus"] = None,
     ) -> None:
         self.record_trace = record_trace or record_knowledge
         self.record_knowledge = record_knowledge
@@ -647,6 +665,12 @@ class SynchronousEngine:
         self.latency = latency
         self.engine_mode = engine
         self.obs = validate_obs(obs)
+        if stream is not None and self.obs == "off":
+            raise ValueError(
+                "stream telemetry needs a timeline; use obs='timeline' "
+                "or higher, not obs='off'"
+            )
+        self.stream = stream
 
     def link_for(self, tier: str) -> Optional[LinkModel]:
         """The link model ``tier`` should apply (None on the benign path).
@@ -752,6 +776,8 @@ class SynchronousEngine:
                     monitors=monitors,
                 )
             if result is not None:
+                if self.stream is not None:
+                    self.stream.end_run(result)
                 return result
         active = self.start(
             network, factory, k, initial, max_rounds,
@@ -760,7 +786,10 @@ class SynchronousEngine:
             monitors=monitors,
         )
         active.run_to_completion()
-        return active.finish()
+        result = active.finish()
+        if self.stream is not None:
+            self.stream.end_run(result)
+        return result
 
 
 def run(
@@ -775,8 +804,8 @@ def run(
 
     Keyword arguments ``record_trace`` / ``record_knowledge`` /
     ``loss_p`` / ``loss_seed`` / ``latency`` / ``engine`` / ``obs`` /
-    ``link`` configure the engine; everything else is forwarded to
-    :meth:`SynchronousEngine.run`.
+    ``link`` / ``stream`` configure the engine; everything else is
+    forwarded to :meth:`SynchronousEngine.run`.
     """
     engine = SynchronousEngine(
         record_trace=kwargs.pop("record_trace", False),
@@ -787,5 +816,6 @@ def run(
         engine=kwargs.pop("engine", "reference"),
         obs=kwargs.pop("obs", "timeline"),
         link=kwargs.pop("link", None),
+        stream=kwargs.pop("stream", None),
     )
     return engine.run(network, factory, k, initial, max_rounds, **kwargs)

@@ -729,6 +729,7 @@ def try_run(
         )
         rec_known = TA.copy()
     monitors = list(monitors) if monitors else []
+    stream = getattr(engine, "stream", None)
     link = engine.link_for("fast")
     alive: Optional[np.ndarray] = None
     if link is not None:
@@ -857,6 +858,8 @@ def try_run(
         metrics.end_round(coverage)
         if timeline is not None:
             timeline.end_round(coverage, nodes_complete)
+            if stream is not None:
+                stream.on_round(timeline)
         if monitors:
             faults_info = None
             if link is not None:
@@ -878,7 +881,11 @@ def try_run(
                 messages_sent=metrics.messages_sent,
             )
             for monitor in monitors:
+                before = len(monitor.violations) if stream is not None else 0
                 monitor.observe(view)
+                if stream is not None:
+                    for violation in monitor.violations[before:]:
+                        stream.alert(violation)
         executed = r + 1
         if prof is not None:
             prof.add("bookkeeping", time.perf_counter() - t0)

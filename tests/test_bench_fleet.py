@@ -219,6 +219,49 @@ class TestFleetEndToEnd:
         # both runs landed as separate buckets
         assert set(load_bench(path)["history"]) == {"c1", "c2"}
 
+
+class TestFleetHeartbeat:
+    def test_heartbeats_bracket_every_case(self):
+        events = []
+        results = run_fleet(select([FAST_CASE]), repeats=1, memory=False,
+                            heartbeat=events.append)
+        assert len(results) == 1
+        assert [(e["case"], e["status"]) for e in events] == [
+            (FAST_CASE, "start"), (FAST_CASE, "done")]
+        assert all(e["type"] == "case" for e in events)
+        assert events[-1]["ms"] > 0
+
+    def test_watchdog_flags_slow_case_without_killing_it(self):
+        # a 1 ms stall limit trips immediately; the case still finishes
+        events = []
+        results = run_fleet(select([FAST_CASE]), repeats=1, memory=False,
+                            heartbeat=events.append, stall_after_ms=1.0)
+        assert len(results) == 1 and results[0].stats["rounds"] > 0
+        stalls = [e for e in events if e["status"] == "stall"]
+        assert len(stalls) == 1  # flagged once, not once per poll
+        assert stalls[0]["case"] == FAST_CASE
+        assert stalls[0]["elapsed_ms"] > 1.0
+        assert stalls[0]["stall_after_ms"] == 1.0
+        assert [e["status"] for e in events][-1] == "done"
+
+    def test_cli_heartbeat_prints_case_lines(self, tmp_path, capsys):
+        rc = main(["bench", "--cases", FAST_CASE, "--repeats", "1",
+                   "--no-memory", "--no-gate", "--heartbeat",
+                   "--json", str(tmp_path / "b.json")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert f"[bench] case {FAST_CASE} start" in err
+        assert f"[bench] case {FAST_CASE} done (" in err
+
+    def test_cli_heartbeat_stall_line(self, tmp_path, capsys):
+        rc = main(["bench", "--cases", FAST_CASE, "--repeats", "1",
+                   "--no-memory", "--no-gate", "--heartbeat",
+                   "--stall-after-ms", "1",
+                   "--json", str(tmp_path / "b.json")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert f"[bench] case {FAST_CASE} stall STALL:" in err
+
     def test_counter_drift_trips_gate_and_attaches_divergence(self, tmp_path):
         results = run_fleet(select([FAST_CASE]), repeats=1, memory=False)
         stats = dict(results[0].stats)

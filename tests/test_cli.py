@@ -186,6 +186,74 @@ class TestRegistryCommands:
             main(["run", "algorithm2", "--n0", "20", "--k", "3",
                   "--obs", "off", "--events", str(tmp_path / "e.jsonl")])
 
+    def test_run_live_with_obs_off_exits(self):
+        with pytest.raises(SystemExit, match="obs off"):
+            main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                  "--obs", "off", "--live"])
+
+    def test_run_live_non_tty_dashboard(self, capsys):
+        assert main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                     "--live"]) == 0
+        captured = capsys.readouterr()
+        assert "summary: rounds=" in captured.err  # dashboard on stderr
+        assert "\x1b[" not in captured.err  # non-TTY: plain lines, no ANSI
+        assert "Algorithm 2" in captured.out  # result table untouched
+
+    def test_run_metrics_out_writes_textfile(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                     "--metrics-out", str(path)]) == 0
+        assert f"metrics textfile at {path}" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE repro_rounds_total counter" in text
+        assert "repro_run_complete" in text and " 1" in text
+
+    def test_run_stream_decimate_thins_rounds(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                     "--events", str(path), "--stream-decimate", "5"]) == 0
+        capsys.readouterr()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        rounds = [r["round"] for r in rows if r["type"] == "round"]
+        total = rows[-1]["rounds"]
+        assert rounds[-1] == total - 1  # final round always published
+        assert all(r % 5 == 0 for r in rounds[:-1])
+        assert len(rounds) < total
+
+    def test_watch_replays_events_file(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                     "--events", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["watch", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "summary: rounds=" in out
+        assert f"events from {path} (complete)" in out
+
+    def test_watch_partial_file_reports_partial(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["run", "algorithm2", "--n0", "20", "--k", "3",
+                     "--events", str(path)]) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "partial.jsonl"
+        truncated.write_text("\n".join(lines[:4]) + "\n")
+        assert main(["watch", str(truncated)]) == 0
+        out = capsys.readouterr().out
+        assert "(partial)" in out
+
+    def test_watch_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["watch", str(tmp_path / "nope.jsonl")])
+
+    def test_watch_rejects_non_events_file(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"type": "round", "round": 0}\n')
+        with pytest.raises(SystemExit, match="run"):
+            main(["watch", str(bogus)])
+
     def test_profile_prints_sections_and_phases(self, capsys):
         assert main(["profile", "algorithm1", "--n0", "24", "--theta", "7",
                      "--k", "3"]) == 0

@@ -119,11 +119,16 @@ class TestRunTimeline:
     def test_events_one_per_round(self):
         events = list(self._timeline().events())
         assert [e["round"] for e in events] == [0, 1]
+        # prefix-stable encoding: only roles that actually sent appear,
+        # so live streaming and post-hoc export produce identical dicts
         assert events[0]["by_role"] == {
-            "gateway": {"messages": 0, "tokens": 0},
             "head": {"messages": 2, "tokens": 5},
         }
         assert "populations" not in events[0]
+
+    def test_round_event_matches_events(self):
+        tl = self._timeline()
+        assert [tl.round_event(r) for r in range(tl.rounds)] == list(tl.events())
 
 
 class TestWriteEvents:
@@ -322,6 +327,19 @@ class TestRegressionGate:
         assert gate.main(["--repeats", "1", "--record-budget", "3.0",
                           "--cases", "record_overhead_vs_off",
                           "--inject-record-overhead-ms", "300"]) == 1
+
+    def test_stream_overhead_within_budget(self):
+        # generous budget: passes anywhere unless attaching the bus became
+        # outright pathological relative to a bus-free timeline run
+        gate = _load_check_regression()
+        assert gate.main(["--repeats", "1", "--stream-budget", "20",
+                          "--cases", "stream_overhead_vs_off"]) == 0
+
+    def test_stream_overhead_gate_fails_on_injected_overhead(self):
+        gate = _load_check_regression()
+        assert gate.main(["--repeats", "1", "--stream-budget", "1.15",
+                          "--cases", "stream_overhead_vs_off",
+                          "--inject-stream-overhead-ms", "300"]) == 1
 
     def test_equivalence_failure_emits_divergence_report(self, tmp_path,
                                                          monkeypatch):

@@ -4,7 +4,11 @@ import os
 
 import pytest
 
-from repro.experiments.parallel import parallel_map, parallel_replicate
+from repro.experiments.parallel import (
+    TIMEOUT_ENV_VAR,
+    parallel_map,
+    parallel_replicate,
+)
 from repro.experiments.replication import replicate
 
 # module-level functions: the picklability contract of ProcessPoolExecutor
@@ -12,6 +16,13 @@ from repro.experiments.replication import replicate
 
 def _square(x):
     return x * x
+
+
+def _sleepy(x):
+    import time
+
+    time.sleep(x)
+    return x
 
 
 def _tiny_experiment(seed):
@@ -46,6 +57,54 @@ class TestParallelMap:
         serial = parallel_map(_square, list(range(8)), processes=1)
         parallel = parallel_map(_square, list(range(8)), processes=2)
         assert serial == parallel
+
+
+class TestHeartbeatAndStall:
+    def test_serial_heartbeats_in_order(self):
+        events = []
+        out = parallel_map(_square, [3, 4], processes=1,
+                           heartbeat=events.append)
+        assert out == [9, 16]
+        assert [(e["item"], e["status"]) for e in events] == [
+            (0, "start"), (0, "done"), (1, "start"), (1, "done")]
+        assert all(e["type"] == "task" for e in events)
+        assert all("pid" in e for e in events)
+        assert all(e["ms"] >= 0 for e in events if e["status"] == "done")
+
+    def test_parallel_heartbeats_cover_every_item(self):
+        events = []
+        out = parallel_map(_square, list(range(6)), processes=2,
+                           heartbeat=events.append)
+        assert out == [x * x for x in range(6)]
+        starts = {e["item"] for e in events if e["status"] == "start"}
+        dones = {e["item"] for e in events if e["status"] == "done"}
+        assert starts == dones == set(range(6))
+
+    def test_timeout_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV_VAR, raising=False)
+        assert parallel_map(_sleepy, [0.05], processes=2) == [0.05]
+
+    def test_stall_raises_diagnosed_error(self):
+        with pytest.raises(RuntimeError) as err:
+            parallel_map(_sleepy, [0.01, 30.0], processes=2, timeout_s=0.5)
+        message = str(err.value)
+        assert "stalled: item 1" in message
+        assert TIMEOUT_ENV_VAR in message  # diagnosis names the escape hatch
+
+    def test_stall_timeout_from_environment(self, monkeypatch):
+        # two items: a single item runs on the serial path, no watchdog
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "0.5")
+        with pytest.raises(RuntimeError, match="stalled"):
+            parallel_map(_sleepy, [30.0, 30.0], processes=2)
+
+    def test_env_zero_disables_timeout(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "0")
+        assert parallel_map(_sleepy, [0.05], processes=2) == [0.05]
+
+    def test_healthy_run_under_timeout_completes(self):
+        out = parallel_map(_square, list(range(4)), processes=2,
+                           timeout_s=30.0)
+        assert out == [x * x for x in range(4)]
 
 
 class TestParallelReplicate:
